@@ -1,0 +1,625 @@
+//! The AODV protocol engine.
+//!
+//! A pure state machine, symmetric with the MAC: packets and timer fires
+//! go in, [`AodvAction`]s come out. The simulation core wires the actions
+//! to the MAC queue, the local traffic sink and the event queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use pcmac_engine::{NodeId, PacketId, SimTime, TimerSlot, TimerToken};
+use pcmac_net::{Packet, Payload, Rerr, Rrep, Rreq};
+
+use crate::config::AodvConfig;
+use crate::table::RouteTable;
+
+/// Why the agent discarded a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Route discovery exhausted its retries.
+    NoRoute,
+    /// The send buffer was full.
+    BufferOverflow,
+    /// The packet outlived the buffer timeout.
+    BufferTimeout,
+    /// The IP TTL ran out.
+    TtlExpired,
+}
+
+/// Outputs of the routing agent.
+#[derive(Debug, Clone)]
+pub enum AodvAction {
+    /// Hand a packet to the MAC toward `next_hop` ([`NodeId::BROADCAST`]
+    /// for floods).
+    Transmit {
+        /// The packet (possibly a forwarded or generated control packet).
+        packet: Packet,
+        /// MAC next hop.
+        next_hop: NodeId,
+    },
+    /// The packet reached its destination: deliver to the local agent.
+    DeliverLocal {
+        /// The packet.
+        packet: Packet,
+    },
+    /// Arm the discovery timer for `dst`.
+    Arm {
+        /// Destination whose discovery is pending.
+        dst: NodeId,
+        /// Delay from now.
+        delay: pcmac_engine::Duration,
+        /// Liveness token.
+        token: TimerToken,
+    },
+    /// Routing state toward `peer` changed in a way that must reset the
+    /// PCMAC sent/received tables (paper §III).
+    PeerReset {
+        /// The affected neighbour.
+        peer: NodeId,
+    },
+    /// A packet was discarded.
+    Drop {
+        /// The packet.
+        packet: Packet,
+        /// Why.
+        reason: DropReason,
+    },
+}
+
+/// Timer identities used by the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AodvTimer {
+    /// Route discovery toward the given destination timed out.
+    Discovery(NodeId),
+}
+
+/// Counters for routing diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AodvCounters {
+    /// RREQ floods originated (including retries).
+    pub rreq_originated: u64,
+    /// RREQs rebroadcast for others.
+    pub rreq_forwarded: u64,
+    /// RREPs generated (as destination or fresh intermediate).
+    pub rrep_generated: u64,
+    /// RREPs forwarded along reverse paths.
+    pub rrep_forwarded: u64,
+    /// RERRs sent.
+    pub rerr_sent: u64,
+    /// Discoveries that exhausted their retries.
+    pub discoveries_failed: u64,
+    /// Data packets forwarded for other nodes.
+    pub data_forwarded: u64,
+    /// Data packets delivered locally.
+    pub data_delivered: u64,
+    /// Packets dropped (all reasons).
+    pub drops: u64,
+}
+
+#[derive(Debug)]
+struct Discovery {
+    slot: TimerSlot,
+    attempts: u8,
+}
+
+/// The per-node AODV agent.
+#[derive(Debug)]
+pub struct AodvAgent {
+    id: NodeId,
+    cfg: AodvConfig,
+    table: RouteTable,
+    own_seq: u32,
+    next_rreq_id: u32,
+    /// Duplicate-flood suppression: (origin, rreq_id) → insertion time.
+    rreq_cache: HashMap<(NodeId, u32), SimTime>,
+    discoveries: HashMap<NodeId, Discovery>,
+    /// Packets awaiting discovery, with their buffering time.
+    buffer: VecDeque<(Packet, SimTime)>,
+    next_ctrl_pkt: u64,
+    /// Statistics.
+    pub counters: AodvCounters,
+}
+
+impl AodvAgent {
+    /// A fresh agent for node `id`.
+    pub fn new(id: NodeId, cfg: AodvConfig) -> Self {
+        AodvAgent {
+            id,
+            cfg,
+            table: RouteTable::new(),
+            own_seq: 0,
+            next_rreq_id: 0,
+            rreq_cache: HashMap::new(),
+            discoveries: HashMap::new(),
+            buffer: VecDeque::new(),
+            next_ctrl_pkt: 0,
+            counters: AodvCounters::default(),
+        }
+    }
+
+    /// Read access to the route table (tests, diagnostics).
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+
+    /// Allocate a control-packet id: namespace 2, node, counter — unique
+    /// network-wide without coordination.
+    fn ctrl_packet_id(&mut self) -> PacketId {
+        let c = self.next_ctrl_pkt;
+        self.next_ctrl_pkt += 1;
+        PacketId((2 << 56) | ((self.id.0 as u64) << 32) | c)
+    }
+
+    // ------------------------------------------------------------------
+    // Local origination
+    // ------------------------------------------------------------------
+
+    /// Send a locally-generated packet toward `packet.dst`.
+    pub fn send(&mut self, packet: Packet, now: SimTime, out: &mut Vec<AodvAction>) {
+        debug_assert_eq!(packet.src, self.id);
+        if packet.dst == self.id {
+            self.counters.data_delivered += 1;
+            out.push(AodvAction::DeliverLocal { packet });
+            return;
+        }
+        if let Some(route) = self.table.lookup(packet.dst, now) {
+            let next_hop = route.next_hop;
+            self.table
+                .refresh(packet.dst, self.cfg.active_route_timeout, now);
+            self.table
+                .refresh(next_hop, self.cfg.active_route_timeout, now);
+            out.push(AodvAction::Transmit { packet, next_hop });
+            return;
+        }
+        self.buffer_and_discover(packet, now, out);
+    }
+
+    fn buffer_and_discover(&mut self, packet: Packet, now: SimTime, out: &mut Vec<AodvAction>) {
+        self.purge_buffer(now, out);
+        if self.buffer.len() >= self.cfg.buffer_capacity {
+            // Drop the oldest (ns-2 send-buffer behaviour) to make room.
+            if let Some((old, _)) = self.buffer.pop_front() {
+                self.counters.drops += 1;
+                out.push(AodvAction::Drop {
+                    packet: old,
+                    reason: DropReason::BufferOverflow,
+                });
+            }
+        }
+        let dst = packet.dst;
+        self.buffer.push_back((packet, now));
+        if let std::collections::hash_map::Entry::Vacant(e) = self.discoveries.entry(dst) {
+            e.insert(Discovery {
+                slot: TimerSlot::new(),
+                attempts: 0,
+            });
+            self.emit_rreq(dst, now, out);
+        }
+    }
+
+    fn emit_rreq(&mut self, dst: NodeId, now: SimTime, out: &mut Vec<AodvAction>) {
+        // RFC 3561 §6.3: increment own sequence number before a discovery.
+        self.own_seq = self.own_seq.wrapping_add(1);
+        self.next_rreq_id = self.next_rreq_id.wrapping_add(1);
+        let rreq_id = self.next_rreq_id;
+        self.rreq_cache.insert((self.id, rreq_id), now);
+
+        let mut packet = Packet::control(
+            self.ctrl_packet_id(),
+            self.id,
+            NodeId::BROADCAST,
+            now,
+            Payload::Rreq(Rreq {
+                rreq_id,
+                origin: self.id,
+                origin_seq: self.own_seq,
+                target: dst,
+                target_seq: self.table.known_seq(dst),
+                hop_count: 0,
+            }),
+        );
+        packet.ttl = self.cfg.rreq_ttl;
+        self.counters.rreq_originated += 1;
+        out.push(AodvAction::Transmit {
+            packet,
+            next_hop: NodeId::BROADCAST,
+        });
+
+        let disc = self.discoveries.get_mut(&dst).expect("discovery exists");
+        let token = disc.slot.arm();
+        // Binary backoff across retries.
+        let delay = self.cfg.rreq_wait.saturating_mul(1 << disc.attempts.min(6));
+        out.push(AodvAction::Arm { dst, delay, token });
+    }
+
+    /// A discovery timer fired.
+    pub fn on_discovery_timeout(
+        &mut self,
+        dst: NodeId,
+        token: TimerToken,
+        now: SimTime,
+        out: &mut Vec<AodvAction>,
+    ) {
+        let Some(disc) = self.discoveries.get_mut(&dst) else {
+            return;
+        };
+        if !disc.slot.fire(token) {
+            return;
+        }
+        if self.table.lookup(dst, now).is_some() {
+            // An RREP raced the timer: flush and finish.
+            self.discoveries.remove(&dst);
+            self.flush_buffer_for(dst, now, out);
+            return;
+        }
+        disc.attempts += 1;
+        if disc.attempts > self.cfg.rreq_retries {
+            self.discoveries.remove(&dst);
+            self.counters.discoveries_failed += 1;
+            // Give up: drop everything buffered for this destination.
+            let mut kept = VecDeque::new();
+            while let Some((p, t0)) = self.buffer.pop_front() {
+                if p.dst == dst {
+                    self.counters.drops += 1;
+                    out.push(AodvAction::Drop {
+                        packet: p,
+                        reason: DropReason::NoRoute,
+                    });
+                } else {
+                    kept.push_back((p, t0));
+                }
+            }
+            self.buffer = kept;
+            return;
+        }
+        self.emit_rreq(dst, now, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Packet reception (from the MAC)
+    // ------------------------------------------------------------------
+
+    /// Process a packet handed up by the MAC. `from` is the previous hop.
+    pub fn on_packet(
+        &mut self,
+        mut packet: Packet,
+        from: NodeId,
+        now: SimTime,
+        out: &mut Vec<AodvAction>,
+    ) {
+        // Hearing anything from a neighbour proves a 1-hop link.
+        self.refresh_neighbor(from, now);
+
+        match packet.payload.clone() {
+            Payload::Rreq(rreq) => self.handle_rreq(packet, rreq, from, now, out),
+            Payload::Rrep(rrep) => self.handle_rrep(packet, rrep, from, now, out),
+            Payload::Rerr(rerr) => self.handle_rerr(rerr, from, now, out),
+            Payload::Data { .. } => {
+                if packet.dst == self.id {
+                    self.counters.data_delivered += 1;
+                    // Keep the reverse path warm for replies.
+                    self.table
+                        .refresh(packet.src, self.cfg.active_route_timeout, now);
+                    out.push(AodvAction::DeliverLocal { packet });
+                    return;
+                }
+                // Forwarding.
+                if packet.ttl <= 1 {
+                    self.counters.drops += 1;
+                    out.push(AodvAction::Drop {
+                        packet,
+                        reason: DropReason::TtlExpired,
+                    });
+                    return;
+                }
+                packet.ttl -= 1;
+                if let Some(route) = self.table.lookup(packet.dst, now) {
+                    let next_hop = route.next_hop;
+                    self.table
+                        .refresh(packet.dst, self.cfg.active_route_timeout, now);
+                    self.table
+                        .refresh(next_hop, self.cfg.active_route_timeout, now);
+                    self.table
+                        .refresh(packet.src, self.cfg.active_route_timeout, now);
+                    self.counters.data_forwarded += 1;
+                    out.push(AodvAction::Transmit { packet, next_hop });
+                } else {
+                    // Mid-path with no route: report the breakage upstream.
+                    let seq = self
+                        .table
+                        .known_seq(packet.dst)
+                        .unwrap_or(0)
+                        .wrapping_add(1);
+                    self.emit_rerr(vec![(packet.dst, seq)], now, out);
+                    self.counters.drops += 1;
+                    out.push(AodvAction::Drop {
+                        packet,
+                        reason: DropReason::NoRoute,
+                    });
+                }
+            }
+        }
+    }
+
+    fn refresh_neighbor(&mut self, from: NodeId, now: SimTime) {
+        if from == self.id || from.is_broadcast() {
+            return;
+        }
+        let seq = self.table.known_seq(from).unwrap_or(0);
+        self.table
+            .offer(from, from, 1, seq, self.cfg.active_route_timeout, now);
+        self.table.refresh(from, self.cfg.active_route_timeout, now);
+    }
+
+    fn handle_rreq(
+        &mut self,
+        mut packet: Packet,
+        rreq: Rreq,
+        from: NodeId,
+        now: SimTime,
+        out: &mut Vec<AodvAction>,
+    ) {
+        // Duplicate suppression.
+        self.purge_rreq_cache(now);
+        if self.rreq_cache.contains_key(&(rreq.origin, rreq.rreq_id)) {
+            return;
+        }
+        self.rreq_cache.insert((rreq.origin, rreq.rreq_id), now);
+        if rreq.origin == self.id {
+            return; // our own flood bounced back
+        }
+
+        // Learn/refresh the reverse route to the originator.
+        self.table.offer(
+            rreq.origin,
+            from,
+            rreq.hop_count + 1,
+            rreq.origin_seq,
+            self.cfg.active_route_timeout,
+            now,
+        );
+
+        if rreq.target == self.id {
+            // We are the destination: certify with our own sequence number
+            // (raised to at least the requested one, RFC 3561 §6.6.1).
+            if let Some(req_seq) = rreq.target_seq {
+                if crate::seq::seq_newer(req_seq, self.own_seq) {
+                    self.own_seq = req_seq;
+                }
+            }
+            self.send_rrep(rreq.origin, self.id, self.own_seq, 0, from, now, out);
+            return;
+        }
+
+        // Fresh-enough intermediate route?
+        if let Some(route) = self.table.lookup(rreq.target, now) {
+            let fresh_enough = match rreq.target_seq {
+                Some(want) => crate::seq::seq_at_least(route.dst_seq, want),
+                None => true,
+            };
+            if fresh_enough {
+                let (seq, hops) = (route.dst_seq, route.hop_count);
+                self.send_rrep(rreq.origin, rreq.target, seq, hops, from, now, out);
+                return;
+            }
+        }
+
+        // Rebroadcast the flood.
+        if packet.ttl <= 1 {
+            return;
+        }
+        packet.ttl -= 1;
+        packet.payload = Payload::Rreq(Rreq {
+            hop_count: rreq.hop_count + 1,
+            ..rreq
+        });
+        self.counters.rreq_forwarded += 1;
+        out.push(AodvAction::Transmit {
+            packet,
+            next_hop: NodeId::BROADCAST,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_rrep(
+        &mut self,
+        origin: NodeId,
+        target: NodeId,
+        target_seq: u32,
+        hop_count: u8,
+        toward: NodeId,
+        now: SimTime,
+        out: &mut Vec<AodvAction>,
+    ) {
+        let packet = Packet::control(
+            self.ctrl_packet_id(),
+            self.id,
+            origin,
+            now,
+            Payload::Rrep(Rrep {
+                origin,
+                target,
+                target_seq,
+                hop_count,
+            }),
+        );
+        self.counters.rrep_generated += 1;
+        out.push(AodvAction::Transmit {
+            packet,
+            next_hop: toward,
+        });
+        // Paper §III: sending an RREP resets the PCMAC tables toward the
+        // downstream terminal (a new session begins through it).
+        out.push(AodvAction::PeerReset { peer: toward });
+    }
+
+    fn handle_rrep(
+        &mut self,
+        packet: Packet,
+        rrep: Rrep,
+        from: NodeId,
+        now: SimTime,
+        out: &mut Vec<AodvAction>,
+    ) {
+        // Learn the forward route to the target.
+        self.table.offer(
+            rrep.target,
+            from,
+            rrep.hop_count + 1,
+            rrep.target_seq,
+            self.cfg.active_route_timeout,
+            now,
+        );
+
+        if rrep.origin == self.id {
+            // Our discovery completed.
+            if let Some(mut disc) = self.discoveries.remove(&rrep.target) {
+                disc.slot.cancel();
+            }
+            self.flush_buffer_for(rrep.target, now, out);
+            return;
+        }
+
+        // Forward along the reverse path.
+        if let Some(route) = self.table.lookup(rrep.origin, now) {
+            let next_hop = route.next_hop;
+            let mut fwd = packet;
+            if fwd.ttl <= 1 {
+                return;
+            }
+            fwd.ttl -= 1;
+            fwd.payload = Payload::Rrep(Rrep {
+                hop_count: rrep.hop_count + 1,
+                ..rrep
+            });
+            self.counters.rrep_forwarded += 1;
+            out.push(AodvAction::Transmit {
+                packet: fwd,
+                next_hop,
+            });
+            out.push(AodvAction::PeerReset { peer: next_hop });
+        }
+        // No reverse route: the RREP dies here (the originator will retry).
+    }
+
+    fn handle_rerr(&mut self, rerr: Rerr, from: NodeId, now: SimTime, out: &mut Vec<AodvAction>) {
+        // Paper §III: an RERR from a peer resets the PCMAC tables for it.
+        out.push(AodvAction::PeerReset { peer: from });
+        let mut forward = Vec::new();
+        for (dst, seq) in rerr.unreachable {
+            if let Some(pair) = self.table.invalidate_from_rerr(dst, seq, from) {
+                forward.push(pair);
+            }
+        }
+        if !forward.is_empty() {
+            self.emit_rerr(forward, now, out);
+        }
+    }
+
+    fn emit_rerr(
+        &mut self,
+        unreachable: Vec<(NodeId, u32)>,
+        now: SimTime,
+        out: &mut Vec<AodvAction>,
+    ) {
+        let mut packet = Packet::control(
+            self.ctrl_packet_id(),
+            self.id,
+            NodeId::BROADCAST,
+            now,
+            Payload::Rerr(Rerr { unreachable }),
+        );
+        packet.ttl = 1; // one-hop broadcast, receivers re-issue if needed
+        self.counters.rerr_sent += 1;
+        out.push(AodvAction::Transmit {
+            packet,
+            next_hop: NodeId::BROADCAST,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Link failure (from the MAC)
+    // ------------------------------------------------------------------
+
+    /// The MAC exhausted its retries toward `next_hop` while carrying
+    /// `packet`.
+    pub fn on_link_failure(
+        &mut self,
+        packet: Packet,
+        next_hop: NodeId,
+        now: SimTime,
+        out: &mut Vec<AodvAction>,
+    ) {
+        let dead = self.table.invalidate_via(next_hop);
+        if !dead.is_empty() {
+            self.emit_rerr(dead, now, out);
+        }
+        if packet.is_routing() {
+            return; // control packets are not salvaged
+        }
+        if packet.src == self.id {
+            // We originated it: try a fresh discovery.
+            self.buffer_and_discover(packet, now, out);
+        } else {
+            self.counters.drops += 1;
+            out.push(AodvAction::Drop {
+                packet,
+                reason: DropReason::NoRoute,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer plumbing
+    // ------------------------------------------------------------------
+
+    fn flush_buffer_for(&mut self, dst: NodeId, now: SimTime, out: &mut Vec<AodvAction>) {
+        let mut kept = VecDeque::new();
+        while let Some((p, t0)) = self.buffer.pop_front() {
+            if p.dst != dst {
+                kept.push_back((p, t0));
+                continue;
+            }
+            if now.saturating_since(t0) > self.cfg.buffer_timeout {
+                self.counters.drops += 1;
+                out.push(AodvAction::Drop {
+                    packet: p,
+                    reason: DropReason::BufferTimeout,
+                });
+                continue;
+            }
+            if let Some(route) = self.table.lookup(dst, now) {
+                let next_hop = route.next_hop;
+                out.push(AodvAction::Transmit {
+                    packet: p,
+                    next_hop,
+                });
+            } else {
+                kept.push_back((p, t0));
+            }
+        }
+        self.buffer = kept;
+    }
+
+    fn purge_buffer(&mut self, now: SimTime, out: &mut Vec<AodvAction>) {
+        let timeout = self.cfg.buffer_timeout;
+        let mut kept = VecDeque::new();
+        while let Some((p, t0)) = self.buffer.pop_front() {
+            if now.saturating_since(t0) > timeout {
+                self.counters.drops += 1;
+                out.push(AodvAction::Drop {
+                    packet: p,
+                    reason: DropReason::BufferTimeout,
+                });
+            } else {
+                kept.push_back((p, t0));
+            }
+        }
+        self.buffer = kept;
+    }
+
+    fn purge_rreq_cache(&mut self, now: SimTime) {
+        let timeout = self.cfg.rreq_cache_timeout;
+        self.rreq_cache
+            .retain(|_, t0| now.saturating_since(*t0) <= timeout);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pcmac-aodv — Ad hoc On-demand Distance Vector routing
+//!
+//! The routing substrate the paper runs above its MAC variants
+//! ("routing protocol: AODV, which has been implemented into NS-2").
+//! A from-scratch implementation of the protocol's on-demand core:
+//!
+//! * **Route discovery** — RREQ flooding with duplicate suppression,
+//!   reverse-route learning, destination (and fresh-intermediate) RREPs
+//!   unicast back along the reverse path.
+//! * **Route maintenance** — MAC-layer link-failure feedback invalidates
+//!   routes and propagates RERRs; destination sequence numbers enforce
+//!   loop freedom.
+//! * **Send buffering** — packets wait (bounded, with timeout) while their
+//!   discovery runs, then flush in order.
+//!
+//! Like the MAC, the agent is a pure state machine emitting
+//! [`AodvAction`]s; the simulation core owns delivery and timers. Hello
+//! beacons are omitted: link breakage detection comes from the MAC's
+//! retry-exhaustion callback, matching the CMU/ns-2 configuration the
+//! paper used (link-layer detection, no periodic hellos).
+//!
+//! The `PeerReset` action surfaces the paper's PCMAC coupling: "every time
+//! a terminal successfully sends a RREP to a downstream terminal, its
+//! received-table as to this downstream terminal is reset […] when a
+//! terminal receives a RRER from an upstream terminal, its received-table
+//! as to this upstream terminal is also reset" (§III). The core forwards
+//! it to the MAC's `reset_peer_state`.
+
+pub mod agent;
+pub mod config;
+pub mod seq;
+pub mod table;
+
+pub use agent::{AodvAction, AodvAgent, AodvTimer, DropReason};
+pub use config::AodvConfig;
+pub use seq::seq_newer;
+pub use table::{Route, RouteTable};

@@ -1,0 +1,50 @@
+//! Sequence-number arithmetic.
+//!
+//! AODV sequence numbers are unsigned 32-bit counters compared with signed
+//! rollover semantics (RFC 3561 §6.1): `a` is newer than `b` iff the
+//! signed difference `a − b` is positive. This keeps comparisons correct
+//! across wraparound — essential for loop freedom in long runs.
+
+/// `true` iff sequence number `a` is strictly newer than `b`.
+#[inline]
+pub fn seq_newer(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) > 0
+}
+
+/// `true` iff `a` is at least as new as `b`.
+#[inline]
+pub fn seq_at_least(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) >= 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ordering() {
+        assert!(seq_newer(2, 1));
+        assert!(!seq_newer(1, 2));
+        assert!(!seq_newer(5, 5));
+        assert!(seq_at_least(5, 5));
+        assert!(seq_at_least(6, 5));
+        assert!(!seq_at_least(4, 5));
+    }
+
+    #[test]
+    fn wraparound_is_handled() {
+        // u32::MAX + 1 wraps to 0: 0 is newer than u32::MAX.
+        assert!(seq_newer(0, u32::MAX));
+        assert!(!seq_newer(u32::MAX, 0));
+        // A half-range apart is the ambiguity boundary; just under it the
+        // larger number wins.
+        assert!(seq_newer(1 << 30, 0));
+    }
+
+    #[test]
+    fn antisymmetric() {
+        for (a, b) in [(0u32, 1u32), (100, 4_000_000_000), (7, 7)] {
+            assert!(!(seq_newer(a, b) && seq_newer(b, a)));
+        }
+    }
+}

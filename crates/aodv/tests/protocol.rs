@@ -1,0 +1,541 @@
+//! Behavioural tests of the AODV agent, scripted the same way as the MAC
+//! tests: feed packets and timers, assert on actions.
+
+use pcmac_aodv::{AodvAction, AodvAgent, AodvConfig, DropReason};
+use pcmac_engine::{Duration, FlowId, NodeId, PacketId, SimTime, TimerToken};
+use pcmac_net::{Packet, Payload, Rerr, Rrep, Rreq};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + Duration::from_millis(ms)
+}
+
+fn agent(id: u32) -> AodvAgent {
+    AodvAgent::new(NodeId(id), AodvConfig::default())
+}
+
+fn data(n: u64, src: u32, dst: u32) -> Packet {
+    Packet::data(
+        PacketId(n),
+        FlowId(0),
+        NodeId(src),
+        NodeId(dst),
+        512,
+        SimTime::ZERO,
+    )
+}
+
+fn transmits(out: &[AodvAction]) -> Vec<(&Packet, NodeId)> {
+    out.iter()
+        .filter_map(|a| match a {
+            AodvAction::Transmit { packet, next_hop } => Some((packet, *next_hop)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn armed(out: &[AodvAction]) -> Option<(NodeId, TimerToken)> {
+    out.iter().find_map(|a| match a {
+        AodvAction::Arm { dst, token, .. } => Some((*dst, *token)),
+        _ => None,
+    })
+}
+
+#[test]
+fn send_without_route_floods_rreq() {
+    let mut a = agent(1);
+    let mut out = Vec::new();
+    a.send(data(1, 1, 5), t(0), &mut out);
+    let txs = transmits(&out);
+    assert_eq!(txs.len(), 1);
+    let (p, hop) = txs[0];
+    assert!(hop.is_broadcast());
+    match &p.payload {
+        Payload::Rreq(r) => {
+            assert_eq!(r.origin, NodeId(1));
+            assert_eq!(r.target, NodeId(5));
+            assert_eq!(r.hop_count, 0);
+        }
+        other => panic!("expected RREQ, got {other:?}"),
+    }
+    assert!(armed(&out).is_some(), "discovery timer armed");
+}
+
+#[test]
+fn second_packet_same_destination_reuses_discovery() {
+    let mut a = agent(1);
+    let mut out = Vec::new();
+    a.send(data(1, 1, 5), t(0), &mut out);
+    out.clear();
+    a.send(data(2, 1, 5), t(10), &mut out);
+    assert!(transmits(&out).is_empty(), "no duplicate flood");
+}
+
+#[test]
+fn destination_replies_with_rrep_and_peer_reset() {
+    let mut a = agent(5);
+    let mut out = Vec::new();
+    let mut rreq = Packet::control(
+        PacketId(100),
+        NodeId(1),
+        NodeId::BROADCAST,
+        t(0),
+        Payload::Rreq(Rreq {
+            rreq_id: 1,
+            origin: NodeId(1),
+            origin_seq: 3,
+            target: NodeId(5),
+            target_seq: None,
+            hop_count: 1, // one hop already travelled
+        }),
+    );
+    rreq.ttl = 30;
+    a.on_packet(rreq, NodeId(3), t(1), &mut out);
+    let txs = transmits(&out);
+    assert_eq!(txs.len(), 1);
+    let (p, hop) = txs[0];
+    assert_eq!(hop, NodeId(3), "RREP unicast to the previous hop");
+    match &p.payload {
+        Payload::Rrep(r) => {
+            assert_eq!(r.origin, NodeId(1));
+            assert_eq!(r.target, NodeId(5));
+            assert_eq!(r.hop_count, 0);
+        }
+        other => panic!("expected RREP, got {other:?}"),
+    }
+    assert!(
+        out.iter()
+            .any(|x| matches!(x, AodvAction::PeerReset { peer } if *peer == NodeId(3))),
+        "PCMAC table reset toward the downstream peer"
+    );
+    // Reverse route to the originator was learned.
+    let r = a.table().lookup(NodeId(1), t(2)).expect("reverse route");
+    assert_eq!(r.next_hop, NodeId(3));
+    assert_eq!(r.hop_count, 2);
+}
+
+#[test]
+fn intermediate_rebroadcasts_rreq_with_incremented_hops() {
+    let mut a = agent(3);
+    let mut out = Vec::new();
+    let mut rreq = Packet::control(
+        PacketId(100),
+        NodeId(1),
+        NodeId::BROADCAST,
+        t(0),
+        Payload::Rreq(Rreq {
+            rreq_id: 1,
+            origin: NodeId(1),
+            origin_seq: 3,
+            target: NodeId(5),
+            target_seq: None,
+            hop_count: 0,
+        }),
+    );
+    rreq.ttl = 30;
+    a.on_packet(rreq.clone(), NodeId(1), t(1), &mut out);
+    let txs = transmits(&out);
+    assert_eq!(txs.len(), 1);
+    assert!(txs[0].1.is_broadcast());
+    match &txs[0].0.payload {
+        Payload::Rreq(r) => assert_eq!(r.hop_count, 1),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(txs[0].0.ttl, 29, "TTL decremented");
+
+    // The same flood again is suppressed.
+    out.clear();
+    a.on_packet(rreq, NodeId(2), t(2), &mut out);
+    assert!(transmits(&out).is_empty(), "duplicate flood suppressed");
+}
+
+#[test]
+fn rrep_completes_discovery_and_flushes_buffer() {
+    let mut a = agent(1);
+    let mut out = Vec::new();
+    a.send(data(1, 1, 5), t(0), &mut out);
+    a.send(data(2, 1, 5), t(1), &mut out);
+    out.clear();
+
+    let rrep = Packet::control(
+        PacketId(200),
+        NodeId(3),
+        NodeId(1),
+        t(5),
+        Payload::Rrep(Rrep {
+            origin: NodeId(1),
+            target: NodeId(5),
+            target_seq: 7,
+            hop_count: 1,
+        }),
+    );
+    a.on_packet(rrep, NodeId(3), t(5), &mut out);
+    let txs = transmits(&out);
+    assert_eq!(txs.len(), 2, "both buffered packets flushed: {out:?}");
+    assert!(txs.iter().all(|(_, hop)| *hop == NodeId(3)));
+    assert_eq!(txs[0].0.id, PacketId(1), "FIFO order preserved");
+    assert_eq!(txs[1].0.id, PacketId(2));
+    // Route installed: 2 hops via 3.
+    let r = a.table().lookup(NodeId(5), t(6)).unwrap();
+    assert_eq!((r.next_hop, r.hop_count, r.dst_seq), (NodeId(3), 2, 7));
+}
+
+#[test]
+fn intermediate_forwards_rrep_along_reverse_path() {
+    let mut a = agent(3);
+    let mut out = Vec::new();
+    // Build the reverse route with the flood.
+    let mut rreq = Packet::control(
+        PacketId(100),
+        NodeId(1),
+        NodeId::BROADCAST,
+        t(0),
+        Payload::Rreq(Rreq {
+            rreq_id: 1,
+            origin: NodeId(1),
+            origin_seq: 3,
+            target: NodeId(5),
+            target_seq: None,
+            hop_count: 0,
+        }),
+    );
+    rreq.ttl = 30;
+    a.on_packet(rreq, NodeId(1), t(1), &mut out);
+    out.clear();
+
+    // The RREP comes back from node 5.
+    let rrep = Packet::control(
+        PacketId(200),
+        NodeId(5),
+        NodeId(1),
+        t(5),
+        Payload::Rrep(Rrep {
+            origin: NodeId(1),
+            target: NodeId(5),
+            target_seq: 7,
+            hop_count: 0,
+        }),
+    );
+    a.on_packet(rrep, NodeId(5), t(5), &mut out);
+    let txs = transmits(&out);
+    assert_eq!(txs.len(), 1);
+    assert_eq!(txs[0].1, NodeId(1), "forwarded toward the originator");
+    match &txs[0].0.payload {
+        Payload::Rrep(r) => assert_eq!(r.hop_count, 1),
+        other => panic!("{other:?}"),
+    }
+    // Forward route to 5 learned as 1 hop.
+    assert_eq!(a.table().lookup(NodeId(5), t(6)).unwrap().hop_count, 1);
+}
+
+#[test]
+fn data_forwards_along_route() {
+    let mut a = agent(3);
+    let mut out = Vec::new();
+    // Install a route to 5 via 4.
+    let rrep = Packet::control(
+        PacketId(200),
+        NodeId(4),
+        NodeId(3),
+        t(0),
+        Payload::Rrep(Rrep {
+            origin: NodeId(3),
+            target: NodeId(5),
+            target_seq: 7,
+            hop_count: 0,
+        }),
+    );
+    a.on_packet(rrep, NodeId(4), t(0), &mut out);
+    out.clear();
+
+    let mut pkt = data(9, 1, 5);
+    pkt.ttl = 10;
+    a.on_packet(pkt, NodeId(2), t(1), &mut out);
+    let txs = transmits(&out);
+    assert_eq!(txs.len(), 1);
+    assert_eq!(txs[0].1, NodeId(4));
+    assert_eq!(txs[0].0.ttl, 9);
+    assert_eq!(a.counters.data_forwarded, 1);
+}
+
+#[test]
+fn data_for_self_is_delivered() {
+    let mut a = agent(5);
+    let mut out = Vec::new();
+    a.on_packet(data(9, 1, 5), NodeId(4), t(1), &mut out);
+    assert!(out
+        .iter()
+        .any(|x| matches!(x, AodvAction::DeliverLocal { packet } if packet.id == PacketId(9))));
+    assert_eq!(a.counters.data_delivered, 1);
+}
+
+#[test]
+fn forwarding_without_route_emits_rerr_and_drop() {
+    let mut a = agent(3);
+    let mut out = Vec::new();
+    let mut pkt = data(9, 1, 5);
+    pkt.ttl = 10;
+    a.on_packet(pkt, NodeId(2), t(1), &mut out);
+    assert!(out.iter().any(|x| matches!(
+        x,
+        AodvAction::Drop {
+            reason: DropReason::NoRoute,
+            ..
+        }
+    )));
+    let txs = transmits(&out);
+    assert_eq!(txs.len(), 1);
+    match &txs[0].0.payload {
+        Payload::Rerr(e) => assert_eq!(e.unreachable[0].0, NodeId(5)),
+        other => panic!("expected RERR, got {other:?}"),
+    }
+}
+
+#[test]
+fn ttl_exhaustion_drops_instead_of_looping() {
+    let mut a = agent(3);
+    let mut out = Vec::new();
+    let mut pkt = data(9, 1, 5);
+    pkt.ttl = 1;
+    a.on_packet(pkt, NodeId(2), t(1), &mut out);
+    assert!(out.iter().any(|x| matches!(
+        x,
+        AodvAction::Drop {
+            reason: DropReason::TtlExpired,
+            ..
+        }
+    )));
+    assert!(transmits(&out).is_empty());
+}
+
+#[test]
+fn link_failure_invalidates_routes_and_rerrs() {
+    let mut a = agent(3);
+    let mut out = Vec::new();
+    // Routes to 5 and 6 via 4.
+    for (dst, seq) in [(5u32, 7u32), (6, 9)] {
+        let rrep = Packet::control(
+            PacketId(200 + dst as u64),
+            NodeId(4),
+            NodeId(3),
+            t(0),
+            Payload::Rrep(Rrep {
+                origin: NodeId(3),
+                target: NodeId(dst),
+                target_seq: seq,
+                hop_count: 0,
+            }),
+        );
+        a.on_packet(rrep, NodeId(4), t(0), &mut out);
+    }
+    out.clear();
+
+    // MAC reports the link to 4 broke while carrying a forwarded packet.
+    a.on_link_failure(data(9, 1, 5), NodeId(4), t(1), &mut out);
+    // Both routes through 4 die (5, 6, and the neighbour entry for 4).
+    assert!(a.table().lookup(NodeId(5), t(2)).is_none());
+    assert!(a.table().lookup(NodeId(6), t(2)).is_none());
+    let txs = transmits(&out);
+    let rerr = txs
+        .iter()
+        .find_map(|(p, _)| match &p.payload {
+            Payload::Rerr(e) => Some(e.clone()),
+            _ => None,
+        })
+        .expect("RERR broadcast");
+    let dsts: Vec<u32> = rerr.unreachable.iter().map(|(d, _)| d.0).collect();
+    assert!(dsts.contains(&5) && dsts.contains(&6));
+    // The forwarded packet is dropped (we are not its source).
+    assert!(out.iter().any(|x| matches!(
+        x,
+        AodvAction::Drop {
+            reason: DropReason::NoRoute,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn link_failure_at_source_rebuffers_and_rediscovers() {
+    let mut a = agent(1);
+    let mut out = Vec::new();
+    // Install a route to 5 via 3, then break it.
+    let rrep = Packet::control(
+        PacketId(200),
+        NodeId(3),
+        NodeId(1),
+        t(0),
+        Payload::Rrep(Rrep {
+            origin: NodeId(1),
+            target: NodeId(5),
+            target_seq: 7,
+            hop_count: 1,
+        }),
+    );
+    a.on_packet(rrep, NodeId(3), t(0), &mut out);
+    out.clear();
+    a.on_link_failure(data(9, 1, 5), NodeId(3), t(1), &mut out);
+    // A fresh RREQ goes out (we are the source, so we salvage).
+    assert!(transmits(&out)
+        .iter()
+        .any(|(p, _)| matches!(p.payload, Payload::Rreq(_))));
+}
+
+#[test]
+fn rerr_from_neighbor_cascades() {
+    let mut a = agent(2);
+    let mut out = Vec::new();
+    // Route to 5 via 3.
+    let rrep = Packet::control(
+        PacketId(200),
+        NodeId(3),
+        NodeId(2),
+        t(0),
+        Payload::Rrep(Rrep {
+            origin: NodeId(2),
+            target: NodeId(5),
+            target_seq: 7,
+            hop_count: 1,
+        }),
+    );
+    a.on_packet(rrep, NodeId(3), t(0), &mut out);
+    out.clear();
+
+    let rerr = Packet::control(
+        PacketId(300),
+        NodeId(3),
+        NodeId::BROADCAST,
+        t(1),
+        Payload::Rerr(Rerr {
+            unreachable: vec![(NodeId(5), 8)],
+        }),
+    );
+    a.on_packet(rerr, NodeId(3), t(1), &mut out);
+    assert!(
+        a.table().lookup(NodeId(5), t(2)).is_none(),
+        "route invalidated"
+    );
+    assert!(
+        transmits(&out)
+            .iter()
+            .any(|(p, _)| matches!(p.payload, Payload::Rerr(_))),
+        "cascaded RERR"
+    );
+    assert!(
+        out.iter()
+            .any(|x| matches!(x, AodvAction::PeerReset { peer } if *peer == NodeId(3))),
+        "PCMAC reset toward the RERR sender"
+    );
+}
+
+#[test]
+fn rerr_for_unrelated_next_hop_is_absorbed() {
+    let mut a = agent(2);
+    let mut out = Vec::new();
+    let rrep = Packet::control(
+        PacketId(200),
+        NodeId(3),
+        NodeId(2),
+        t(0),
+        Payload::Rrep(Rrep {
+            origin: NodeId(2),
+            target: NodeId(5),
+            target_seq: 7,
+            hop_count: 1,
+        }),
+    );
+    a.on_packet(rrep, NodeId(3), t(0), &mut out);
+    out.clear();
+    // RERR arrives from node 9, but our route to 5 goes via 3.
+    let rerr = Packet::control(
+        PacketId(300),
+        NodeId(9),
+        NodeId::BROADCAST,
+        t(1),
+        Payload::Rerr(Rerr {
+            unreachable: vec![(NodeId(5), 8)],
+        }),
+    );
+    a.on_packet(rerr, NodeId(9), t(1), &mut out);
+    assert!(
+        a.table().lookup(NodeId(5), t(2)).is_some(),
+        "route survives"
+    );
+    assert!(
+        !transmits(&out)
+            .iter()
+            .any(|(p, _)| matches!(p.payload, Payload::Rerr(_))),
+        "no cascade"
+    );
+}
+
+#[test]
+fn discovery_retries_then_gives_up() {
+    let mut a = agent(1);
+    let mut out = Vec::new();
+    a.send(data(1, 1, 5), t(0), &mut out);
+    let (_, tok) = armed(&out).unwrap();
+    let mut token = tok;
+    let mut now = t(1000);
+    // Default config: 3 retries after the initial attempt.
+    for retry in 0..3 {
+        out.clear();
+        a.on_discovery_timeout(NodeId(5), token, now, &mut out);
+        assert!(
+            transmits(&out)
+                .iter()
+                .any(|(p, _)| matches!(p.payload, Payload::Rreq(_))),
+            "retry {retry} resends the RREQ"
+        );
+        token = armed(&out).unwrap().1;
+        now += Duration::from_secs(4);
+    }
+    out.clear();
+    a.on_discovery_timeout(NodeId(5), token, now, &mut out);
+    assert!(
+        out.iter().any(|x| matches!(
+            x,
+            AodvAction::Drop {
+                reason: DropReason::NoRoute,
+                ..
+            }
+        )),
+        "buffered packet dropped after final retry: {out:?}"
+    );
+    assert_eq!(a.counters.discoveries_failed, 1);
+}
+
+#[test]
+fn stale_discovery_timer_is_ignored() {
+    let mut a = agent(1);
+    let mut out = Vec::new();
+    a.send(data(1, 1, 5), t(0), &mut out);
+    let (_, token) = armed(&out).unwrap();
+    out.clear();
+    // Discovery completes first.
+    let rrep = Packet::control(
+        PacketId(200),
+        NodeId(3),
+        NodeId(1),
+        t(5),
+        Payload::Rrep(Rrep {
+            origin: NodeId(1),
+            target: NodeId(5),
+            target_seq: 7,
+            hop_count: 1,
+        }),
+    );
+    a.on_packet(rrep, NodeId(3), t(5), &mut out);
+    out.clear();
+    a.on_discovery_timeout(NodeId(5), token, t(1000), &mut out);
+    assert!(out.is_empty(), "completed discovery ignores its old timer");
+}
+
+#[test]
+fn hearing_any_packet_learns_the_neighbor() {
+    let mut a = agent(2);
+    let mut out = Vec::new();
+    a.on_packet(data(9, 1, 2), NodeId(7), t(0), &mut out);
+    let r = a.table().lookup(NodeId(7), t(1)).expect("neighbor learned");
+    assert_eq!(r.next_hop, NodeId(7));
+    assert_eq!(r.hop_count, 1);
+}

@@ -1,0 +1,217 @@
+//! Property-based routing tests: run real discovery floods over random
+//! abstract topologies (no PHY — ideal message delivery between adjacent
+//! nodes) and check AODV's global invariants: discovery completes on
+//! connected graphs, installed routes are loop-free, and hop counts never
+//! beat the true shortest path.
+
+use std::collections::VecDeque;
+
+use pcmac_aodv::{AodvAction, AodvAgent, AodvConfig};
+use pcmac_engine::{Duration, FlowId, NodeId, PacketId, SimTime};
+use pcmac_net::Packet;
+use proptest::prelude::*;
+
+/// An ideal-medium mini-simulator: delivers Transmit actions instantly to
+/// adjacent nodes, in deterministic order.
+struct IdealNet {
+    agents: Vec<AodvAgent>,
+    adj: Vec<Vec<bool>>,
+    /// (packet, receiver, previous hop)
+    inbox: VecDeque<(Packet, NodeId, NodeId)>,
+    delivered_local: Vec<(NodeId, PacketId)>,
+}
+
+impl IdealNet {
+    fn new(n: usize, adj: Vec<Vec<bool>>) -> Self {
+        IdealNet {
+            agents: (0..n)
+                .map(|i| AodvAgent::new(NodeId(i as u32), AodvConfig::default()))
+                .collect(),
+            adj,
+            inbox: VecDeque::new(),
+            delivered_local: Vec::new(),
+        }
+    }
+
+    fn apply(&mut self, from: NodeId, actions: Vec<AodvAction>) {
+        for a in actions {
+            match a {
+                AodvAction::Transmit { packet, next_hop } => {
+                    if next_hop.is_broadcast() {
+                        for j in 0..self.agents.len() {
+                            if j != from.index() && self.adj[from.index()][j] {
+                                self.inbox
+                                    .push_back((packet.clone(), NodeId(j as u32), from));
+                            }
+                        }
+                    } else if self.adj[from.index()][next_hop.index()] {
+                        self.inbox.push_back((packet, next_hop, from));
+                    }
+                    // Unicast to a non-neighbour is silently lost (the
+                    // real MAC would fail and report; irrelevant here).
+                }
+                AodvAction::DeliverLocal { packet } => {
+                    self.delivered_local.push((from, packet.id));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn run_to_quiescence(&mut self, now: SimTime) {
+        let mut budget = 100_000; // safety valve against livelock
+        while let Some((packet, to, prev)) = self.inbox.pop_front() {
+            let mut out = Vec::new();
+            self.agents[to.index()].on_packet(packet, prev, now, &mut out);
+            self.apply(to, out);
+            budget -= 1;
+            assert!(budget > 0, "message storm never quiesced");
+        }
+    }
+
+    /// BFS hop distance in the raw graph.
+    fn bfs_dist(&self, from: usize, to: usize) -> Option<u32> {
+        let n = self.agents.len();
+        let mut dist = vec![None; n];
+        dist[from] = Some(0u32);
+        let mut q = VecDeque::from([from]);
+        while let Some(u) = q.pop_front() {
+            for v in 0..n {
+                if self.adj[u][v] && dist[v].is_none() {
+                    dist[v] = Some(dist[u].unwrap() + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist[to]
+    }
+
+    /// Follow next hops from `from` toward `to`; returns the path or
+    /// panics on a loop / dead end.
+    fn trace_route(&self, from: usize, to: usize, now: SimTime) -> Vec<usize> {
+        let mut path = vec![from];
+        let mut cur = from;
+        let mut visited = vec![false; self.agents.len()];
+        visited[from] = true;
+        while cur != to {
+            let route = self.agents[cur]
+                .table()
+                .lookup(NodeId(to as u32), now)
+                .unwrap_or_else(|| panic!("node {cur} lost the route to {to}"));
+            let nxt = route.next_hop.index();
+            assert!(
+                self.adj[cur][nxt],
+                "route at {cur} points to non-neighbour {nxt}"
+            );
+            assert!(!visited[nxt], "routing loop through {nxt}: {path:?}");
+            visited[nxt] = true;
+            path.push(nxt);
+            cur = nxt;
+        }
+        path
+    }
+}
+
+/// Random connected graph: a random spanning tree plus extra edges.
+fn connected_graph(n: usize, extra: &[(usize, usize)], tree_perm: &[usize]) -> Vec<Vec<bool>> {
+    let mut adj = vec![vec![false; n]; n];
+    // Spanning tree over the permutation order.
+    for w in 1..n {
+        let parent = tree_perm[w % tree_perm.len()] % w;
+        let a = w;
+        adj[a][parent] = true;
+        adj[parent][a] = true;
+    }
+    for &(a, b) in extra {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            adj[a][b] = true;
+            adj[b][a] = true;
+        }
+    }
+    adj
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On any connected topology, a discovery from `src` to `dst`
+    /// completes, the data packet arrives, and the installed route is
+    /// loop-free with hop count ≥ the BFS distance.
+    #[test]
+    fn discovery_completes_loop_free(
+        n in 3usize..12,
+        tree_perm in proptest::collection::vec(0usize..100, 4..12),
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..8),
+        src_raw in 0usize..12,
+        dst_raw in 0usize..12,
+    ) {
+        let src = src_raw % n;
+        let dst = dst_raw % n;
+        prop_assume!(src != dst);
+
+        let adj = connected_graph(n, &extra, &tree_perm);
+        let mut net = IdealNet::new(n, adj);
+        let now = SimTime::ZERO + Duration::from_millis(1);
+
+        let pkt = Packet::data(
+            PacketId(777),
+            FlowId(0),
+            NodeId(src as u32),
+            NodeId(dst as u32),
+            512,
+            now,
+        );
+        let mut out = Vec::new();
+        net.agents[src].send(pkt, now, &mut out);
+        net.apply(NodeId(src as u32), out);
+        net.run_to_quiescence(now);
+
+        // The data packet reached its destination.
+        prop_assert!(
+            net.delivered_local.contains(&(NodeId(dst as u32), PacketId(777))),
+            "packet never delivered over {n} nodes"
+        );
+
+        // The source's route is installed, loop-free, and no shorter than
+        // physically possible.
+        let path = net.trace_route(src, dst, now);
+        let bfs = net.bfs_dist(src, dst).expect("graph is connected") as usize;
+        prop_assert!(path.len() > bfs, "route shorter than BFS distance?!");
+        // AODV routes may be longer than shortest but must stay bounded.
+        prop_assert!(path.len() - 1 <= n, "route longer than node count");
+    }
+
+    /// Every intermediate node along the discovered route also holds a
+    /// consistent (loop-free) route to the destination.
+    #[test]
+    fn intermediate_routes_consistent(
+        n in 3usize..10,
+        tree_perm in proptest::collection::vec(0usize..100, 4..10),
+        extra in proptest::collection::vec((0usize..10, 0usize..10), 0..6),
+    ) {
+        let src = 0usize;
+        let dst = n - 1;
+        let adj = connected_graph(n, &extra, &tree_perm);
+        let mut net = IdealNet::new(n, adj);
+        let now = SimTime::ZERO + Duration::from_millis(1);
+        let pkt = Packet::data(
+            PacketId(1),
+            FlowId(0),
+            NodeId(src as u32),
+            NodeId(dst as u32),
+            512,
+            now,
+        );
+        let mut out = Vec::new();
+        net.agents[src].send(pkt, now, &mut out);
+        net.apply(NodeId(src as u32), out);
+        net.run_to_quiescence(now);
+
+        let path = net.trace_route(src, dst, now);
+        for &hop in &path[..path.len() - 1] {
+            // trace_route itself asserts loop-freedom from each point.
+            let _ = net.trace_route(hop, dst, now);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Criterion wrappers for the figure workloads.
+//!
+//! `cargo bench` must exercise every figure target, so these run a
+//! *reduced* version of each figure's simulation (8 nodes, short
+//! duration) per iteration and report its wall cost. The full-fidelity
+//! regeneration lives in the `fig8_throughput` / `fig9_delay` binaries;
+//! these benches keep the figure pipelines compiling, running, and
+//! performance-tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pcmac::{FlowShape, FlowSpec, NodeSetup};
+use pcmac::{ScenarioConfig, Simulator, Variant};
+use pcmac_engine::FlowId;
+use pcmac_engine::{Duration, Milliwatts, NodeId, Point, SimTime};
+
+/// A small but non-trivial multi-hop scenario: 8 static nodes on a 150 m
+/// grid with two crossing flows, `load_kbps` aggregate.
+fn mini_scenario(variant: Variant, load_kbps: f64, seed: u64) -> ScenarioConfig {
+    let duration = Duration::from_secs(5);
+    let mut cfg = ScenarioConfig::two_nodes(variant, 80.0, 1000.0, seed);
+    cfg.name = format!("mini-{}-{load_kbps}", variant.name());
+    cfg.nodes = NodeSetup::Static(
+        (0..8)
+            .map(|i| {
+                Point::new(
+                    100.0 + 150.0 * (i % 4) as f64,
+                    100.0 + 150.0 * (i / 4) as f64,
+                )
+            })
+            .collect(),
+    );
+    let per_flow = load_kbps * 1000.0 / 2.0;
+    cfg.flows = vec![
+        FlowSpec {
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(3),
+            bytes: 512,
+            rate_bps: per_flow,
+            start: SimTime::ZERO + Duration::from_millis(100),
+            stop: SimTime::ZERO + duration,
+            shape: FlowShape::Cbr,
+        },
+        FlowSpec {
+            flow: FlowId(1),
+            src: NodeId(4),
+            dst: NodeId(7),
+            bytes: 512,
+            rate_bps: per_flow,
+            start: SimTime::ZERO + Duration::from_millis(150),
+            stop: SimTime::ZERO + duration,
+            shape: FlowShape::Cbr,
+        },
+    ];
+    cfg.radio.capture_policy = pcmac_phy::CapturePolicy::StartOnly;
+    let _ = Milliwatts(0.0);
+    cfg.with_duration(duration)
+}
+
+/// Figure 8 workload (throughput axis): one load point per protocol.
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_throughput_mini");
+    g.sample_size(10);
+    for v in Variant::ALL {
+        g.bench_function(v.name().replace(' ', "_"), |b| {
+            b.iter(|| {
+                let r = Simulator::new(mini_scenario(v, 400.0, 1)).run();
+                black_box(r.throughput_kbps)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9 workload (delay axis): the same runs read the delay metric.
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_delay_mini");
+    g.sample_size(10);
+    for v in Variant::ALL {
+        g.bench_function(v.name().replace(' ', "_"), |b| {
+            b.iter(|| {
+                let r = Simulator::new(mini_scenario(v, 400.0, 1)).run();
+                black_box(r.mean_delay_ms)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The §IV power-level table computation.
+fn bench_table(c: &mut Criterion) {
+    use pcmac_phy::{PowerLevels, Propagation, TwoRayGround};
+    c.bench_function("table_power_levels", |b| {
+        let model = TwoRayGround::ns2_default();
+        let levels = PowerLevels::paper_defaults();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &p in levels.all() {
+                acc += model.range_for(p, Milliwatts(3.652e-7));
+                acc += model.range_for(p, Milliwatts(1.559e-8));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(figures, bench_fig8, bench_fig9, bench_table);
+criterion_main!(figures);

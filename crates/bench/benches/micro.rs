@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the hot paths of the simulator: event
+//! queue churn, propagation math, radio bookkeeping, backoff draws, and a
+//! full small simulation as an end-to-end cost anchor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pcmac::{ScenarioConfig, Simulator, Variant};
+use pcmac_engine::{Duration, EventQueue, Milliwatts, Point, RngStream, SimTime};
+use pcmac_phy::{Propagation, Radio, RadioConfig, TwoRayGround};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine/queue_push_pop_10k", |b| {
+        let mut rng = RngStream::derive(1, "bench.queue");
+        b.iter_batched(
+            || {
+                (0..10_000u64)
+                    .map(|_| SimTime::from_nanos(rng.below(1 << 40)))
+                    .collect::<Vec<_>>()
+            },
+            |times| {
+                let mut q: EventQueue<u64> = EventQueue::with_capacity(10_000);
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule_at(*t, i as u64);
+                }
+                let mut acc = 0u64;
+                while let Some(e) = q.pop() {
+                    acc = acc.wrapping_add(e.event);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let model = TwoRayGround::ns2_default();
+    let a = Point::new(12.0, 400.0);
+    c.bench_function("phy/two_ray_gain_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in 1..1000 {
+                let p = Point::new(12.0 + d as f64, 400.0);
+                acc += model.gain(black_box(a), black_box(p));
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("phy/range_for", |b| {
+        b.iter(|| {
+            black_box(model.range_for(
+                black_box(Milliwatts(281.83815)),
+                black_box(Milliwatts(3.652e-7)),
+            ))
+        });
+    });
+}
+
+fn bench_radio(c: &mut Criterion) {
+    c.bench_function("phy/radio_50_arrivals", |b| {
+        b.iter_batched(
+            || Radio::<u32>::new(RadioConfig::ns2_default()),
+            |mut radio| {
+                let mut out = Vec::new();
+                for k in 0..50u64 {
+                    radio.on_arrival_start(
+                        k,
+                        Milliwatts(1e-6 * (k + 1) as f64),
+                        SimTime::MAX,
+                        &0,
+                        &mut out,
+                    );
+                }
+                for k in 0..50u64 {
+                    radio.on_arrival_end(k, &mut out);
+                }
+                black_box(out.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_backoff(c: &mut Criterion) {
+    use pcmac_mac::backoff::Backoff;
+    c.bench_function("mac/backoff_grow_draw_cycle", |b| {
+        let mut rng = RngStream::derive(7, "bench.backoff");
+        b.iter(|| {
+            let mut bo = Backoff::new(31, 1023);
+            for _ in 0..7 {
+                bo.grow();
+                bo.draw(&mut rng);
+            }
+            black_box(bo.slots())
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // A complete small simulation: the end-to-end cost anchor. Two nodes,
+    // 1 second of 200 kbps CBR under PCMAC (~1000 events).
+    c.bench_function("sim/two_node_pcmac_1s", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::two_nodes(Variant::Pcmac, 80.0, 200_000.0, 42)
+                .with_duration(Duration::from_secs(1));
+            let report = Simulator::new(cfg).run();
+            black_box(report.delivered_packets)
+        });
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_propagation, bench_radio, bench_backoff, bench_end_to_end
+);
+criterion_main!(micro);

@@ -1,0 +1,156 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Four sweeps, each on the paper's 50-node scenario at a saturating
+//! offered load (default 800 kbps):
+//!
+//! 1. **safety factor** — the paper's 0.7 redundancy coefficient on the
+//!    advertised noise tolerance, swept over {0.5, 0.7, 0.9, 1.0}.
+//! 2. **control channel bandwidth** — {100, 250, 500, 1000} kbps (the
+//!    paper uses 500).
+//! 3. **capture policy** — ns-2's pairwise start-only model vs the
+//!    stricter cumulative-SINR model, all four protocols.
+//! 4. **handshake arity** — PCMAC with the three-way handshake (paper)
+//!    vs keeping the ACK.
+//!
+//! ```text
+//! cargo run -p pcmac-bench --release --bin ablations [-- --secs N] [--load L] [--seed S]
+//! ```
+
+use pcmac::{run_parallel, ScenarioConfig, Variant};
+use pcmac_engine::Duration;
+use pcmac_phy::CapturePolicy;
+use pcmac_stats::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grab = |flag: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let secs = grab("--secs", 60.0) as u64;
+    let load = grab("--load", 800.0);
+    let seed = grab("--seed", 1.0) as u64;
+    let base = || {
+        ScenarioConfig::paper(Variant::Pcmac, load, seed).with_duration(Duration::from_secs(secs))
+    };
+
+    // ------------------------------------------------------------------
+    println!("== Ablation 1: PCMAC safety factor (paper: 0.7) ==");
+    println!("   load {load:.0} kbps, {secs} s, seed {seed}\n");
+    let factors = [0.5, 0.7, 0.9, 1.0];
+    let scenarios: Vec<_> = factors
+        .iter()
+        .map(|&f| {
+            let mut c = base();
+            c.name = format!("safety-{f}");
+            c.mac.pcmac.safety_factor = f;
+            c
+        })
+        .collect();
+    let reports = run_parallel(scenarios, 0);
+    let mut t = Table::new(&[
+        "factor",
+        "thpt kbps",
+        "delay ms",
+        "pdr %",
+        "deferrals",
+        "rxErr",
+    ]);
+    for (f, r) in factors.iter().zip(&reports) {
+        t.row(&[
+            format!("{f}"),
+            format!("{:.1}", r.throughput_kbps),
+            format!("{:.1}", r.mean_delay_ms),
+            format!("{:.1}", r.pdr() * 100.0),
+            format!("{}", r.mac.ctrl_deferrals),
+            format!("{}", r.mac.rx_errors),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ------------------------------------------------------------------
+    println!("== Ablation 2: control channel bandwidth (paper: 500 kbps) ==\n");
+    let rates = [100_000u64, 250_000, 500_000, 1_000_000];
+    let scenarios: Vec<_> = rates
+        .iter()
+        .map(|&bw| {
+            let mut c = base();
+            c.name = format!("ctrl-{}k", bw / 1000);
+            c.mac.pcmac.ctrl_rate_bps = bw;
+            c
+        })
+        .collect();
+    let reports = run_parallel(scenarios, 0);
+    let mut t = Table::new(&["ctrl kbps", "thpt kbps", "delay ms", "pdr %", "broadcasts"]);
+    for (bw, r) in rates.iter().zip(&reports) {
+        t.row(&[
+            format!("{}", bw / 1000),
+            format!("{:.1}", r.throughput_kbps),
+            format!("{:.1}", r.mean_delay_ms),
+            format!("{:.1}", r.pdr() * 100.0),
+            format!("{}", r.mac.ctrl_broadcasts),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ------------------------------------------------------------------
+    println!("== Ablation 3: capture policy (ns-2 start-only vs cumulative SINR) ==\n");
+    let mut scenarios = Vec::new();
+    for policy in [CapturePolicy::StartOnly, CapturePolicy::Continuous] {
+        for v in Variant::ALL {
+            let mut c =
+                ScenarioConfig::paper(v, load, seed).with_duration(Duration::from_secs(secs));
+            c.radio.capture_policy = policy;
+            c.name = format!("{policy:?}-{}", v.name());
+            scenarios.push(c);
+        }
+    }
+    let reports = run_parallel(scenarios, 0);
+    let mut t = Table::new(&["policy", "protocol", "thpt kbps", "delay ms", "rxErr"]);
+    for r in &reports {
+        let policy = if r.name.starts_with("StartOnly") {
+            "StartOnly"
+        } else {
+            "Continuous"
+        };
+        t.row(&[
+            policy.to_string(),
+            r.protocol.clone(),
+            format!("{:.1}", r.throughput_kbps),
+            format!("{:.1}", r.mean_delay_ms),
+            format!("{}", r.mac.rx_errors),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ------------------------------------------------------------------
+    println!("== Ablation 4: handshake arity (PCMAC 3-way vs keeping the ACK) ==\n");
+    let mut three = base();
+    three.name = "pcmac-3way".into();
+    let mut four = base();
+    four.name = "pcmac-4way".into();
+    four.mac.pcmac.four_way_handshake = true;
+    let reports = run_parallel(vec![three, four], 0);
+    let mut t = Table::new(&[
+        "handshake",
+        "thpt kbps",
+        "delay ms",
+        "pdr %",
+        "ackT/O",
+        "implicit retx",
+    ]);
+    for (name, r) in ["RTS-CTS-DATA", "RTS-CTS-DATA-ACK"].iter().zip(&reports) {
+        t.row(&[
+            name.to_string(),
+            format!("{:.1}", r.throughput_kbps),
+            format!("{:.1}", r.mean_delay_ms),
+            format!("{:.1}", r.pdr() * 100.0),
+            format!("{}", r.mac.ack_timeouts),
+            format!("{}", r.mac.implicit_retx),
+        ]);
+    }
+    println!("{}", t.render());
+}

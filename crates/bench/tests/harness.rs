@@ -1,0 +1,128 @@
+//! Tests for the figure harness itself: CLI parsing, sweep plumbing and
+//! the shape validators.
+
+use pcmac_bench::{check_figure8_shape, check_figure9_shape, Sweep};
+use pcmac_stats::Series;
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(|x| x.to_string()).collect()
+}
+
+#[test]
+fn default_sweep_matches_paper_axis() {
+    let s = Sweep::default();
+    assert_eq!(
+        s.loads,
+        vec![300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0]
+    );
+    assert_eq!(s.seeds, vec![1]);
+}
+
+#[test]
+fn cli_flags_parse() {
+    let s = Sweep::from_args(&args("--secs 30 --seeds 1,2,3 --loads 300,500 --threads 2"));
+    assert_eq!(s.secs, 30);
+    assert_eq!(s.seeds, vec![1, 2, 3]);
+    assert_eq!(s.loads, vec![300.0, 500.0]);
+    assert_eq!(s.threads, 2);
+}
+
+#[test]
+fn full_flag_selects_400s() {
+    let s = Sweep::from_args(&args("--full"));
+    assert_eq!(s.secs, 400);
+}
+
+#[test]
+fn unknown_flags_are_ignored() {
+    let s = Sweep::from_args(&args("--json out.jsonl --secs 12"));
+    assert_eq!(s.secs, 12);
+}
+
+fn mk_series(name: &str, points: &[(f64, f64)]) -> Series {
+    let mut s = Series::new(name);
+    for &(x, y) in points {
+        s.push(x, y);
+    }
+    s
+}
+
+#[test]
+fn figure8_check_accepts_paper_shape() {
+    // Approximate digitization of the paper's own Figure 8.
+    let series = vec![
+        mk_series(
+            "Basic 802.11",
+            &[(300.0, 360.0), (650.0, 500.0), (1000.0, 545.0)],
+        ),
+        mk_series("PCMAC", &[(300.0, 362.0), (650.0, 530.0), (1000.0, 595.0)]),
+        mk_series(
+            "Scheme 1",
+            &[(300.0, 355.0), (650.0, 470.0), (1000.0, 520.0)],
+        ),
+        mk_series(
+            "Scheme 2",
+            &[(300.0, 350.0), (650.0, 450.0), (1000.0, 495.0)],
+        ),
+    ];
+    assert!(check_figure8_shape(&series).is_ok());
+}
+
+#[test]
+fn figure8_check_rejects_pcmac_losing() {
+    let series = vec![
+        mk_series("Basic 802.11", &[(300.0, 360.0), (1000.0, 600.0)]),
+        mk_series("PCMAC", &[(300.0, 362.0), (1000.0, 500.0)]),
+        mk_series("Scheme 1", &[(300.0, 355.0), (1000.0, 520.0)]),
+        mk_series("Scheme 2", &[(300.0, 350.0), (1000.0, 495.0)]),
+    ];
+    assert!(check_figure8_shape(&series).is_err());
+}
+
+#[test]
+fn figure9_check_accepts_paper_shape() {
+    let series = vec![
+        mk_series("Basic 802.11", &[(300.0, 50.0), (1000.0, 1100.0)]),
+        mk_series("PCMAC", &[(300.0, 40.0), (1000.0, 800.0)]),
+        mk_series("Scheme 1", &[(300.0, 80.0), (1000.0, 1200.0)]),
+        mk_series("Scheme 2", &[(300.0, 90.0), (1000.0, 1400.0)]),
+    ];
+    assert!(check_figure9_shape(&series).is_ok());
+}
+
+#[test]
+fn figure9_check_rejects_shrinking_delay() {
+    let series = vec![
+        mk_series("Basic 802.11", &[(300.0, 500.0), (1000.0, 100.0)]),
+        mk_series("PCMAC", &[(300.0, 40.0), (1000.0, 80.0)]),
+        mk_series("Scheme 1", &[(300.0, 80.0), (1000.0, 200.0)]),
+        mk_series("Scheme 2", &[(300.0, 90.0), (1000.0, 300.0)]),
+    ];
+    assert!(check_figure9_shape(&series).is_err());
+}
+
+#[test]
+fn tiny_sweep_runs_end_to_end() {
+    // Smallest possible real sweep through the whole pipeline.
+    let result = Sweep {
+        loads: vec![300.0],
+        secs: 4,
+        seeds: vec![1],
+        threads: 0,
+    }
+    .run();
+    assert_eq!(result.reports.len(), 4, "one run per protocol");
+    let thpt = result.throughput_series();
+    assert_eq!(thpt.len(), 4);
+    for s in &thpt {
+        assert_eq!(s.points.len(), 1);
+        assert!(s.points[0].1 > 0.0, "{} moved no data", s.name);
+    }
+    // JSON lines round-trip.
+    let json = result.to_json_lines();
+    assert_eq!(json.lines().count(), 4);
+    for line in json.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(v.get("throughput_kbps").is_some());
+    }
+}

@@ -1,0 +1,88 @@
+//! The simulation event vocabulary.
+
+use std::sync::Arc;
+
+use pcmac_engine::{Milliwatts, NodeId, SimTime, TimerToken};
+use pcmac_mac::{CtrlFrame, Frame, MacTimerKind};
+
+/// Everything that can be scheduled in the event queue. Events address a
+/// single node; cross-node effects only ever happen by scheduling more
+/// events (that is what the wireless channel *is*).
+#[derive(Debug, Clone)]
+pub enum SimEvent {
+    /// A frame starts arriving at `node` on the data channel.
+    ArrivalStart {
+        /// Receiver.
+        node: NodeId,
+        /// Unique transmission key (pairs with `ArrivalEnd`).
+        key: u64,
+        /// Received power after path loss.
+        power: Milliwatts,
+        /// When the arrival completes.
+        end: SimTime,
+        /// The frame (shared across all receivers of the transmission).
+        frame: Arc<Frame>,
+    },
+    /// The arrival keyed `key` finished at `node`.
+    ArrivalEnd {
+        /// Receiver.
+        node: NodeId,
+        /// Transmission key.
+        key: u64,
+    },
+    /// `node`'s own data-channel transmission finished.
+    TxEnd {
+        /// Transmitter.
+        node: NodeId,
+    },
+    /// A power-control broadcast starts arriving at `node` (PCMAC).
+    CtrlArrivalStart {
+        /// Receiver.
+        node: NodeId,
+        /// Transmission key.
+        key: u64,
+        /// Received power.
+        power: Milliwatts,
+        /// When the arrival completes.
+        end: SimTime,
+        /// The control frame.
+        frame: CtrlFrame,
+    },
+    /// Control-channel arrival end.
+    CtrlArrivalEnd {
+        /// Receiver.
+        node: NodeId,
+        /// Transmission key.
+        key: u64,
+    },
+    /// `node`'s control-channel broadcast finished.
+    CtrlTxEnd {
+        /// Transmitter.
+        node: NodeId,
+    },
+    /// A MAC timer fired.
+    MacTimer {
+        /// Owner.
+        node: NodeId,
+        /// Which logical timer.
+        kind: MacTimerKind,
+        /// Liveness token.
+        token: TimerToken,
+    },
+    /// An AODV discovery timer fired.
+    AodvTimer {
+        /// Owner.
+        node: NodeId,
+        /// Destination under discovery.
+        dst: NodeId,
+        /// Liveness token.
+        token: TimerToken,
+    },
+    /// A traffic source is due to emit.
+    TrafficEmit {
+        /// Source owner.
+        node: NodeId,
+        /// Index into the node's source list.
+        source: usize,
+    },
+}

@@ -1,0 +1,152 @@
+//! Per-node component assembly.
+
+use std::sync::Arc;
+
+use pcmac_aodv::{AodvAgent, AodvConfig};
+use pcmac_engine::{NodeId, Point, RngStream, SimTime};
+use pcmac_mac::{CtrlFrame, DcfMac, Frame, MacConfig};
+use pcmac_mobility::Mobility;
+use pcmac_phy::energy::EnergyModel;
+use pcmac_phy::radio::RadioConfig;
+use pcmac_phy::{EnergyMeter, Radio};
+use pcmac_traffic::{CbrSource, OnOffSource, PoissonSource, Sink, Source};
+
+use crate::config::{FlowShape, FlowSpec};
+
+/// A traffic source of any supported shape.
+#[derive(Debug)]
+pub enum TrafficSource {
+    /// Constant bit rate.
+    Cbr(CbrSource),
+    /// Poisson arrivals.
+    Poisson(PoissonSource),
+    /// Bursty on/off.
+    OnOff(OnOffSource),
+}
+
+impl TrafficSource {
+    /// Build from a flow specification.
+    pub fn from_spec(spec: &FlowSpec, seed: u64) -> Self {
+        match spec.shape {
+            FlowShape::Cbr => TrafficSource::Cbr(CbrSource::new(
+                spec.flow,
+                spec.src,
+                spec.dst,
+                spec.bytes,
+                spec.rate_bps,
+                spec.start,
+                spec.stop,
+            )),
+            FlowShape::Poisson => TrafficSource::Poisson(PoissonSource::new(
+                spec.flow,
+                spec.src,
+                spec.dst,
+                spec.bytes,
+                spec.rate_bps,
+                spec.start,
+                spec.stop,
+                RngStream::derive_sub(seed, "traffic.poisson", spec.flow.0 as u64),
+            )),
+            FlowShape::OnOff {
+                mean_on_s,
+                mean_off_s,
+            } => TrafficSource::OnOff(OnOffSource::new(
+                spec.flow,
+                spec.src,
+                spec.dst,
+                spec.bytes,
+                spec.rate_bps,
+                mean_on_s,
+                mean_off_s,
+                spec.start,
+                spec.stop,
+                RngStream::derive_sub(seed, "traffic.onoff", spec.flow.0 as u64),
+            )),
+        }
+    }
+
+    /// Next emission instant (`None` when the flow finished).
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        match self {
+            TrafficSource::Cbr(s) => s.next_time(),
+            TrafficSource::Poisson(s) => s.next_time(),
+            TrafficSource::OnOff(s) => s.next_time(),
+        }
+    }
+
+    /// Emit the packet due at `now`.
+    pub fn emit(&mut self, now: SimTime) -> pcmac_net::Packet {
+        match self {
+            TrafficSource::Cbr(s) => s.emit(now),
+            TrafficSource::Poisson(s) => s.emit(now),
+            TrafficSource::OnOff(s) => s.emit(now),
+        }
+    }
+
+    /// Packets emitted so far.
+    pub fn emitted(&self) -> u64 {
+        match self {
+            TrafficSource::Cbr(s) => s.emitted(),
+            TrafficSource::Poisson(s) => s.emitted(),
+            TrafficSource::OnOff(s) => s.emitted(),
+        }
+    }
+
+    /// The flow this source feeds.
+    pub fn flow(&self) -> pcmac_engine::FlowId {
+        match self {
+            TrafficSource::Cbr(s) => s.flow(),
+            TrafficSource::Poisson(s) => s.flow(),
+            TrafficSource::OnOff(s) => s.flow(),
+        }
+    }
+}
+
+/// One station: radios, MAC, routing, traffic endpoints, movement, meter.
+#[derive(Debug)]
+pub struct Node {
+    /// Station address.
+    pub id: NodeId,
+    /// Movement model.
+    pub mobility: Mobility,
+    /// Data-channel radio.
+    pub radio: Radio<Arc<Frame>>,
+    /// Power-control-channel radio (only exercised under PCMAC).
+    pub ctrl_radio: Radio<CtrlFrame>,
+    /// The MAC.
+    pub mac: DcfMac,
+    /// The routing agent.
+    pub aodv: AodvAgent,
+    /// Traffic sources homed on this node.
+    pub sources: Vec<TrafficSource>,
+    /// Delivery statistics for flows terminating here.
+    pub sink: Sink,
+    /// Energy bookkeeping.
+    pub energy: EnergyMeter,
+}
+
+impl Node {
+    /// Assemble a node.
+    pub fn new(
+        id: NodeId,
+        start_pos: Point,
+        mobility: Mobility,
+        radio_cfg: RadioConfig,
+        mac_cfg: MacConfig,
+        aodv_cfg: AodvConfig,
+        seed: u64,
+    ) -> Self {
+        let _ = start_pos; // position lives in `mobility`
+        Node {
+            id,
+            mobility,
+            radio: Radio::new(radio_cfg.clone()),
+            ctrl_radio: Radio::new(radio_cfg),
+            mac: DcfMac::new(id, mac_cfg, seed),
+            aodv: AodvAgent::new(id, aodv_cfg),
+            sources: Vec::new(),
+            sink: Sink::new(),
+            energy: EnergyMeter::new(EnergyModel::radiated_only(), SimTime::ZERO),
+        }
+    }
+}

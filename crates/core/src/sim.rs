@@ -1,0 +1,502 @@
+//! The simulator: event dispatch and the wireless channel.
+//!
+//! The channel is not an object — it is a *pattern*: when a node
+//! transmits, the simulator computes the received power at every other
+//! node from the propagation model and current positions, and schedules
+//! `ArrivalStart`/`ArrivalEnd` events after the speed-of-light delay.
+//! Each receiver's radio then decides locally what it heard. Arrivals
+//! weaker than the configured interference floor are culled (they cannot
+//! affect carrier sense or any plausible SINR).
+
+use std::sync::Arc;
+
+use pcmac_engine::{Duration, EventQueue, Milliwatts, NodeId, Point, RngStream, SimTime};
+use pcmac_mac::{CtrlFrame, Frame, MacAction};
+use pcmac_mobility::{placement, Mobility, RandomWaypoint};
+use pcmac_phy::energy::RadioMode;
+use pcmac_phy::radio::RadioEvent;
+use pcmac_phy::{Propagation, Shadowed, TwoRayGround};
+
+use crate::config::{NodeSetup, ScenarioConfig};
+use crate::event::SimEvent;
+use crate::node::{Node, TrafficSource};
+use crate::report::RunReport;
+
+/// Speed of light (m/s) for propagation delays.
+const C: f64 = 299_792_458.0;
+
+/// A configured, runnable simulation.
+pub struct Simulator {
+    cfg: ScenarioConfig,
+    queue: EventQueue<SimEvent>,
+    nodes: Vec<Node>,
+    positions: Vec<Point>,
+    positions_at: Option<SimTime>,
+    any_mobile: bool,
+    propagation: Box<dyn Propagation + Send>,
+    next_key: u64,
+    sent_packets: u64,
+}
+
+impl Simulator {
+    /// Build the network described by `cfg`.
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        let n = cfg.nodes.count();
+        let mut nodes = Vec::with_capacity(n);
+        let mut positions = Vec::with_capacity(n);
+        let mut any_mobile = false;
+
+        let starts: Vec<Point> = match &cfg.nodes {
+            NodeSetup::UniformWaypoint { count, .. } => {
+                let mut rng = RngStream::derive(cfg.seed, "scenario.placement");
+                placement::uniform(*count, cfg.field.0, cfg.field.1, &mut rng)
+            }
+            NodeSetup::Static(pts) => pts.clone(),
+        };
+
+        for (i, start) in starts.iter().enumerate() {
+            let mobility = match &cfg.nodes {
+                NodeSetup::UniformWaypoint { speed, pause, .. } => {
+                    any_mobile = true;
+                    Mobility::Waypoint(RandomWaypoint::new(
+                        *start,
+                        cfg.field.0,
+                        cfg.field.1,
+                        *speed,
+                        *pause,
+                        RngStream::derive_sub(cfg.seed, "mobility", i as u64),
+                    ))
+                }
+                NodeSetup::Static(_) => Mobility::Static(*start),
+            };
+            nodes.push(Node::new(
+                NodeId(i as u32),
+                *start,
+                mobility,
+                cfg.radio.clone(),
+                cfg.mac.clone(),
+                cfg.aodv.clone(),
+                cfg.seed,
+            ));
+            positions.push(*start);
+        }
+
+        // Attach traffic sources to their homes and schedule first
+        // emissions.
+        let mut queue = EventQueue::with_capacity(1 << 16);
+        for spec in &cfg.flows {
+            let home = spec.src.index();
+            assert!(home < nodes.len(), "flow source out of range");
+            let mut src = TrafficSource::from_spec(spec, cfg.seed);
+            if let Some(t0) = src.next_time() {
+                let source_idx = nodes[home].sources.len();
+                queue.schedule_at(
+                    t0,
+                    SimEvent::TrafficEmit {
+                        node: spec.src,
+                        source: source_idx,
+                    },
+                );
+            }
+            nodes[home].sources.push(src);
+        }
+
+        let propagation: Box<dyn Propagation + Send> = match cfg.shadowing {
+            Some(s) => Box::new(Shadowed::new(
+                TwoRayGround::ns2_default(),
+                s.sigma_db,
+                s.symmetric,
+                cfg.seed,
+            )),
+            None => Box::new(TwoRayGround::ns2_default()),
+        };
+        Simulator {
+            cfg,
+            queue,
+            nodes,
+            positions,
+            positions_at: None,
+            any_mobile,
+            propagation,
+            next_key: 0,
+            sent_packets: 0,
+        }
+    }
+
+    /// Run to the configured duration and produce the report.
+    pub fn run(self) -> RunReport {
+        self.run_with_observer(|_, _| {})
+    }
+
+    /// Like [`Simulator::run`], but calls `observer` with every event
+    /// just before it is dispatched — the hook for packet traces,
+    /// animations, or custom measurements. The observer sees events in
+    /// exact execution order.
+    pub fn run_with_observer(mut self, mut observer: impl FnMut(&SimEvent, SimTime)) -> RunReport {
+        let wall_start = std::time::Instant::now();
+        let end = SimTime::ZERO + self.cfg.duration;
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            observer(&ev.event, ev.at);
+            self.dispatch(ev.event, ev.at);
+        }
+        for node in &mut self.nodes {
+            node.energy.finish(end);
+        }
+        RunReport::build(
+            &self.cfg,
+            &self.nodes,
+            self.sent_packets,
+            self.queue.scheduled_total(),
+            wall_start.elapsed().as_secs_f64(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: SimEvent, now: SimTime) {
+        match ev {
+            SimEvent::ArrivalStart {
+                node,
+                key,
+                power,
+                end,
+                frame,
+            } => {
+                let mut rad = Vec::new();
+                self.nodes[node.index()]
+                    .radio
+                    .on_arrival_start(key, power, end, &frame, &mut rad);
+                self.forward_radio_events(node.index(), rad, now);
+            }
+            SimEvent::ArrivalEnd { node, key } => {
+                let mut rad = Vec::new();
+                self.nodes[node.index()].radio.on_arrival_end(key, &mut rad);
+                self.forward_radio_events(node.index(), rad, now);
+            }
+            SimEvent::TxEnd { node } => {
+                let i = node.index();
+                let mut rad = Vec::new();
+                self.nodes[i].radio.end_tx(&mut rad);
+                self.nodes[i]
+                    .energy
+                    .set_mode(now, RadioMode::Idle, Milliwatts::ZERO);
+                self.forward_radio_events(i, rad, now);
+                let mut acts = Vec::new();
+                self.nodes[i].mac.on_tx_end(now, &mut acts);
+                self.apply_mac_actions(i, acts, now);
+            }
+            SimEvent::CtrlArrivalStart {
+                node,
+                key,
+                power,
+                end,
+                frame,
+            } => {
+                let mut rad = Vec::new();
+                self.nodes[node.index()]
+                    .ctrl_radio
+                    .on_arrival_start(key, power, end, &frame, &mut rad);
+                self.forward_ctrl_events(node.index(), rad, now);
+            }
+            SimEvent::CtrlArrivalEnd { node, key } => {
+                let mut rad = Vec::new();
+                self.nodes[node.index()]
+                    .ctrl_radio
+                    .on_arrival_end(key, &mut rad);
+                self.forward_ctrl_events(node.index(), rad, now);
+            }
+            SimEvent::CtrlTxEnd { node } => {
+                let i = node.index();
+                let mut rad = Vec::new();
+                self.nodes[i].ctrl_radio.end_tx(&mut rad);
+                // The tolerance broadcast happens while the data radio is
+                // mid-reception; energy for it was accounted at start.
+                self.nodes[i].mac.on_ctrl_tx_end(now);
+            }
+            SimEvent::MacTimer { node, kind, token } => {
+                let i = node.index();
+                let mut acts = Vec::new();
+                self.nodes[i].mac.on_timer(kind, token, now, &mut acts);
+                self.apply_mac_actions(i, acts, now);
+            }
+            SimEvent::AodvTimer { node, dst, token } => {
+                let i = node.index();
+                let mut acts = Vec::new();
+                self.nodes[i]
+                    .aodv
+                    .on_discovery_timeout(dst, token, now, &mut acts);
+                self.apply_aodv_actions(i, acts, now);
+            }
+            SimEvent::TrafficEmit { node, source } => {
+                let i = node.index();
+                let (packet, next) = {
+                    let src = &mut self.nodes[i].sources[source];
+                    let packet = src.emit(now);
+                    (packet, src.next_time())
+                };
+                self.sent_packets += 1;
+                if let Some(t) = next {
+                    self.queue
+                        .schedule_at(t, SimEvent::TrafficEmit { node, source });
+                }
+                let mut acts = Vec::new();
+                self.nodes[i].aodv.send(packet, now, &mut acts);
+                self.apply_aodv_actions(i, acts, now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Radio event forwarding
+    // ------------------------------------------------------------------
+
+    fn forward_radio_events(
+        &mut self,
+        i: usize,
+        events: Vec<RadioEvent<Arc<Frame>>>,
+        now: SimTime,
+    ) {
+        for ev in events {
+            let mut acts = Vec::new();
+            {
+                let node = &mut self.nodes[i];
+                let noise = node.radio.noise_power();
+                node.mac.set_noise(noise);
+                match ev {
+                    RadioEvent::CarrierBusy => node.mac.on_carrier(true, now, &mut acts),
+                    RadioEvent::CarrierIdle => node.mac.on_carrier(false, now, &mut acts),
+                    RadioEvent::RxStart { power, frame, .. } => {
+                        let remaining = node.mac.config().timing.frame_airtime(&frame);
+                        node.mac
+                            .on_rx_start(&frame, power, noise, remaining, now, &mut acts);
+                    }
+                    RadioEvent::RxEnd {
+                        power, frame, ok, ..
+                    } => {
+                        node.mac
+                            .on_rx_end((*frame).clone(), power, ok, now, &mut acts);
+                    }
+                }
+            }
+            self.apply_mac_actions(i, acts, now);
+        }
+    }
+
+    fn forward_ctrl_events(&mut self, i: usize, events: Vec<RadioEvent<CtrlFrame>>, now: SimTime) {
+        for ev in events {
+            // The control channel is pure broadcast signalling: no carrier
+            // sense, no NAV; only successfully-decoded frames matter.
+            if let RadioEvent::RxEnd {
+                power,
+                frame,
+                ok: true,
+                ..
+            } = ev
+            {
+                self.nodes[i].mac.on_ctrl_rx(frame, power, now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Action application
+    // ------------------------------------------------------------------
+
+    fn apply_mac_actions(&mut self, i: usize, actions: Vec<MacAction>, now: SimTime) {
+        for a in actions {
+            match a {
+                MacAction::TxFrame { frame, power } => self.transmit_frame(i, frame, power, now),
+                MacAction::TxCtrl { frame, power } => self.transmit_ctrl(i, frame, power, now),
+                MacAction::Arm { kind, delay, token } => {
+                    self.queue.schedule_at(
+                        now + delay,
+                        SimEvent::MacTimer {
+                            node: NodeId(i as u32),
+                            kind,
+                            token,
+                        },
+                    );
+                }
+                MacAction::Deliver { packet, from } => {
+                    let mut acts = Vec::new();
+                    self.nodes[i].aodv.on_packet(packet, from, now, &mut acts);
+                    self.apply_aodv_actions(i, acts, now);
+                }
+                MacAction::LinkFailure { packet, next_hop } => {
+                    // Purge other frames queued for the dead hop first, so
+                    // the routing agent can salvage or drop them too.
+                    let drained = self.nodes[i].mac.drain_next_hop(next_hop);
+                    let mut acts = Vec::new();
+                    self.nodes[i]
+                        .aodv
+                        .on_link_failure(packet, next_hop, now, &mut acts);
+                    for qp in drained {
+                        self.nodes[i]
+                            .aodv
+                            .on_link_failure(qp.packet, next_hop, now, &mut acts);
+                    }
+                    self.apply_aodv_actions(i, acts, now);
+                }
+                MacAction::QueueDrop { .. } => {
+                    // Counted inside the MAC; nothing further to do.
+                }
+            }
+        }
+    }
+
+    fn apply_aodv_actions(&mut self, i: usize, actions: Vec<pcmac_aodv::AodvAction>, now: SimTime) {
+        use pcmac_aodv::AodvAction;
+        for a in actions {
+            match a {
+                AodvAction::Transmit { packet, next_hop } => {
+                    let mut acts = Vec::new();
+                    self.nodes[i].mac.enqueue(packet, next_hop, now, &mut acts);
+                    self.apply_mac_actions(i, acts, now);
+                }
+                AodvAction::DeliverLocal { packet } => {
+                    self.nodes[i].sink.deliver(&packet, now);
+                }
+                AodvAction::Arm { dst, delay, token } => {
+                    self.queue.schedule_at(
+                        now + delay,
+                        SimEvent::AodvTimer {
+                            node: NodeId(i as u32),
+                            dst,
+                            token,
+                        },
+                    );
+                }
+                AodvAction::PeerReset { peer } => {
+                    self.nodes[i].mac.reset_peer_state(peer);
+                }
+                AodvAction::Drop { .. } => {
+                    // Counted inside the agent.
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The wireless channel
+    // ------------------------------------------------------------------
+
+    fn refresh_positions(&mut self, now: SimTime) {
+        if !self.any_mobile || self.positions_at == Some(now) {
+            if self.positions_at.is_none() {
+                self.positions_at = Some(now);
+            }
+            return;
+        }
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            self.positions[i] = node.mobility.position(now);
+        }
+        self.positions_at = Some(now);
+    }
+
+    fn transmit_frame(&mut self, i: usize, frame: Frame, power: Milliwatts, now: SimTime) {
+        let airtime = self.nodes[i].mac.config().timing.frame_airtime(&frame);
+        let end = now + airtime;
+
+        let mut rad = Vec::new();
+        self.nodes[i].radio.start_tx(end, &mut rad);
+        self.nodes[i]
+            .energy
+            .set_mode(now, RadioMode::Transmit, power);
+        self.forward_radio_events(i, rad, now);
+        self.queue.schedule_at(
+            end,
+            SimEvent::TxEnd {
+                node: NodeId(i as u32),
+            },
+        );
+
+        self.refresh_positions(now);
+        let frame = Arc::new(frame);
+        let key = self.next_key;
+        self.next_key += 1;
+        let src_pos = self.positions[i];
+        for j in 0..self.nodes.len() {
+            if j == i {
+                continue;
+            }
+            let dst_pos = self.positions[j];
+            let pr = power * self.propagation.gain(src_pos, dst_pos);
+            if pr.value() < self.cfg.interference_floor.value() {
+                continue;
+            }
+            let delay = Duration::from_nanos((src_pos.distance(dst_pos) / C * 1e9).round() as u64);
+            self.queue.schedule_at(
+                now + delay,
+                SimEvent::ArrivalStart {
+                    node: NodeId(j as u32),
+                    key,
+                    power: pr,
+                    end: end + delay,
+                    frame: frame.clone(),
+                },
+            );
+            self.queue.schedule_at(
+                end + delay,
+                SimEvent::ArrivalEnd {
+                    node: NodeId(j as u32),
+                    key,
+                },
+            );
+        }
+    }
+
+    fn transmit_ctrl(&mut self, i: usize, frame: CtrlFrame, power: Milliwatts, now: SimTime) {
+        let airtime = CtrlFrame::airtime(self.nodes[i].mac.config().pcmac.ctrl_rate_bps);
+        let end = now + airtime;
+
+        let mut rad = Vec::new();
+        self.nodes[i].ctrl_radio.start_tx(end, &mut rad);
+        // The ctrl broadcast radiates too (the data radio may be mid-rx;
+        // energy is attributed per-channel, transmit wins for the overlap).
+        self.queue.schedule_at(
+            end,
+            SimEvent::CtrlTxEnd {
+                node: NodeId(i as u32),
+            },
+        );
+
+        self.refresh_positions(now);
+        let key = self.next_key;
+        self.next_key += 1;
+        let src_pos = self.positions[i];
+        for j in 0..self.nodes.len() {
+            if j == i {
+                continue;
+            }
+            let dst_pos = self.positions[j];
+            let pr = power * self.propagation.gain(src_pos, dst_pos);
+            if pr.value() < self.cfg.interference_floor.value() {
+                continue;
+            }
+            let delay = Duration::from_nanos((src_pos.distance(dst_pos) / C * 1e9).round() as u64);
+            self.queue.schedule_at(
+                now + delay,
+                SimEvent::CtrlArrivalStart {
+                    node: NodeId(j as u32),
+                    key,
+                    power: pr,
+                    end: end + delay,
+                    frame: frame.clone(),
+                },
+            );
+            self.queue.schedule_at(
+                end + delay,
+                SimEvent::CtrlArrivalEnd {
+                    node: NodeId(j as u32),
+                    key,
+                },
+            );
+        }
+    }
+}

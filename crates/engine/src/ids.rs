@@ -1,0 +1,134 @@
+//! Strongly-typed identifiers.
+//!
+//! Indices into the simulation's node table, flow table, etc. Newtypes keep
+//! a `NodeId` from being confused with a `FlowId` at compile time while
+//! compiling down to a bare `u32`/`u64`.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+                 serde::Serialize, serde::Deserialize)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Raw index value.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A station in the network. Doubles as the MAC *and* network address
+    /// (ARP elision; see DESIGN.md §3).
+    NodeId,
+    u32
+);
+
+id_type!(
+    /// An application traffic flow (one CBR source → sink pair).
+    FlowId,
+    u32
+);
+
+id_type!(
+    /// A unique application packet, assigned at generation time and carried
+    /// end-to-end so sinks can compute per-packet delay.
+    PacketId,
+    u64
+);
+
+id_type!(
+    /// PCMAC session identifier: names a (source, destination) MAC pair for
+    /// the sent-/received-table implicit-acknowledgment mechanism.
+    SessionId,
+    u64
+);
+
+impl NodeId {
+    /// The broadcast address (all ones), matching 802.11 semantics.
+    pub const BROADCAST: NodeId = NodeId(u32::MAX);
+
+    /// `true` if this is the broadcast address.
+    #[inline]
+    pub const fn is_broadcast(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl SessionId {
+    /// Build the canonical session id for a (src, dst) MAC pair.
+    ///
+    /// PCMAC's sent/received tables key on the directed pair; packing both
+    /// 32-bit ids into one u64 gives a collision-free key.
+    #[inline]
+    pub const fn for_pair(src: NodeId, dst: NodeId) -> SessionId {
+        SessionId(((src.0 as u64) << 32) | dst.0 as u64)
+    }
+
+    /// Recover the (src, dst) pair from a canonical session id.
+    #[inline]
+    pub const fn pair(self) -> (NodeId, NodeId) {
+        (NodeId((self.0 >> 32) as u32), NodeId(self.0 as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_is_distinct() {
+        assert!(NodeId::BROADCAST.is_broadcast());
+        assert!(!NodeId(0).is_broadcast());
+        assert!(!NodeId(12).is_broadcast());
+    }
+
+    #[test]
+    fn session_pair_roundtrip() {
+        let s = SessionId::for_pair(NodeId(7), NodeId(42));
+        assert_eq!(s.pair(), (NodeId(7), NodeId(42)));
+        // direction matters
+        assert_ne!(s, SessionId::for_pair(NodeId(42), NodeId(7)));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert!(set.contains(&NodeId(1)));
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(format!("{}", NodeId(9)), "9");
+        assert_eq!(format!("{:?}", FlowId(3)), "FlowId(3)");
+    }
+}

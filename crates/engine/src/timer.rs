@@ -1,0 +1,107 @@
+//! Generation-counted timers.
+//!
+//! A discrete-event MAC cancels timers constantly (every CTS that arrives
+//! cancels a CTS-timeout). Removing entries from a binary heap is O(n), so
+//! instead each logical timer owns a [`TimerSlot`] holding a generation
+//! counter. Arming the slot bumps the generation and the fired event carries
+//! a [`TimerToken`] snapshot; when the event pops, the component asks the
+//! slot whether the token is still *live*. Cancelled or re-armed timers
+//! leave stale tokens behind that are ignored in O(1).
+
+/// A snapshot of a timer arming, carried inside the scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(u64);
+
+/// The per-logical-timer state: a generation counter plus an armed flag.
+#[derive(Debug, Clone, Default)]
+pub struct TimerSlot {
+    generation: u64,
+    armed: bool,
+}
+
+impl TimerSlot {
+    /// A fresh, disarmed slot.
+    pub fn new() -> Self {
+        TimerSlot::default()
+    }
+
+    /// Arm the timer, invalidating any token from a previous arming, and
+    /// return the token the caller must embed in the scheduled event.
+    pub fn arm(&mut self) -> TimerToken {
+        self.generation += 1;
+        self.armed = true;
+        TimerToken(self.generation)
+    }
+
+    /// Cancel the pending timer, if any. The already-scheduled event still
+    /// pops from the queue but its token will be stale.
+    pub fn cancel(&mut self) {
+        self.armed = false;
+    }
+
+    /// `true` if a timer is currently pending.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Called when a timer event pops: returns `true` (and disarms the slot)
+    /// iff the token matches the live generation. Stale tokens return
+    /// `false` and leave the slot untouched.
+    pub fn fire(&mut self, token: TimerToken) -> bool {
+        if self.armed && token.0 == self.generation {
+            self.armed = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_matches_live_token() {
+        let mut slot = TimerSlot::new();
+        let t = slot.arm();
+        assert!(slot.is_armed());
+        assert!(slot.fire(t));
+        assert!(!slot.is_armed());
+    }
+
+    #[test]
+    fn cancelled_token_is_stale() {
+        let mut slot = TimerSlot::new();
+        let t = slot.arm();
+        slot.cancel();
+        assert!(!slot.fire(t));
+    }
+
+    #[test]
+    fn rearm_invalidates_previous_token() {
+        let mut slot = TimerSlot::new();
+        let t1 = slot.arm();
+        let t2 = slot.arm();
+        assert!(!slot.fire(t1), "old token must be stale after re-arm");
+        assert!(slot.fire(t2));
+    }
+
+    #[test]
+    fn fire_consumes_token() {
+        let mut slot = TimerSlot::new();
+        let t = slot.arm();
+        assert!(slot.fire(t));
+        assert!(!slot.fire(t), "a token fires at most once");
+    }
+
+    #[test]
+    fn cancel_then_rearm_works() {
+        let mut slot = TimerSlot::new();
+        let t1 = slot.arm();
+        slot.cancel();
+        let t2 = slot.arm();
+        assert!(!slot.fire(t1));
+        assert!(slot.fire(t2));
+    }
+}

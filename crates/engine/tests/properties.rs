@@ -1,0 +1,120 @@
+//! Property-based tests for the DES kernel invariants.
+
+use pcmac_engine::{Duration, EventQueue, Point, RngStream, SimTime, TimerSlot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in nondecreasing time order, and equal-time events
+    /// pop in insertion order, regardless of the insertion pattern.
+    #[test]
+    fn queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(*t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_t = None;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last_time);
+            if Some(ev.at) == last_t {
+                // insertion order within a tie: indices must increase
+                prop_assert!(seen_at_time.last().is_none_or(|&prev| prev < ev.event));
+            } else {
+                seen_at_time.clear();
+                last_t = Some(ev.at);
+            }
+            seen_at_time.push(ev.event);
+            last_time = ev.at;
+        }
+    }
+
+    /// The clock after draining equals the maximum scheduled time.
+    #[test]
+    fn queue_clock_ends_at_max(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for t in &times {
+            q.schedule_at(SimTime::from_nanos(*t), ());
+        }
+        while q.pop().is_some() {}
+        prop_assert_eq!(q.now(), SimTime::from_nanos(*times.iter().max().unwrap()));
+    }
+
+    /// Duration arithmetic: (a + b) - b == a for values without overflow.
+    #[test]
+    fn duration_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = Duration::from_nanos(a);
+        let db = Duration::from_nanos(b);
+        prop_assert_eq!((da + db) - db, da);
+    }
+
+    /// SimTime +/- Duration round-trips.
+    #[test]
+    fn simtime_shift_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_nanos(t);
+        let dd = Duration::from_nanos(d);
+        prop_assert_eq!((t0 + dd) - dd, t0);
+        prop_assert_eq!((t0 + dd).since(t0), dd);
+    }
+
+    /// Identically-derived RNG streams produce identical sequences; the
+    /// sequence is a pure function of (seed, label).
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>(), n in 1usize..100) {
+        let mut a = RngStream::derive(seed, "prop");
+        let mut b = RngStream::derive(seed, "prop");
+        for _ in 0..n {
+            prop_assert_eq!(a.below(1 << 30), b.below(1 << 30));
+        }
+    }
+
+    /// Timer slots: after an arbitrary sequence of arms/cancels, at most the
+    /// final token fires, and it fires at most once.
+    #[test]
+    fn timer_only_latest_token_fires(ops in proptest::collection::vec(any::<bool>(), 1..50)) {
+        let mut slot = TimerSlot::new();
+        let mut tokens = Vec::new();
+        let mut live = None;
+        for arm in ops {
+            if arm {
+                let t = slot.arm();
+                tokens.push(t);
+                live = Some(t);
+            } else {
+                slot.cancel();
+                live = None;
+            }
+        }
+        let mut fired = 0;
+        for t in tokens {
+            if slot.fire(t) {
+                fired += 1;
+                prop_assert_eq!(Some(t), live, "only the live token may fire");
+            }
+        }
+        prop_assert!(fired <= 1);
+        prop_assert_eq!(fired, live.is_some() as usize);
+    }
+
+    /// lerp stays inside the bounding box of its endpoints.
+    #[test]
+    fn lerp_in_bounds(ax in -1e3..1e3, ay in -1e3..1e3,
+                      bx in -1e3..1e3, by in -1e3..1e3, t in 0.0..1.0) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let p = a.lerp(b, t);
+        prop_assert!(p.x >= ax.min(bx) - 1e-9 && p.x <= ax.max(bx) + 1e-9);
+        prop_assert!(p.y >= ay.min(by) - 1e-9 && p.y <= ay.max(by) + 1e-9);
+    }
+
+    /// Triangle inequality for the distance metric.
+    #[test]
+    fn triangle_inequality(ax in -1e3..1e3, ay in -1e3..1e3,
+                           bx in -1e3..1e3, by in -1e3..1e3,
+                           cx in -1e3..1e3, cy in -1e3..1e3) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+}

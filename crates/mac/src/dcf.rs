@@ -1,0 +1,1148 @@
+//! The 802.11 DCF engine with power control.
+//!
+//! One state machine implements all four protocols of the evaluation —
+//! Basic 802.11, Scheme 1, Scheme 2 and PCMAC — differing only at marked
+//! branch points (power selection, handshake arity, control-channel
+//! checks). This keeps the heavily-tested CSMA/CA core identical across
+//! variants, so protocol comparisons measure the *power control design*,
+//! not incidental implementation drift.
+//!
+//! The MAC is a pure state machine: inputs are radio indications, timer
+//! fires and enqueued packets; outputs are [`MacAction`]s that the
+//! simulation core applies (transmit a frame, arm a timer, deliver a
+//! packet upward, report a broken link). No clocks or queues are hidden
+//! inside — everything observable happens through the action stream, which
+//! is what makes the unit tests below possible without a full simulator.
+
+use pcmac_engine::{
+    Duration, Milliwatts, NodeId, RngStream, SessionId, SimTime, TimerSlot, TimerToken,
+};
+use pcmac_net::{DropTailQueue, Packet, QueuedPacket};
+
+use crate::backoff::Backoff;
+use crate::config::{MacConfig, Variant};
+use crate::counters::MacCounters;
+use crate::frame::{CtrlFrame, Frame, FrameBody, FrameKind};
+use crate::nav::Nav;
+use crate::pcmac::{noise_tolerance, ActiveReceivers, EchoVerdict, ReceivedTable, SentTable};
+use crate::power::PowerHistory;
+
+/// Logical timers of the MAC. Each has its own [`TimerSlot`]; fired events
+/// carry the token so stale (cancelled/re-armed) timers are ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacTimerKind {
+    /// DIFS (or post-busy) defer finished.
+    Defer,
+    /// Backoff countdown finished.
+    Backoff,
+    /// CTS never arrived after our RTS.
+    CtsTimeout,
+    /// ACK never arrived after our DATA.
+    AckTimeout,
+    /// A SIFS-spaced response (CTS/DATA/ACK) is due.
+    Response,
+    /// The NAV reservation expired.
+    NavExpire,
+    /// PCMAC: a tolerance-blocked attempt may retry.
+    CtrlRetry,
+}
+
+/// Outputs of the MAC toward the simulation core.
+#[derive(Debug, Clone)]
+pub enum MacAction {
+    /// Transmit `frame` on the data channel at `power`.
+    TxFrame {
+        /// The frame to put on the air.
+        frame: Frame,
+        /// Radiated power.
+        power: Milliwatts,
+    },
+    /// Transmit a PCMAC tolerance broadcast on the control channel.
+    TxCtrl {
+        /// The control frame.
+        frame: CtrlFrame,
+        /// Radiated power (always the maximum level).
+        power: Milliwatts,
+    },
+    /// Arm timer `kind` to fire after `delay` carrying `token`.
+    Arm {
+        /// Which logical timer.
+        kind: MacTimerKind,
+        /// Delay from now.
+        delay: Duration,
+        /// Liveness token to echo back into [`DcfMac::on_timer`].
+        token: TimerToken,
+    },
+    /// Deliver a received packet to the network layer.
+    Deliver {
+        /// The packet.
+        packet: Packet,
+        /// MAC address of the previous hop.
+        from: NodeId,
+    },
+    /// All retries exhausted toward `next_hop` — routing should treat the
+    /// link as broken.
+    LinkFailure {
+        /// The packet that could not be delivered.
+        packet: Packet,
+        /// The unreachable next hop.
+        next_hop: NodeId,
+    },
+    /// The interface queue rejected a packet.
+    QueueDrop {
+        /// The rejected packet.
+        packet: Packet,
+    },
+}
+
+/// What our radio is currently transmitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxKind {
+    Rts,
+    Cts,
+    DataUnicast { needs_ack: bool },
+    DataBroadcast,
+    Ack,
+}
+
+/// Where we are in an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No exchange of our own in flight (access engine may run).
+    Idle,
+    /// Our frame is on the air.
+    Tx(TxKind),
+    /// RTS sent, waiting for the CTS.
+    WaitCts,
+    /// DATA sent, waiting for the ACK.
+    WaitAck,
+}
+
+/// The packet currently being worked on.
+#[derive(Debug, Clone)]
+struct TxJob {
+    packet: Packet,
+    next_hop: NodeId,
+    /// Sequence number once allocated (first transmission attempt).
+    seq: Option<u32>,
+}
+
+/// The 802.11 DCF MAC (all four protocol variants).
+#[derive(Debug)]
+pub struct DcfMac {
+    id: NodeId,
+    cfg: MacConfig,
+    rng: RngStream,
+
+    // Medium view.
+    phys_busy: bool,
+    nav: Nav,
+
+    // Channel access.
+    backoff: Backoff,
+    count_start: Option<SimTime>,
+
+    // Timers.
+    t_defer: TimerSlot,
+    t_backoff: TimerSlot,
+    t_cts: TimerSlot,
+    t_ack: TimerSlot,
+    t_resp: TimerSlot,
+    t_nav: TimerSlot,
+    t_ctrl: TimerSlot,
+
+    // Work.
+    queue: DropTailQueue,
+    current: Option<TxJob>,
+    /// Packet that must be retransmitted in the current exchange instead
+    /// of `current` (PCMAC implicit-ack recovery).
+    retransmit_override: Option<(Packet, u32)>,
+    phase: Phase,
+    pending_response: Option<(Frame, Milliwatts)>,
+    ssrc: u8,
+    slrc: u8,
+    /// RTS power for the current job (PCMAC steps this up on timeouts).
+    rts_power: Milliwatts,
+
+    // Power control state.
+    history: PowerHistory,
+    sent: SentTable,
+    recv: ReceivedTable,
+    active_rx: ActiveReceivers,
+    /// Latest noise measurement from our radio (PCMAC advertises it in
+    /// RTS headers so responders can size their CTS power).
+    last_noise: Milliwatts,
+
+    /// Statistics.
+    pub counters: MacCounters,
+}
+
+impl DcfMac {
+    /// Build the MAC for node `id`. `seed` drives the backoff RNG.
+    pub fn new(id: NodeId, cfg: MacConfig, seed: u64) -> Self {
+        let rng = RngStream::derive_sub(seed, "mac.backoff", id.0 as u64);
+        let backoff = Backoff::new(cfg.timing.cw_min, cfg.timing.cw_max);
+        let history = PowerHistory::new(cfg.levels.clone(), cfg.rx_thresh)
+            .with_expiry(cfg.pcmac.history_expiry);
+        let queue = DropTailQueue::new(cfg.queue_capacity);
+        let max_power = cfg.max_power();
+        let max_retx = cfg.pcmac.max_retx;
+        DcfMac {
+            id,
+            cfg,
+            rng,
+            phys_busy: false,
+            nav: Nav::new(),
+            backoff,
+            count_start: None,
+            t_defer: TimerSlot::new(),
+            t_backoff: TimerSlot::new(),
+            t_cts: TimerSlot::new(),
+            t_ack: TimerSlot::new(),
+            t_resp: TimerSlot::new(),
+            t_nav: TimerSlot::new(),
+            t_ctrl: TimerSlot::new(),
+            queue,
+            current: None,
+            retransmit_override: None,
+            phase: Phase::Idle,
+            pending_response: None,
+            ssrc: 0,
+            slrc: 0,
+            rts_power: max_power,
+            history,
+            sent: SentTable::new(max_retx),
+            recv: ReceivedTable::new(),
+            active_rx: ActiveReceivers::new(),
+            last_noise: Milliwatts::ZERO,
+            counters: MacCounters::default(),
+        }
+    }
+
+    /// Update the noise level observed at our radio. The simulation core
+    /// refreshes this alongside radio indications; PCMAC advertises it in
+    /// RTS headers (paper §III step 2).
+    pub fn set_noise(&mut self, noise: Milliwatts) {
+        self.last_noise = noise;
+    }
+
+    /// This node's MAC address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MacConfig {
+        &self.cfg
+    }
+
+    /// Current interface-queue occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs
+    // ------------------------------------------------------------------
+
+    /// Accept a packet from the network layer for transmission to
+    /// `next_hop` (or broadcast).
+    pub fn enqueue(
+        &mut self,
+        packet: Packet,
+        next_hop: NodeId,
+        now: SimTime,
+        out: &mut Vec<MacAction>,
+    ) {
+        if self.current.is_none() {
+            self.current = Some(TxJob {
+                packet,
+                next_hop,
+                seq: None,
+            });
+            self.begin_job(now);
+            self.start_access(now, out);
+            return;
+        }
+        if let Some(rejected) = self.queue.push(QueuedPacket { packet, next_hop }) {
+            self.counters.queue_drops += 1;
+            out.push(MacAction::QueueDrop {
+                packet: rejected.packet,
+            });
+        }
+    }
+
+    /// Physical carrier-sense edge from the radio.
+    pub fn on_carrier(&mut self, busy: bool, now: SimTime, out: &mut Vec<MacAction>) {
+        let was_idle = self.medium_idle(now);
+        self.phys_busy = busy;
+        if busy {
+            if was_idle {
+                self.medium_became_busy(now);
+            }
+        } else if self.medium_idle(now) {
+            self.medium_became_idle(now, out);
+        }
+    }
+
+    /// The radio locked onto an arriving frame (header-level knowledge).
+    ///
+    /// Only PCMAC acts on this: a DATA frame addressed to us triggers the
+    /// noise-tolerance broadcast on the control channel (paper §III step
+    /// 5). `noise` is the interference measured at the radio excluding the
+    /// locked frame; `remaining` is the time until the arrival completes.
+    pub fn on_rx_start(
+        &mut self,
+        frame: &Frame,
+        power: Milliwatts,
+        noise: Milliwatts,
+        remaining: Duration,
+        now: SimTime,
+        out: &mut Vec<MacAction>,
+    ) {
+        let _ = now;
+        if !self.cfg.variant.is_pcmac() {
+            return;
+        }
+        if frame.kind == FrameKind::Data && frame.rx == self.id && !frame.is_broadcast() {
+            let tol = noise_tolerance(power, noise, self.cfg.pcmac.capture_ratio);
+            if tol.value() > 0.0 {
+                self.counters.ctrl_broadcasts += 1;
+                out.push(MacAction::TxCtrl {
+                    frame: CtrlFrame {
+                        receiver: self.id,
+                        noise_tolerance: tol,
+                        remaining,
+                        tx_power: self.cfg.max_power(),
+                    },
+                    power: self.cfg.max_power(),
+                });
+            }
+        }
+    }
+
+    /// A frame finished arriving. `ok == false` means it was corrupted
+    /// (collision): the MAC defers EIFS, following ns-2's NAV treatment.
+    pub fn on_rx_end(
+        &mut self,
+        frame: Frame,
+        power: Milliwatts,
+        ok: bool,
+        now: SimTime,
+        out: &mut Vec<MacAction>,
+    ) {
+        if !ok {
+            self.counters.rx_errors += 1;
+            self.reserve_nav(self.cfg.timing.eifs(), now, out);
+            return;
+        }
+
+        // Every decoded frame teaches us the needed power toward its
+        // sender (frames carry their transmit power in the header).
+        if self.cfg.variant.uses_power_history() {
+            self.history.observe(frame.tx, power, frame.tx_power, now);
+        }
+
+        if !frame.is_for(self.id) {
+            // Virtual carrier sense from the duration field.
+            if !frame.duration.is_zero() {
+                self.reserve_nav(frame.duration, now, out);
+            }
+            return;
+        }
+
+        match frame.kind {
+            FrameKind::Rts => self.handle_rts(frame, power, now, out),
+            FrameKind::Cts => self.handle_cts(frame, now, out),
+            FrameKind::Data => self.handle_data(frame, now, out),
+            FrameKind::Ack => self.handle_ack(frame, now, out),
+        }
+    }
+
+    /// Our own data-channel transmission completed.
+    pub fn on_tx_end(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        let Phase::Tx(kind) = self.phase else {
+            debug_assert!(false, "tx end outside Tx phase");
+            return;
+        };
+        match kind {
+            TxKind::Rts => {
+                self.phase = Phase::WaitCts;
+                let token = self.t_cts.arm();
+                out.push(MacAction::Arm {
+                    kind: MacTimerKind::CtsTimeout,
+                    delay: self.cfg.timing.cts_timeout(),
+                    token,
+                });
+            }
+            TxKind::Cts | TxKind::Ack => {
+                // Responder role complete (CTS: the DATA will arrive and
+                // keep the medium busy; ACK: exchange done).
+                self.phase = Phase::Idle;
+                self.start_access(now, out);
+            }
+            TxKind::DataUnicast { needs_ack: true } => {
+                self.phase = Phase::WaitAck;
+                let token = self.t_ack.arm();
+                out.push(MacAction::Arm {
+                    kind: MacTimerKind::AckTimeout,
+                    delay: self.cfg.timing.ack_timeout(),
+                    token,
+                });
+            }
+            TxKind::DataUnicast { needs_ack: false } => {
+                // PCMAC three-way handshake: the DATA is provisionally
+                // delivered; confirmation rides the next CTS echo.
+                self.phase = Phase::Idle;
+                if self.retransmit_override.take().is_none() {
+                    // A fresh packet completed its exchange.
+                    self.finish_current(true, now, out);
+                } else {
+                    // We just replayed a stored copy; the fresh packet in
+                    // `current` still needs its own exchange.
+                    self.ssrc = 0;
+                    self.backoff.reset_cw();
+                    self.backoff.draw(&mut self.rng);
+                    self.start_access(now, out);
+                }
+            }
+            TxKind::DataBroadcast => {
+                self.phase = Phase::Idle;
+                self.finish_current(true, now, out);
+            }
+        }
+    }
+
+    /// Our control-channel broadcast completed (PCMAC). Nothing to do —
+    /// the control radio needs no turnaround bookkeeping — but the hook is
+    /// kept for symmetry and future use.
+    pub fn on_ctrl_tx_end(&mut self, _now: SimTime) {}
+
+    /// A tolerance broadcast arrived on the control channel (PCMAC).
+    pub fn on_ctrl_rx(&mut self, cf: CtrlFrame, heard_at: Milliwatts, now: SimTime) {
+        if !self.cfg.variant.is_pcmac() || cf.receiver == self.id {
+            return;
+        }
+        self.active_rx.record(
+            cf.receiver,
+            cf.noise_tolerance,
+            heard_at,
+            cf.tx_power,
+            now + cf.remaining,
+        );
+        self.active_rx.purge(now);
+    }
+
+    /// A timer fired. Stale tokens (cancelled or superseded) are ignored.
+    pub fn on_timer(
+        &mut self,
+        kind: MacTimerKind,
+        token: TimerToken,
+        now: SimTime,
+        out: &mut Vec<MacAction>,
+    ) {
+        let live = match kind {
+            MacTimerKind::Defer => self.t_defer.fire(token),
+            MacTimerKind::Backoff => self.t_backoff.fire(token),
+            MacTimerKind::CtsTimeout => self.t_cts.fire(token),
+            MacTimerKind::AckTimeout => self.t_ack.fire(token),
+            MacTimerKind::Response => self.t_resp.fire(token),
+            MacTimerKind::NavExpire => self.t_nav.fire(token),
+            MacTimerKind::CtrlRetry => self.t_ctrl.fire(token),
+        };
+        if !live {
+            return;
+        }
+        match kind {
+            MacTimerKind::Defer => self.on_defer_done(now, out),
+            MacTimerKind::Backoff => {
+                self.backoff.complete();
+                self.count_start = None;
+                self.attempt_tx(now, out);
+            }
+            MacTimerKind::CtsTimeout => self.on_cts_timeout(now, out),
+            MacTimerKind::AckTimeout => self.on_ack_timeout(now, out),
+            MacTimerKind::Response => self.fire_response(now, out),
+            MacTimerKind::NavExpire => {
+                if self.medium_idle(now) {
+                    self.medium_became_idle(now, out);
+                }
+            }
+            MacTimerKind::CtrlRetry => self.start_access(now, out),
+        }
+    }
+
+    /// Routing state toward `peer` changed (RREP sent / RERR received):
+    /// reset the PCMAC sent/received tables for that peer (paper §III).
+    pub fn reset_peer_state(&mut self, peer: NodeId) {
+        self.sent.reset_peer(peer);
+        self.recv.reset_peer(peer);
+    }
+
+    /// Remove queued packets headed for `hop` (routing learned the link is
+    /// dead); the packets are returned so the caller can re-route or count
+    /// them.
+    pub fn drain_next_hop(&mut self, hop: NodeId) -> Vec<QueuedPacket> {
+        self.queue.drain_next_hop(hop)
+    }
+
+    // ------------------------------------------------------------------
+    // Receive-side handlers
+    // ------------------------------------------------------------------
+
+    fn handle_rts(
+        &mut self,
+        frame: Frame,
+        power: Milliwatts,
+        now: SimTime,
+        out: &mut Vec<MacAction>,
+    ) {
+        // Only respond when free: not mid-exchange, no queued response, NAV
+        // idle (802.11: a station with a set NAV ignores RTS).
+        if self.phase != Phase::Idle || self.pending_response.is_some() || self.nav.is_busy(now) {
+            return;
+        }
+        let FrameBody::Rts { sender_noise } = &frame.body else {
+            return;
+        };
+
+        let max = self.cfg.max_power();
+        let policy = self.cfg.variant.power_policy();
+        let (cts_power, required_data_power) = if self.cfg.variant.is_pcmac() {
+            // Paper §III step 3: size the CTS so it clears decoding *and*
+            // the noise floor at the requester, using the gain measured
+            // off this RTS; tell the requester what power its DATA needs
+            // to clear our own noise.
+            let gain = (power.value() / frame.tx_power.value()).max(1e-30);
+            let noise_at_sender = sender_noise.unwrap_or(Milliwatts::ZERO);
+            let need_rx_at_sender = self
+                .cfg
+                .rx_thresh
+                .value()
+                .max(self.cfg.pcmac.capture_ratio * noise_at_sender.value());
+            let cts_power = self
+                .cfg
+                .levels
+                .quantize_up_or_max(Milliwatts(need_rx_at_sender / gain));
+            // Paper §III step 3: "B required DATA be sent at the power
+            // level P = η_cp · N_B · P_t / S" — the DATA must clear *our*
+            // currently-measured noise N_B, not just the decode threshold.
+            let need_rx_here = self
+                .cfg
+                .rx_thresh
+                .value()
+                .max(self.cfg.pcmac.capture_ratio * self.last_noise.value());
+            let data_power = self
+                .cfg
+                .levels
+                .quantize_up_or_max(Milliwatts(need_rx_here / gain));
+            (cts_power, Some(data_power))
+        } else {
+            let needed = self.history.level_for(frame.tx, now);
+            (policy.cts_power(needed, max), None)
+        };
+
+        // PCMAC step 3: the responder also runs the collision computation
+        // before its CTS; if it would violate a protected reception it
+        // stays silent and the requester retries later.
+        if self.cfg.variant.is_pcmac() {
+            if let Err(_until) =
+                self.active_rx
+                    .check(cts_power, self.cfg.pcmac.safety_factor, Some(frame.tx), now)
+            {
+                self.counters.ctrl_deferrals += 1;
+                return;
+            }
+        }
+
+        let echo = if self.cfg.variant.is_pcmac() {
+            self.recv.echo_for(frame.tx)
+        } else {
+            None
+        };
+        // CTS duration: whatever the RTS reserved, minus SIFS + CTS time.
+        let duration = frame
+            .duration
+            .saturating_sub(self.cfg.timing.sifs + self.cfg.timing.cts_time());
+        let cts = Frame {
+            kind: FrameKind::Cts,
+            tx: self.id,
+            rx: frame.tx,
+            duration,
+            tx_power: cts_power,
+            body: FrameBody::Cts {
+                required_data_power,
+                last_received: echo,
+            },
+        };
+        self.schedule_response(cts, cts_power, out);
+    }
+
+    fn handle_cts(&mut self, frame: Frame, now: SimTime, out: &mut Vec<MacAction>) {
+        if self.phase != Phase::WaitCts {
+            return;
+        }
+        let Some(job) = &self.current else {
+            debug_assert!(false, "WaitCts without a job");
+            return;
+        };
+        if frame.tx != job.next_hop {
+            return;
+        }
+        let FrameBody::Cts {
+            required_data_power,
+            last_received,
+        } = &frame.body
+        else {
+            return;
+        };
+        let required_data_power = *required_data_power;
+        let last_received = *last_received;
+        self.t_cts.cancel();
+        self.ssrc = 0;
+
+        let next_hop = job.next_hop;
+        let is_routing = job.packet.is_routing();
+        let three_way =
+            self.cfg.variant.is_pcmac() && !is_routing && !self.cfg.pcmac.four_way_handshake;
+
+        // Decide what data to send and whether it needs an ACK.
+        let (packet, seq, needs_ack) = if three_way {
+            match self.sent.judge_echo(next_hop, last_received) {
+                EchoVerdict::Proceed => {
+                    let seq = self.allocate_seq_for_current();
+                    (self.current.as_ref().unwrap().packet.clone(), seq, false)
+                }
+                EchoVerdict::Retransmit(stored) => {
+                    self.counters.implicit_retx += 1;
+                    let (_, seq) = self
+                        .sent
+                        .stored_identity(next_hop)
+                        .expect("retransmit implies stored identity");
+                    self.retransmit_override = Some(((*stored).clone(), seq));
+                    ((*stored).clone(), seq, false)
+                }
+                EchoVerdict::GiveUp => {
+                    self.counters.implicit_give_ups += 1;
+                    let seq = self.allocate_seq_for_current();
+                    (self.current.as_ref().unwrap().packet.clone(), seq, false)
+                }
+            }
+        } else {
+            let seq = self.allocate_seq_for_current();
+            (self.current.as_ref().unwrap().packet.clone(), seq, true)
+        };
+
+        // Power for the DATA frame.
+        let max = self.cfg.max_power();
+        let data_power = if self.cfg.variant.is_pcmac() {
+            required_data_power.unwrap_or_else(|| self.history.level_for(next_hop, now))
+        } else {
+            let needed = self.history.level_for(next_hop, now);
+            self.cfg.variant.power_policy().data_power(needed, max)
+        };
+
+        // PCMAC step 4: re-run the collision computation for the DATA
+        // power; abort (and retry after the blocking reception) if it
+        // would violate a protected reception.
+        if self.cfg.variant.is_pcmac() {
+            if let Err(until) = self.active_rx.check(
+                data_power,
+                self.cfg.pcmac.safety_factor,
+                Some(next_hop),
+                now,
+            ) {
+                self.counters.ctrl_deferrals += 1;
+                self.retransmit_override = None;
+                self.phase = Phase::Idle;
+                let token = self.t_ctrl.arm();
+                out.push(MacAction::Arm {
+                    kind: MacTimerKind::CtrlRetry,
+                    delay: until.saturating_since(now) + Duration::from_micros(1),
+                    token,
+                });
+                return;
+            }
+        }
+
+        let session = SessionId::for_pair(self.id, next_hop);
+        if three_way {
+            // Keep the retransmission copy (paper: "every time a data
+            // packet is transmitted, it has a copy at the sender").
+            self.sent
+                .record_sent(next_hop, session, seq, packet.clone());
+        }
+
+        let duration = if needs_ack {
+            self.cfg.timing.sifs + self.cfg.timing.ack_time()
+        } else {
+            Duration::ZERO
+        };
+        let data = Frame {
+            kind: FrameKind::Data,
+            tx: self.id,
+            rx: next_hop,
+            duration,
+            tx_power: data_power,
+            body: FrameBody::Data {
+                packet,
+                seq,
+                session,
+                needs_ack,
+            },
+        };
+        self.phase = Phase::Idle; // response scheduling takes over
+        self.schedule_response(data, data_power, out);
+    }
+
+    fn handle_data(&mut self, frame: Frame, now: SimTime, out: &mut Vec<MacAction>) {
+        let FrameBody::Data {
+            packet,
+            seq,
+            session,
+            needs_ack,
+        } = frame.body
+        else {
+            return;
+        };
+
+        if frame.rx.is_broadcast() {
+            self.counters.delivered += 1;
+            out.push(MacAction::Deliver {
+                packet,
+                from: frame.tx,
+            });
+            return;
+        }
+
+        // Duplicate suppression (lost ACK / lost CTS echo replays).
+        let fresh = self.recv.accept(frame.tx, session, seq);
+        if needs_ack && self.phase == Phase::Idle && self.pending_response.is_none() {
+            let max = self.cfg.max_power();
+            let needed = self.history.level_for(frame.tx, now);
+            let ack_power = self.cfg.variant.power_policy().ack_power(needed, max);
+            let ack = Frame {
+                kind: FrameKind::Ack,
+                tx: self.id,
+                rx: frame.tx,
+                duration: Duration::ZERO,
+                tx_power: ack_power,
+                body: FrameBody::Ack,
+            };
+            self.schedule_response(ack, ack_power, out);
+        }
+        if fresh {
+            self.counters.delivered += 1;
+            out.push(MacAction::Deliver {
+                packet,
+                from: frame.tx,
+            });
+        } else {
+            self.counters.duplicates += 1;
+        }
+    }
+
+    fn handle_ack(&mut self, frame: Frame, now: SimTime, out: &mut Vec<MacAction>) {
+        if self.phase != Phase::WaitAck {
+            return;
+        }
+        let Some(job) = &self.current else {
+            return;
+        };
+        if frame.tx != job.next_hop {
+            return;
+        }
+        self.t_ack.cancel();
+        self.phase = Phase::Idle;
+        self.finish_current(true, now, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Timeouts and retries
+    // ------------------------------------------------------------------
+
+    fn on_cts_timeout(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        debug_assert_eq!(self.phase, Phase::WaitCts);
+        self.phase = Phase::Idle;
+        self.counters.cts_timeouts += 1;
+        self.ssrc += 1;
+
+        if self.cfg.variant.is_pcmac() {
+            // Paper §III step 2: "A increases its power level (by one
+            // class until it gets to the maximal level)".
+            let stepped = self.cfg.levels.step_up(self.rts_power);
+            if stepped.value() > self.rts_power.value() {
+                self.counters.power_step_ups += 1;
+                self.rts_power = stepped;
+                self.history.record_level(
+                    self.current.as_ref().map(|j| j.next_hop).unwrap_or(self.id),
+                    stepped,
+                    now,
+                );
+            }
+        }
+
+        if self.ssrc >= self.cfg.timing.retry_short {
+            self.drop_current(now, out);
+            return;
+        }
+        self.backoff.grow();
+        self.backoff.draw(&mut self.rng);
+        self.start_access(now, out);
+    }
+
+    fn on_ack_timeout(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        debug_assert_eq!(self.phase, Phase::WaitAck);
+        self.phase = Phase::Idle;
+        self.counters.ack_timeouts += 1;
+        self.slrc += 1;
+        if self.slrc >= self.cfg.timing.retry_long {
+            self.drop_current(now, out);
+            return;
+        }
+        self.backoff.grow();
+        self.backoff.draw(&mut self.rng);
+        self.start_access(now, out);
+    }
+
+    fn drop_current(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        self.counters.retry_drops += 1;
+        if let Some(job) = &self.current {
+            if !job.next_hop.is_broadcast() {
+                out.push(MacAction::LinkFailure {
+                    packet: job.packet.clone(),
+                    next_hop: job.next_hop,
+                });
+            }
+        }
+        self.retransmit_override = None;
+        self.finish_current(false, now, out);
+    }
+
+    /// Wrap up the current job and move to the next queued packet.
+    fn finish_current(&mut self, _success: bool, now: SimTime, out: &mut Vec<MacAction>) {
+        self.ssrc = 0;
+        self.slrc = 0;
+        self.backoff.reset_cw();
+        // Mandatory post-transmission backoff.
+        self.backoff.draw(&mut self.rng);
+        self.current = self.queue.pop().map(|qp| TxJob {
+            packet: qp.packet,
+            next_hop: qp.next_hop,
+            seq: None,
+        });
+        if self.current.is_some() {
+            self.begin_job(now);
+            self.start_access(now, out);
+        }
+    }
+
+    /// Initialise per-job state (RTS power ladder).
+    fn begin_job(&mut self, now: SimTime) {
+        let Some(job) = &self.current else { return };
+        let max = self.cfg.max_power();
+        self.rts_power = match self.cfg.variant {
+            Variant::Basic | Variant::Scheme1 => max,
+            Variant::Scheme2 | Variant::Pcmac => {
+                if job.next_hop.is_broadcast() {
+                    max
+                } else {
+                    self.history.level_for(job.next_hop, now)
+                }
+            }
+        };
+        self.ssrc = 0;
+        self.slrc = 0;
+    }
+
+    fn allocate_seq_for_current(&mut self) -> u32 {
+        let next_hop = self.current.as_ref().expect("job present").next_hop;
+        if let Some(seq) = self.current.as_ref().and_then(|j| j.seq) {
+            return seq; // retry of the same packet keeps its seq
+        }
+        let seq = self.sent.allocate_seq(next_hop);
+        if let Some(job) = &mut self.current {
+            job.seq = Some(seq);
+        }
+        seq
+    }
+
+    // ------------------------------------------------------------------
+    // Channel access engine
+    // ------------------------------------------------------------------
+
+    fn medium_idle(&self, now: SimTime) -> bool {
+        !self.phys_busy && !self.nav.is_busy(now)
+    }
+
+    fn reserve_nav(&mut self, d: Duration, now: SimTime, out: &mut Vec<MacAction>) {
+        let was_idle = self.medium_idle(now);
+        if self.nav.reserve(now, d) {
+            let token = self.t_nav.arm();
+            out.push(MacAction::Arm {
+                kind: MacTimerKind::NavExpire,
+                delay: self.nav.expiry().saturating_since(now),
+                token,
+            });
+            if was_idle {
+                self.medium_became_busy(now);
+            }
+        }
+    }
+
+    fn medium_became_busy(&mut self, now: SimTime) {
+        self.t_defer.cancel();
+        if self.t_backoff.is_armed() {
+            self.t_backoff.cancel();
+            if let Some(start) = self.count_start.take() {
+                self.backoff
+                    .consume(now.saturating_since(start), self.cfg.timing.slot);
+            }
+        }
+    }
+
+    fn medium_became_idle(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        let _ = now;
+        if self.current.is_none()
+            || self.phase != Phase::Idle
+            || self.pending_response.is_some()
+            || self.t_ctrl.is_armed()
+        {
+            return;
+        }
+        // Post-busy access always goes through backoff (802.11): make sure
+        // a count exists, preserving any frozen residual.
+        self.backoff.draw_if_idle(&mut self.rng);
+        let token = self.t_defer.arm();
+        out.push(MacAction::Arm {
+            kind: MacTimerKind::Defer,
+            delay: self.cfg.timing.difs(),
+            token,
+        });
+    }
+
+    /// Kick the access procedure for the current job (fresh job, retry, or
+    /// post-deferral). No-op while the medium is busy — the idle edge will
+    /// restart us.
+    fn start_access(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        if self.current.is_none() || self.phase != Phase::Idle || self.pending_response.is_some() {
+            return;
+        }
+        if !self.medium_idle(now) {
+            return; // medium edge will call medium_became_idle
+        }
+        let token = self.t_defer.arm();
+        out.push(MacAction::Arm {
+            kind: MacTimerKind::Defer,
+            delay: self.cfg.timing.difs(),
+            token,
+        });
+    }
+
+    fn on_defer_done(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        if !self.medium_idle(now) {
+            return; // raced with a busy edge; it will restart us
+        }
+        if self.backoff.is_done() {
+            self.attempt_tx(now, out);
+        } else {
+            self.count_start = Some(now);
+            let token = self.t_backoff.arm();
+            out.push(MacAction::Arm {
+                kind: MacTimerKind::Backoff,
+                delay: self.backoff.remaining_time(self.cfg.timing.slot),
+                token,
+            });
+        }
+    }
+
+    /// The medium is ours: put the first frame of the exchange on the air.
+    fn attempt_tx(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
+        if self.phase != Phase::Idle || self.pending_response.is_some() {
+            return;
+        }
+        let Some(job) = &self.current else { return };
+        if !self.medium_idle(now) {
+            return;
+        }
+
+        let max = self.cfg.max_power();
+        if job.next_hop.is_broadcast() {
+            // Broadcasts skip RTS/CTS and go at the normal (max) power in
+            // every protocol (paper §IV).
+            if self.cfg.variant.is_pcmac() {
+                if let Err(until) =
+                    self.active_rx
+                        .check(max, self.cfg.pcmac.safety_factor, None, now)
+                {
+                    self.defer_for_ctrl(until, now, out);
+                    return;
+                }
+            }
+            let frame = Frame {
+                kind: FrameKind::Data,
+                tx: self.id,
+                rx: NodeId::BROADCAST,
+                duration: Duration::ZERO,
+                tx_power: max,
+                body: FrameBody::Data {
+                    packet: job.packet.clone(),
+                    seq: 0,
+                    session: SessionId::for_pair(self.id, NodeId::BROADCAST),
+                    needs_ack: false,
+                },
+            };
+            self.counters.broadcast_sent += 1;
+            self.phase = Phase::Tx(TxKind::DataBroadcast);
+            out.push(MacAction::TxFrame { frame, power: max });
+            return;
+        }
+
+        // Small unicast frames may skip the RTS/CTS exchange entirely
+        // (dot11RTSThreshold). PCMAC data is exempt: its reliability
+        // rides on the CTS echo.
+        let on_air_bytes = crate::frame::DATA_HEADER_BYTES + job.packet.size_bytes();
+        let pcmac_data = self.cfg.variant.is_pcmac() && !job.packet.is_routing();
+        if self.cfg.rts_threshold > 0 && on_air_bytes <= self.cfg.rts_threshold && !pcmac_data {
+            let needed = self.history.level_for(job.next_hop, now);
+            let data_power = self.cfg.variant.power_policy().data_power(needed, max);
+            if self.cfg.variant.is_pcmac() {
+                if let Err(until) = self.active_rx.check(
+                    data_power,
+                    self.cfg.pcmac.safety_factor,
+                    Some(job.next_hop),
+                    now,
+                ) {
+                    self.defer_for_ctrl(until, now, out);
+                    return;
+                }
+            }
+            let next_hop = job.next_hop;
+            let packet = job.packet.clone();
+            let seq = self.allocate_seq_for_current();
+            let session = SessionId::for_pair(self.id, next_hop);
+            let frame = Frame {
+                kind: FrameKind::Data,
+                tx: self.id,
+                rx: next_hop,
+                duration: self.cfg.timing.sifs + self.cfg.timing.ack_time(),
+                tx_power: data_power,
+                body: FrameBody::Data {
+                    packet,
+                    seq,
+                    session,
+                    needs_ack: true,
+                },
+            };
+            self.counters.data_sent += 1;
+            self.phase = Phase::Tx(TxKind::DataUnicast { needs_ack: true });
+            out.push(MacAction::TxFrame {
+                frame,
+                power: data_power,
+            });
+            return;
+        }
+
+        // Unicast: RTS first.
+        let rts_power = match self.cfg.variant {
+            Variant::Basic | Variant::Scheme1 => max,
+            Variant::Scheme2 => self.history.level_for(job.next_hop, now),
+            Variant::Pcmac => self.rts_power,
+        };
+        if self.cfg.variant.is_pcmac() {
+            // Paper §III step 2: would this power corrupt a protected
+            // reception nearby? (The intended receiver is *not* exempt
+            // here — if it is busy receiving from someone else, our RTS
+            // would be the collision.)
+            if let Err(until) =
+                self.active_rx
+                    .check(rts_power, self.cfg.pcmac.safety_factor, None, now)
+            {
+                self.defer_for_ctrl(until, now, out);
+                return;
+            }
+        }
+
+        let needs_ack = !self.cfg.variant.is_pcmac()
+            || job.packet.is_routing()
+            || self.cfg.pcmac.four_way_handshake;
+        let data_bytes = crate::frame::DATA_HEADER_BYTES + job.packet.size_bytes();
+        let data_time = self.cfg.timing.airtime_data(data_bytes);
+        let t = &self.cfg.timing;
+        let duration = if needs_ack {
+            t.sifs * 3 + t.cts_time() + data_time + t.ack_time()
+        } else {
+            t.sifs * 2 + t.cts_time() + data_time
+        };
+        let sender_noise = if self.cfg.variant.is_pcmac() {
+            Some(self.last_noise)
+        } else {
+            None
+        };
+        let rts = Frame {
+            kind: FrameKind::Rts,
+            tx: self.id,
+            rx: job.next_hop,
+            duration,
+            tx_power: rts_power,
+            body: FrameBody::Rts { sender_noise },
+        };
+        self.counters.rts_sent += 1;
+        self.phase = Phase::Tx(TxKind::Rts);
+        out.push(MacAction::TxFrame {
+            frame: rts,
+            power: rts_power,
+        });
+    }
+
+    fn defer_for_ctrl(&mut self, until: SimTime, now: SimTime, out: &mut Vec<MacAction>) {
+        self.counters.ctrl_deferrals += 1;
+        let token = self.t_ctrl.arm();
+        out.push(MacAction::Arm {
+            kind: MacTimerKind::CtrlRetry,
+            delay: until.saturating_since(now) + Duration::from_micros(1),
+            token,
+        });
+    }
+
+    fn schedule_response(&mut self, frame: Frame, power: Milliwatts, out: &mut Vec<MacAction>) {
+        debug_assert!(self.pending_response.is_none());
+        self.pending_response = Some((frame, power));
+        let token = self.t_resp.arm();
+        out.push(MacAction::Arm {
+            kind: MacTimerKind::Response,
+            delay: self.cfg.timing.sifs,
+            token,
+        });
+    }
+
+    fn fire_response(&mut self, _now: SimTime, out: &mut Vec<MacAction>) {
+        let Some((frame, power)) = self.pending_response.take() else {
+            return;
+        };
+        let kind = match frame.kind {
+            FrameKind::Cts => {
+                self.counters.cts_sent += 1;
+                TxKind::Cts
+            }
+            FrameKind::Ack => {
+                self.counters.ack_sent += 1;
+                TxKind::Ack
+            }
+            FrameKind::Data => {
+                self.counters.data_sent += 1;
+                let needs_ack = matches!(
+                    frame.body,
+                    FrameBody::Data {
+                        needs_ack: true,
+                        ..
+                    }
+                );
+                TxKind::DataUnicast { needs_ack }
+            }
+            FrameKind::Rts => unreachable!("RTS is never a SIFS response"),
+        };
+        self.phase = Phase::Tx(kind);
+        out.push(MacAction::TxFrame { frame, power });
+    }
+}

@@ -1,0 +1,202 @@
+//! MAC frame model.
+//!
+//! [`Frame`] is what actually flies on the data channel: RTS, CTS, DATA or
+//! ACK, with the transmitter/receiver MAC addresses, the NAV duration field
+//! and — following the paper — the transmit power level in the header (all
+//! power-control variants stamp it so receivers can infer the propagation
+//! gain). [`CtrlFrame`] is PCMAC's short broadcast on the separate power
+//! control channel.
+
+use pcmac_engine::{Duration, Milliwatts, NodeId, SessionId};
+use pcmac_net::Packet;
+
+/// RTS frame size (bytes, including FCS).
+pub const RTS_BYTES: u32 = 20;
+/// CTS frame size (bytes, including FCS).
+pub const CTS_BYTES: u32 = 14;
+/// ACK frame size (bytes, including FCS).
+pub const ACK_BYTES: u32 = 14;
+/// MAC header + FCS overhead on a data frame (bytes).
+pub const DATA_HEADER_BYTES: u32 = 28;
+
+/// PCMAC power-control packet: 16-bit preamble + 8-bit node id + 16-bit
+/// noise tolerance + 8-bit FEC = 48 bits (paper Fig. 7).
+pub const CTRL_FRAME_BITS: u64 = 48;
+
+/// Frame type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Request to send.
+    Rts,
+    /// Clear to send.
+    Cts,
+    /// Data (unicast with handshake, or broadcast without).
+    Data,
+    /// Acknowledgment.
+    Ack,
+}
+
+/// Type-specific frame contents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameBody {
+    /// RTS. Under PCMAC it advertises the noise level currently observed
+    /// at the sender so the responder can size its CTS power (paper §III
+    /// step 2).
+    Rts {
+        /// Noise observed at the RTS sender (`None` outside PCMAC).
+        sender_noise: Option<Milliwatts>,
+    },
+    /// CTS. Under PCMAC it carries the power the responder wants the DATA
+    /// sent at, plus the implicit-acknowledgment echo of the last data
+    /// packet received from the requester (paper §III steps 3–4).
+    Cts {
+        /// Required DATA transmit power (`None` outside PCMAC).
+        required_data_power: Option<Milliwatts>,
+        /// (session, sequence) of the last DATA received from the
+        /// requester; `None` when the table has no entry.
+        last_received: Option<(SessionId, u32)>,
+    },
+    /// A data frame wrapping a network packet.
+    Data {
+        /// The network packet.
+        packet: Packet,
+        /// MAC-level sequence number within the session.
+        seq: u32,
+        /// Session (src, dst MAC pair) the sequence number belongs to.
+        session: SessionId,
+        /// `false` for PCMAC data frames (three-way handshake, no ACK).
+        needs_ack: bool,
+    },
+    /// An ACK.
+    Ack,
+}
+
+/// A frame on the data channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Frame type (redundant with `body`, kept for cheap dispatch).
+    pub kind: FrameKind,
+    /// Transmitter MAC address.
+    pub tx: NodeId,
+    /// Receiver MAC address ([`NodeId::BROADCAST`] for broadcasts).
+    pub rx: NodeId,
+    /// NAV duration: how long the medium stays reserved *after* this frame
+    /// ends.
+    pub duration: Duration,
+    /// Power this frame was transmitted at (in the header per the paper,
+    /// so receivers can estimate the propagation gain).
+    pub tx_power: Milliwatts,
+    /// Type-specific contents.
+    pub body: FrameBody,
+}
+
+impl Frame {
+    /// On-air size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        match &self.body {
+            FrameBody::Rts { .. } => RTS_BYTES,
+            FrameBody::Cts { .. } => CTS_BYTES,
+            FrameBody::Data { packet, .. } => DATA_HEADER_BYTES + packet.size_bytes(),
+            FrameBody::Ack => ACK_BYTES,
+        }
+    }
+
+    /// `true` if this frame is addressed to `node` (including broadcast).
+    #[inline]
+    pub fn is_for(&self, node: NodeId) -> bool {
+        self.rx == node || self.rx.is_broadcast()
+    }
+
+    /// `true` for broadcast frames.
+    #[inline]
+    pub fn is_broadcast(&self) -> bool {
+        self.rx.is_broadcast()
+    }
+}
+
+/// PCMAC's power-control channel broadcast: "I am receiving; I can endure
+/// this much extra noise for this much longer."
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrlFrame {
+    /// The receiving node advertising its tolerance.
+    pub receiver: NodeId,
+    /// Extra noise (linear power) the reception can endure at the
+    /// receiver: `S_r / η_cp − N_r`.
+    pub noise_tolerance: Milliwatts,
+    /// Time left in the protected reception. Physically derivable from the
+    /// fixed data packet length (paper assumption 4); carried explicitly
+    /// for simulation convenience.
+    pub remaining: Duration,
+    /// Power this control frame was transmitted at (always the maximum
+    /// level) so hearers can compute the gain toward the receiver.
+    pub tx_power: Milliwatts,
+}
+
+impl CtrlFrame {
+    /// Airtime of the 48-bit control packet on a channel of `rate_bps`
+    /// (96 µs at the paper's 500 kbps).
+    pub fn airtime(rate_bps: u64) -> Duration {
+        Duration::from_nanos(CTRL_FRAME_BITS * 1_000_000_000 / rate_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmac_engine::{FlowId, PacketId, SimTime};
+
+    fn data_frame(bytes: u32, rx: NodeId) -> Frame {
+        Frame {
+            kind: FrameKind::Data,
+            tx: NodeId(1),
+            rx,
+            duration: Duration::ZERO,
+            tx_power: Milliwatts(281.83815),
+            body: FrameBody::Data {
+                packet: Packet::data(
+                    PacketId(1),
+                    FlowId(0),
+                    NodeId(1),
+                    NodeId(2),
+                    bytes,
+                    SimTime::ZERO,
+                ),
+                seq: 0,
+                session: SessionId::for_pair(NodeId(1), NodeId(2)),
+                needs_ack: true,
+            },
+        }
+    }
+
+    #[test]
+    fn frame_sizes() {
+        let rts = Frame {
+            kind: FrameKind::Rts,
+            tx: NodeId(1),
+            rx: NodeId(2),
+            duration: Duration::ZERO,
+            tx_power: Milliwatts(1.0),
+            body: FrameBody::Rts { sender_noise: None },
+        };
+        assert_eq!(rts.size_bytes(), 20);
+        // paper's 512 B payload → 568 B on-air data frame
+        assert_eq!(data_frame(512, NodeId(2)).size_bytes(), 568);
+    }
+
+    #[test]
+    fn addressing() {
+        let f = data_frame(10, NodeId(2));
+        assert!(f.is_for(NodeId(2)));
+        assert!(!f.is_for(NodeId(3)));
+        assert!(!f.is_broadcast());
+        let b = data_frame(10, NodeId::BROADCAST);
+        assert!(b.is_for(NodeId(3)));
+        assert!(b.is_broadcast());
+    }
+
+    #[test]
+    fn ctrl_frame_airtime_at_paper_rate() {
+        // 48 bits at 500 kbps = 96 µs.
+        assert_eq!(CtrlFrame::airtime(500_000), Duration::from_micros(96));
+    }
+}

@@ -1,0 +1,42 @@
+//! # pcmac-mac — IEEE 802.11 DCF with power control, and PCMAC
+//!
+//! The medium access layer of the reproduction. One DCF engine
+//! ([`DcfMac`]) implements all four protocols compared in the paper's
+//! evaluation:
+//!
+//! | Variant | RTS/CTS | DATA/ACK | Extras |
+//! |---|---|---|---|
+//! | [`Variant::Basic`]   | max power | max power | — |
+//! | [`Variant::Scheme1`] | max power | needed power | power history table |
+//! | [`Variant::Scheme2`] | needed | needed | power history table |
+//! | [`Variant::Pcmac`]   | needed | needed, **no ACK** | control channel, 3-way handshake, tolerance checks |
+//!
+//! Modules:
+//!
+//! * [`timing`] — DSSS slot/SIFS/DIFS/EIFS and frame airtimes.
+//! * [`frame`] — RTS/CTS/DATA/ACK frames and the PCMAC control-channel
+//!   frame (48 bits).
+//! * [`nav`] — virtual carrier sense.
+//! * [`backoff`] — binary exponential backoff with freeze/resume.
+//! * [`power`] — the needed-power history table and per-variant policies.
+//! * [`pcmac`] — noise tolerances, protected-receiver registry, and the
+//!   sent/received tables of the three-way handshake.
+//! * [`dcf`] — the full state machine.
+//! * [`config`], [`counters`] — knobs and statistics.
+
+pub mod backoff;
+pub mod config;
+pub mod counters;
+pub mod dcf;
+pub mod frame;
+pub mod nav;
+pub mod pcmac;
+pub mod power;
+pub mod timing;
+
+pub use config::{MacConfig, PcmacParams, Variant};
+pub use counters::MacCounters;
+pub use dcf::{DcfMac, MacAction, MacTimerKind};
+pub use frame::{CtrlFrame, Frame, FrameBody, FrameKind};
+pub use power::{PowerHistory, PowerPolicy};
+pub use timing::Dot11Timing;

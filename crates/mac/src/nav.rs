@@ -1,0 +1,101 @@
+//! Network Allocation Vector — virtual carrier sense.
+//!
+//! Every decoded frame not addressed to us reserves the medium for its
+//! `duration` field beyond its end; a frame we *sensed but could not
+//! decode* reserves EIFS (ns-2 models EIFS as a NAV assignment, and we
+//! follow it). The medium is virtually busy while `nav > now`.
+
+use pcmac_engine::{Duration, SimTime};
+
+/// NAV tracker.
+#[derive(Debug, Clone, Default)]
+pub struct Nav {
+    until: SimTime,
+}
+
+impl Nav {
+    /// A cleared NAV.
+    pub fn new() -> Self {
+        Nav {
+            until: SimTime::ZERO,
+        }
+    }
+
+    /// Extend the reservation to at least `now + d`. Returns `true` if the
+    /// expiry moved (the caller re-arms its NAV timer only then).
+    pub fn reserve(&mut self, now: SimTime, d: Duration) -> bool {
+        let candidate = now + d;
+        if candidate > self.until {
+            self.until = candidate;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` while the medium is virtually reserved.
+    #[inline]
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        self.until > now
+    }
+
+    /// Current expiry instant.
+    #[inline]
+    pub fn expiry(&self) -> SimTime {
+        self.until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+
+    #[test]
+    fn starts_idle() {
+        let nav = Nav::new();
+        assert!(!nav.is_busy(SimTime::ZERO));
+    }
+
+    #[test]
+    fn reserve_sets_busy_until_expiry() {
+        let mut nav = Nav::new();
+        assert!(nav.reserve(t(0), Duration::from_micros(100)));
+        assert!(nav.is_busy(t(50)));
+        assert!(nav.is_busy(t(99)));
+        assert!(!nav.is_busy(t(100)), "expiry instant is idle");
+    }
+
+    #[test]
+    fn shorter_reservation_does_not_shrink() {
+        let mut nav = Nav::new();
+        nav.reserve(t(0), Duration::from_micros(100));
+        assert!(
+            !nav.reserve(t(10), Duration::from_micros(10)),
+            "no change reported"
+        );
+        assert_eq!(nav.expiry(), t(100));
+    }
+
+    #[test]
+    fn longer_reservation_extends() {
+        let mut nav = Nav::new();
+        nav.reserve(t(0), Duration::from_micros(50));
+        assert!(nav.reserve(t(10), Duration::from_micros(100)));
+        assert_eq!(nav.expiry(), t(110));
+    }
+
+    #[test]
+    fn monotone_expiry_under_any_sequence() {
+        let mut nav = Nav::new();
+        let mut last = nav.expiry();
+        for (at, d) in [(0, 30), (5, 10), (10, 200), (20, 50), (30, 500)] {
+            nav.reserve(t(at), Duration::from_micros(d));
+            assert!(nav.expiry() >= last);
+            last = nav.expiry();
+        }
+    }
+}

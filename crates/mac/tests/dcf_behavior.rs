@@ -1,0 +1,897 @@
+//! Behavioural tests of the DCF state machine.
+//!
+//! The MAC is a pure state machine, so we can script it: feed radio
+//! indications and fire timers by hand, then assert on the emitted
+//! actions. Full medium-in-the-loop tests live in the workspace-level
+//! integration suite; here we pin the protocol logic itself.
+
+use pcmac_engine::{
+    Duration, FlowId, Milliwatts, NodeId, PacketId, SessionId, SimTime, TimerToken,
+};
+use pcmac_mac::{
+    CtrlFrame, DcfMac, Frame, FrameBody, FrameKind, MacAction, MacConfig, MacTimerKind, Variant,
+};
+use pcmac_net::{Packet, Payload, Rrep};
+
+const MAX_P: Milliwatts = Milliwatts(281.83815);
+
+fn t(us: u64) -> SimTime {
+    SimTime::ZERO + Duration::from_micros(us)
+}
+
+fn mac(id: u32, variant: Variant) -> DcfMac {
+    DcfMac::new(NodeId(id), MacConfig::paper_default(variant), 42)
+}
+
+fn data_packet(n: u64, src: u32, dst: u32) -> Packet {
+    Packet::data(
+        PacketId(n),
+        FlowId(0),
+        NodeId(src),
+        NodeId(dst),
+        512,
+        SimTime::ZERO,
+    )
+}
+
+/// Pull the single Arm action of the given kind out of an action list.
+fn armed(out: &[MacAction], kind: MacTimerKind) -> Option<(Duration, TimerToken)> {
+    out.iter().find_map(|a| match a {
+        MacAction::Arm {
+            kind: k,
+            delay,
+            token,
+        } if *k == kind => Some((*delay, *token)),
+        _ => None,
+    })
+}
+
+fn tx_frames(out: &[MacAction]) -> Vec<(&Frame, Milliwatts)> {
+    out.iter()
+        .filter_map(|a| match a {
+            MacAction::TxFrame { frame, power } => Some((frame, *power)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Drive a sender from enqueue to its RTS hitting the air on an idle
+/// medium. Returns the RTS frame+power and the time it launched.
+fn launch_rts(
+    m: &mut DcfMac,
+    pkt: Packet,
+    next_hop: u32,
+    start: SimTime,
+) -> (Frame, Milliwatts, SimTime) {
+    let mut out = Vec::new();
+    m.enqueue(pkt, NodeId(next_hop), start, &mut out);
+    let (difs, tok) = armed(&out, MacTimerKind::Defer).expect("defer armed on idle medium");
+    let t1 = start + difs;
+    out.clear();
+    m.on_timer(MacTimerKind::Defer, tok, t1, &mut out);
+    // A fresh arrival on an idle medium transmits right after DIFS (no
+    // backoff needed) — or counts down a residual first.
+    if let Some((delay, tok2)) = armed(&out, MacTimerKind::Backoff) {
+        let t2 = t1 + delay;
+        out.clear();
+        m.on_timer(MacTimerKind::Backoff, tok2, t2, &mut out);
+        let frames = tx_frames(&out);
+        assert_eq!(frames.len(), 1, "exactly one frame: {out:?}");
+        let (f, p) = frames[0];
+        return (f.clone(), p, t2);
+    }
+    let frames = tx_frames(&out);
+    assert_eq!(frames.len(), 1, "exactly one frame: {out:?}");
+    let (f, p) = frames[0];
+    (f.clone(), p, t1)
+}
+
+#[test]
+fn fresh_packet_on_idle_medium_sends_rts_after_difs() {
+    let mut m = mac(1, Variant::Basic);
+    let (rts, power, _) = launch_rts(&mut m, data_packet(1, 1, 2), 2, t(0));
+    assert_eq!(rts.kind, FrameKind::Rts);
+    assert_eq!(rts.tx, NodeId(1));
+    assert_eq!(rts.rx, NodeId(2));
+    assert_eq!(power, MAX_P, "basic 802.11 sends at max power");
+    // The RTS must reserve the whole 4-way exchange.
+    assert!(rts.duration > Duration::from_micros(3000));
+}
+
+#[test]
+fn broadcast_skips_rts() {
+    let mut m = mac(1, Variant::Basic);
+    let mut out = Vec::new();
+    let pkt = Packet::control(
+        PacketId(1),
+        NodeId(1),
+        NodeId::BROADCAST,
+        SimTime::ZERO,
+        Payload::Rrep(Rrep {
+            origin: NodeId(1),
+            target: NodeId(2),
+            target_seq: 0,
+            hop_count: 0,
+        }),
+    );
+    m.enqueue(pkt, NodeId::BROADCAST, t(0), &mut out);
+    let (difs, tok) = armed(&out, MacTimerKind::Defer).unwrap();
+    out.clear();
+    m.on_timer(MacTimerKind::Defer, tok, t(0) + difs, &mut out);
+    let frames = tx_frames(&out);
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].0.kind, FrameKind::Data);
+    assert!(frames[0].0.is_broadcast());
+    assert_eq!(frames[0].1, MAX_P, "broadcasts always at normal power");
+}
+
+#[test]
+fn busy_medium_defers_until_idle() {
+    let mut m = mac(1, Variant::Basic);
+    let mut out = Vec::new();
+    m.on_carrier(true, t(0), &mut out);
+    m.enqueue(data_packet(1, 1, 2), NodeId(2), t(5), &mut out);
+    assert!(
+        armed(&out, MacTimerKind::Defer).is_none(),
+        "no defer while busy"
+    );
+    out.clear();
+    m.on_carrier(false, t(100), &mut out);
+    assert!(
+        armed(&out, MacTimerKind::Defer).is_some(),
+        "defer starts on the idle edge"
+    );
+}
+
+#[test]
+fn post_busy_access_uses_backoff() {
+    let mut m = mac(1, Variant::Basic);
+    let mut out = Vec::new();
+    m.on_carrier(true, t(0), &mut out);
+    m.enqueue(data_packet(1, 1, 2), NodeId(2), t(5), &mut out);
+    out.clear();
+    m.on_carrier(false, t(100), &mut out);
+    let (difs, tok) = armed(&out, MacTimerKind::Defer).unwrap();
+    out.clear();
+    m.on_timer(MacTimerKind::Defer, tok, t(100) + difs, &mut out);
+    // After a busy period 802.11 must draw a backoff; with seed 42 the
+    // draw may legitimately be zero, so accept either an immediate TX or
+    // a backoff arm — but at least one of them.
+    let has_backoff = armed(&out, MacTimerKind::Backoff).is_some();
+    let has_tx = !tx_frames(&out).is_empty();
+    assert!(
+        has_backoff || has_tx,
+        "either counting or transmitting: {out:?}"
+    );
+}
+
+#[test]
+fn overheard_rts_sets_nav_and_blocks_access() {
+    let mut m = mac(3, Variant::Basic);
+    let mut out = Vec::new();
+    // Overhear an RTS reserving 5000 µs, addressed to someone else.
+    let rts = Frame {
+        kind: FrameKind::Rts,
+        tx: NodeId(1),
+        rx: NodeId(2),
+        duration: Duration::from_micros(5000),
+        tx_power: MAX_P,
+        body: FrameBody::Rts { sender_noise: None },
+    };
+    m.on_rx_end(rts, Milliwatts(1e-4), true, t(0), &mut out);
+    assert!(
+        armed(&out, MacTimerKind::NavExpire).is_some(),
+        "nav timer armed"
+    );
+    out.clear();
+    // Enqueue during the NAV window: no access.
+    m.enqueue(data_packet(1, 3, 4), NodeId(4), t(10), &mut out);
+    assert!(
+        armed(&out, MacTimerKind::Defer).is_none(),
+        "NAV blocks access"
+    );
+}
+
+#[test]
+fn corrupted_rx_defers_eifs() {
+    let mut m = mac(3, Variant::Basic);
+    let mut out = Vec::new();
+    let junk = Frame {
+        kind: FrameKind::Data,
+        tx: NodeId(9),
+        rx: NodeId(8),
+        duration: Duration::ZERO,
+        tx_power: MAX_P,
+        body: FrameBody::Ack,
+    };
+    m.on_rx_end(junk, Milliwatts(1e-6), false, t(0), &mut out);
+    let (delay, _) = armed(&out, MacTimerKind::NavExpire).expect("EIFS modelled via NAV");
+    assert_eq!(delay, Duration::from_micros(364), "EIFS = 364 µs");
+    assert_eq!(m.counters.rx_errors, 1);
+}
+
+#[test]
+fn receiver_responds_cts_after_sifs() {
+    let mut m = mac(2, Variant::Basic);
+    let mut out = Vec::new();
+    let rts = Frame {
+        kind: FrameKind::Rts,
+        tx: NodeId(1),
+        rx: NodeId(2),
+        duration: Duration::from_micros(4000),
+        tx_power: MAX_P,
+        body: FrameBody::Rts { sender_noise: None },
+    };
+    m.on_rx_end(rts, Milliwatts(1e-4), true, t(0), &mut out);
+    let (sifs, tok) = armed(&out, MacTimerKind::Response).expect("CTS scheduled");
+    assert_eq!(sifs, Duration::from_micros(10));
+    out.clear();
+    m.on_timer(MacTimerKind::Response, tok, t(10), &mut out);
+    let frames = tx_frames(&out);
+    assert_eq!(frames.len(), 1);
+    let (cts, power) = frames[0];
+    assert_eq!(cts.kind, FrameKind::Cts);
+    assert_eq!(cts.rx, NodeId(1));
+    assert_eq!(power, MAX_P);
+    // CTS duration = RTS duration − SIFS − CTS airtime.
+    assert_eq!(cts.duration, Duration::from_micros(4000 - 10 - 304),);
+}
+
+#[test]
+fn receiver_with_nav_ignores_rts() {
+    let mut m = mac(2, Variant::Basic);
+    let mut out = Vec::new();
+    // NAV set by an overheard CTS.
+    let foreign = Frame {
+        kind: FrameKind::Cts,
+        tx: NodeId(8),
+        rx: NodeId(9),
+        duration: Duration::from_micros(3000),
+        tx_power: MAX_P,
+        body: FrameBody::Cts {
+            required_data_power: None,
+            last_received: None,
+        },
+    };
+    m.on_rx_end(foreign, Milliwatts(1e-4), true, t(0), &mut out);
+    out.clear();
+    let rts = Frame {
+        kind: FrameKind::Rts,
+        tx: NodeId(1),
+        rx: NodeId(2),
+        duration: Duration::from_micros(4000),
+        tx_power: MAX_P,
+        body: FrameBody::Rts { sender_noise: None },
+    };
+    m.on_rx_end(rts, Milliwatts(1e-4), true, t(10), &mut out);
+    assert!(
+        armed(&out, MacTimerKind::Response).is_none(),
+        "802.11: NAV-busy station must not answer RTS"
+    );
+}
+
+#[test]
+fn full_four_way_sender_side() {
+    let mut m = mac(1, Variant::Basic);
+    let (rts, _, t0) = launch_rts(&mut m, data_packet(1, 1, 2), 2, t(0));
+    assert_eq!(rts.kind, FrameKind::Rts);
+
+    // RTS finishes on air.
+    let mut out = Vec::new();
+    let t1 = t0 + Duration::from_micros(352);
+    m.on_tx_end(t1, &mut out);
+    let (cto, _) = armed(&out, MacTimerKind::CtsTimeout).expect("waiting for CTS");
+    assert_eq!(cto, Duration::from_micros(10 + 304 + 40));
+
+    // CTS arrives.
+    out.clear();
+    let cts = Frame {
+        kind: FrameKind::Cts,
+        tx: NodeId(2),
+        rx: NodeId(1),
+        duration: Duration::from_micros(3000),
+        tx_power: MAX_P,
+        body: FrameBody::Cts {
+            required_data_power: None,
+            last_received: None,
+        },
+    };
+    let t2 = t1 + Duration::from_micros(10 + 304);
+    m.on_rx_end(cts, Milliwatts(1e-4), true, t2, &mut out);
+    let (sifs, tok) = armed(&out, MacTimerKind::Response).expect("DATA follows CTS");
+    assert_eq!(sifs, Duration::from_micros(10));
+
+    // DATA goes out.
+    out.clear();
+    let t3 = t2 + sifs;
+    m.on_timer(MacTimerKind::Response, tok, t3, &mut out);
+    let frames = tx_frames(&out);
+    assert_eq!(frames.len(), 1);
+    let data = frames[0].0.clone();
+    assert_eq!(data.kind, FrameKind::Data);
+    match &data.body {
+        FrameBody::Data { needs_ack, .. } => assert!(*needs_ack, "basic 802.11 wants the ACK"),
+        b => panic!("expected data body, got {b:?}"),
+    }
+    // DATA duration reserves SIFS + ACK.
+    assert_eq!(data.duration, Duration::from_micros(10 + 304));
+
+    // DATA tx ends → ACK timeout armed.
+    out.clear();
+    let t4 = t3 + Duration::from_micros(2464);
+    m.on_tx_end(t4, &mut out);
+    assert!(armed(&out, MacTimerKind::AckTimeout).is_some());
+
+    // ACK arrives → success, post-backoff for the (empty) queue.
+    out.clear();
+    let ack = Frame {
+        kind: FrameKind::Ack,
+        tx: NodeId(2),
+        rx: NodeId(1),
+        duration: Duration::ZERO,
+        tx_power: MAX_P,
+        body: FrameBody::Ack,
+    };
+    m.on_rx_end(
+        ack,
+        Milliwatts(1e-4),
+        true,
+        t4 + Duration::from_micros(314),
+        &mut out,
+    );
+    assert_eq!(m.queue_len(), 0, "job complete");
+}
+
+#[test]
+fn receiver_delivers_data_and_acks() {
+    let mut m = mac(2, Variant::Basic);
+    let mut out = Vec::new();
+    let session = SessionId::for_pair(NodeId(1), NodeId(2));
+    let data = Frame {
+        kind: FrameKind::Data,
+        tx: NodeId(1),
+        rx: NodeId(2),
+        duration: Duration::from_micros(314),
+        tx_power: MAX_P,
+        body: FrameBody::Data {
+            packet: data_packet(7, 1, 2),
+            seq: 0,
+            session,
+            needs_ack: true,
+        },
+    };
+    m.on_rx_end(data.clone(), Milliwatts(1e-4), true, t(0), &mut out);
+    assert!(
+        out.iter()
+            .any(|a| matches!(a, MacAction::Deliver { packet, from }
+            if packet.id == PacketId(7) && *from == NodeId(1))),
+        "packet delivered upward"
+    );
+    let (_, tok) = armed(&out, MacTimerKind::Response).expect("ACK scheduled");
+    out.clear();
+    m.on_timer(MacTimerKind::Response, tok, t(10), &mut out);
+    assert_eq!(tx_frames(&out)[0].0.kind, FrameKind::Ack);
+
+    // A duplicate of the same frame is ACKed again but not re-delivered.
+    out.clear();
+    m.on_tx_end(t(324), &mut out); // finish our ACK first
+    out.clear();
+    m.on_rx_end(data, Milliwatts(1e-4), true, t(400), &mut out);
+    assert!(
+        !out.iter().any(|a| matches!(a, MacAction::Deliver { .. })),
+        "duplicate suppressed"
+    );
+    assert!(
+        armed(&out, MacTimerKind::Response).is_some(),
+        "dup still ACKed"
+    );
+    assert_eq!(m.counters.duplicates, 1);
+}
+
+#[test]
+fn cts_timeout_retries_then_drops_with_link_failure() {
+    let mut m = mac(1, Variant::Basic);
+    let (_, _, mut now) = launch_rts(&mut m, data_packet(1, 1, 2), 2, t(0));
+    let mut out = Vec::new();
+    let mut failures = 0;
+    for attempt in 0..7 {
+        now += Duration::from_micros(352);
+        out.clear();
+        m.on_tx_end(now, &mut out);
+        let (cto, tok) = armed(&out, MacTimerKind::CtsTimeout).expect("cts timer");
+        now += cto;
+        out.clear();
+        m.on_timer(MacTimerKind::CtsTimeout, tok, now, &mut out);
+        if let Some(a) = out
+            .iter()
+            .find(|a| matches!(a, MacAction::LinkFailure { .. }))
+        {
+            failures += 1;
+            assert_eq!(attempt, 6, "seven attempts then give up: {a:?}");
+            break;
+        }
+        // Retry path: defer re-armed; walk it to the next RTS.
+        let (d, tok) = armed(&out, MacTimerKind::Defer).expect("retry re-arms defer");
+        now += d;
+        out.clear();
+        m.on_timer(MacTimerKind::Defer, tok, now, &mut out);
+        if let Some((bd, tok2)) = armed(&out, MacTimerKind::Backoff) {
+            now += bd;
+            out.clear();
+            m.on_timer(MacTimerKind::Backoff, tok2, now, &mut out);
+        }
+        assert_eq!(tx_frames(&out).len(), 1, "retry RTS on air");
+    }
+    assert_eq!(failures, 1);
+    assert_eq!(m.counters.cts_timeouts, 7);
+    assert_eq!(m.counters.retry_drops, 1);
+}
+
+// ----------------------------------------------------------------------
+// PCMAC behaviour
+// ----------------------------------------------------------------------
+
+#[test]
+fn pcmac_rts_carries_noise_and_uses_learned_power() {
+    let mut m = mac(1, Variant::Pcmac);
+    // Teach the table: a frame from node 2 heard strongly.
+    let mut out = Vec::new();
+    let teach = Frame {
+        kind: FrameKind::Ack,
+        tx: NodeId(2),
+        rx: NodeId(1),
+        duration: Duration::ZERO,
+        tx_power: MAX_P,
+        body: FrameBody::Ack,
+    };
+    // gain = 1e-3/281.8 ≈ 3.55e-6 → needed ≈ 0.103 mW → class 1 mW.
+    m.on_rx_end(teach, Milliwatts(1e-3), true, t(0), &mut out);
+    m.set_noise(Milliwatts(5e-9));
+
+    let (rts, power, _) = launch_rts(&mut m, data_packet(1, 1, 2), 2, t(10));
+    assert_eq!(power, Milliwatts(1.0), "learned class, not max");
+    match rts.body {
+        FrameBody::Rts { sender_noise } => {
+            assert_eq!(sender_noise, Some(Milliwatts(5e-9)), "noise advertised")
+        }
+        b => panic!("not an RTS body: {b:?}"),
+    }
+    // Three-way handshake: RTS reserves 2×SIFS + CTS + DATA only.
+    let expect = Duration::from_micros(2 * 10 + 304 + 192 + 568 * 4);
+    assert_eq!(rts.duration, expect);
+}
+
+#[test]
+fn pcmac_data_needs_no_ack_and_finishes_after_tx() {
+    let mut m = mac(1, Variant::Pcmac);
+    let (_, _, t0) = launch_rts(&mut m, data_packet(1, 1, 2), 2, t(0));
+    let mut out = Vec::new();
+    let t1 = t0 + Duration::from_micros(352);
+    m.on_tx_end(t1, &mut out);
+    out.clear();
+    let cts = Frame {
+        kind: FrameKind::Cts,
+        tx: NodeId(2),
+        rx: NodeId(1),
+        duration: Duration::from_micros(2500),
+        tx_power: Milliwatts(1.0),
+        body: FrameBody::Cts {
+            required_data_power: Some(Milliwatts(2.0)),
+            last_received: None,
+        },
+    };
+    let t2 = t1 + Duration::from_micros(314);
+    m.on_rx_end(cts, Milliwatts(1e-3), true, t2, &mut out);
+    let (_, tok) = armed(&out, MacTimerKind::Response).unwrap();
+    out.clear();
+    m.on_timer(
+        MacTimerKind::Response,
+        tok,
+        t2 + Duration::from_micros(10),
+        &mut out,
+    );
+    let frames = tx_frames(&out);
+    let (data, p) = (&frames[0].0, frames[0].1);
+    assert_eq!(p, Milliwatts(2.0), "CTS dictated the DATA power");
+    match &data.body {
+        FrameBody::Data { needs_ack, .. } => assert!(!needs_ack, "three-way handshake"),
+        b => panic!("{b:?}"),
+    }
+    assert_eq!(data.duration, Duration::ZERO, "no ACK to reserve for");
+    // DATA ends → exchange complete without any ACK timer.
+    out.clear();
+    m.on_tx_end(t2 + Duration::from_micros(2500), &mut out);
+    assert!(armed(&out, MacTimerKind::AckTimeout).is_none());
+    assert_eq!(m.queue_len(), 0);
+}
+
+#[test]
+fn pcmac_routing_unicast_keeps_four_way() {
+    let mut m = mac(1, Variant::Pcmac);
+    let rrep = Packet::control(
+        PacketId(5),
+        NodeId(1),
+        NodeId(2),
+        SimTime::ZERO,
+        Payload::Rrep(Rrep {
+            origin: NodeId(3),
+            target: NodeId(2),
+            target_seq: 1,
+            hop_count: 1,
+        }),
+    );
+    let (_, _, t0) = launch_rts(&mut m, rrep, 2, t(0));
+    let mut out = Vec::new();
+    let t1 = t0 + Duration::from_micros(352);
+    m.on_tx_end(t1, &mut out);
+    out.clear();
+    let cts = Frame {
+        kind: FrameKind::Cts,
+        tx: NodeId(2),
+        rx: NodeId(1),
+        duration: Duration::from_micros(2000),
+        tx_power: Milliwatts(1.0),
+        body: FrameBody::Cts {
+            required_data_power: Some(Milliwatts(1.0)),
+            last_received: None,
+        },
+    };
+    let t2 = t1 + Duration::from_micros(314);
+    m.on_rx_end(cts, Milliwatts(1e-3), true, t2, &mut out);
+    let (_, tok) = armed(&out, MacTimerKind::Response).unwrap();
+    out.clear();
+    m.on_timer(
+        MacTimerKind::Response,
+        tok,
+        t2 + Duration::from_micros(10),
+        &mut out,
+    );
+    match &tx_frames(&out)[0].0.body {
+        FrameBody::Data { needs_ack, .. } => {
+            assert!(*needs_ack, "routing packets keep RTS-CTS-DATA-ACK")
+        }
+        b => panic!("{b:?}"),
+    }
+}
+
+#[test]
+fn pcmac_receiver_broadcasts_tolerance_on_data_rx_start() {
+    let mut m = mac(2, Variant::Pcmac);
+    let mut out = Vec::new();
+    let session = SessionId::for_pair(NodeId(1), NodeId(2));
+    let data = Frame {
+        kind: FrameKind::Data,
+        tx: NodeId(1),
+        rx: NodeId(2),
+        duration: Duration::ZERO,
+        tx_power: Milliwatts(2.0),
+        body: FrameBody::Data {
+            packet: data_packet(1, 1, 2),
+            seq: 0,
+            session,
+            needs_ack: false,
+        },
+    };
+    // Signal 1e-3 mW, noise 1e-6 mW → tolerance = 1e-4 − 1e-6 > 0.
+    m.on_rx_start(
+        &data,
+        Milliwatts(1e-3),
+        Milliwatts(1e-6),
+        Duration::from_micros(2464),
+        t(0),
+        &mut out,
+    );
+    let ctrl = out
+        .iter()
+        .find_map(|a| match a {
+            MacAction::TxCtrl { frame, .. } => Some(frame.clone()),
+            _ => None,
+        })
+        .expect("tolerance broadcast");
+    assert_eq!(ctrl.receiver, NodeId(2));
+    assert!((ctrl.noise_tolerance.value() - (1e-4 - 1e-6)).abs() < 1e-12);
+    assert_eq!(ctrl.remaining, Duration::from_micros(2464));
+    assert_eq!(m.counters.ctrl_broadcasts, 1);
+
+    // Non-PCMAC MACs stay silent.
+    let mut basic = mac(3, Variant::Basic);
+    let mut out2 = Vec::new();
+    let data3 = Frame {
+        rx: NodeId(3),
+        ..data
+    };
+    basic.on_rx_start(
+        &data3,
+        Milliwatts(1e-3),
+        Milliwatts(1e-6),
+        Duration::from_micros(2464),
+        t(0),
+        &mut out2,
+    );
+    assert!(out2.is_empty());
+}
+
+#[test]
+fn pcmac_defers_rts_for_protected_receiver() {
+    let mut m = mac(1, Variant::Pcmac);
+    // Hear a tolerance broadcast: receiver 5, tiny tolerance, strong gain.
+    m.on_ctrl_rx(
+        CtrlFrame {
+            receiver: NodeId(5),
+            noise_tolerance: Milliwatts(1e-9),
+            remaining: Duration::from_millis(2),
+            tx_power: MAX_P,
+        },
+        MAX_P * 1e-3, // gain 1e-3 toward the receiver
+        t(0),
+    );
+    let mut out = Vec::new();
+    m.enqueue(data_packet(1, 1, 2), NodeId(2), t(10), &mut out);
+    let (difs, tok) = armed(&out, MacTimerKind::Defer).unwrap();
+    out.clear();
+    m.on_timer(MacTimerKind::Defer, tok, t(10) + difs, &mut out);
+    // Backoff may come first depending on the draw.
+    if let Some((bd, tok2)) = armed(&out, MacTimerKind::Backoff) {
+        out.clear();
+        m.on_timer(MacTimerKind::Backoff, tok2, t(10) + difs + bd, &mut out);
+    }
+    assert!(tx_frames(&out).is_empty(), "RTS must be withheld: {out:?}");
+    let (delay, _) = armed(&out, MacTimerKind::CtrlRetry).expect("retry at tolerance expiry");
+    assert!(delay > Duration::ZERO);
+    assert_eq!(m.counters.ctrl_deferrals, 1);
+}
+
+#[test]
+fn pcmac_cts_echo_mismatch_triggers_retransmission() {
+    let mut m = mac(1, Variant::Pcmac);
+    let _session = SessionId::for_pair(NodeId(1), NodeId(2));
+
+    // First packet: full exchange, receiver echoes nothing (fresh).
+    let (_, _, t0) = launch_rts(&mut m, data_packet(1, 1, 2), 2, t(0));
+    let mut out = Vec::new();
+    let t1 = t0 + Duration::from_micros(352);
+    m.on_tx_end(t1, &mut out);
+    out.clear();
+    let cts = |echo: Option<(SessionId, u32)>| Frame {
+        kind: FrameKind::Cts,
+        tx: NodeId(2),
+        rx: NodeId(1),
+        duration: Duration::from_micros(2500),
+        tx_power: Milliwatts(1.0),
+        body: FrameBody::Cts {
+            required_data_power: Some(Milliwatts(1.0)),
+            last_received: echo,
+        },
+    };
+    let t2 = t1 + Duration::from_micros(314);
+    m.on_rx_end(cts(None), Milliwatts(1e-3), true, t2, &mut out);
+    let (_, tok) = armed(&out, MacTimerKind::Response).unwrap();
+    out.clear();
+    m.on_timer(
+        MacTimerKind::Response,
+        tok,
+        t2 + Duration::from_micros(10),
+        &mut out,
+    );
+    let first_data = tx_frames(&out)[0].0.clone();
+    let first_seq = match first_data.body {
+        FrameBody::Data { seq, .. } => seq,
+        _ => unreachable!(),
+    };
+    out.clear();
+    let t3 = t2 + Duration::from_micros(2500);
+    m.on_tx_end(t3, &mut out); // DATA done; packet 1 provisionally delivered
+
+    // Second packet.
+    out.clear();
+    m.enqueue(
+        data_packet(2, 1, 2),
+        NodeId(2),
+        t3 + Duration::from_micros(5),
+        &mut out,
+    );
+    // Walk to the RTS.
+    let (d, tok) = armed(&out, MacTimerKind::Defer).unwrap();
+    let mut now = t3 + Duration::from_micros(5) + d;
+    out.clear();
+    m.on_timer(MacTimerKind::Defer, tok, now, &mut out);
+    if let Some((bd, tok2)) = armed(&out, MacTimerKind::Backoff) {
+        now += bd;
+        out.clear();
+        m.on_timer(MacTimerKind::Backoff, tok2, now, &mut out);
+    }
+    assert_eq!(tx_frames(&out)[0].0.kind, FrameKind::Rts);
+    out.clear();
+    now += Duration::from_micros(352);
+    m.on_tx_end(now, &mut out);
+
+    // The CTS echo does NOT confirm packet 1 (receiver never got it).
+    out.clear();
+    now += Duration::from_micros(314);
+    m.on_rx_end(cts(None), Milliwatts(1e-3), true, now, &mut out);
+    let (_, tok) = armed(&out, MacTimerKind::Response).unwrap();
+    out.clear();
+    m.on_timer(
+        MacTimerKind::Response,
+        tok,
+        now + Duration::from_micros(10),
+        &mut out,
+    );
+    let retx = tx_frames(&out)[0].0.clone();
+    match retx.body {
+        FrameBody::Data { seq, packet, .. } => {
+            assert_eq!(seq, first_seq, "stored copy keeps its sequence number");
+            assert_eq!(packet.id, PacketId(1), "packet 1 retransmitted");
+        }
+        b => panic!("{b:?}"),
+    }
+    assert_eq!(m.counters.implicit_retx, 1);
+
+    // After the retransmission completes, packet 2 is still pending.
+    out.clear();
+    now += Duration::from_micros(10 + 2500);
+    m.on_tx_end(now, &mut out);
+    assert_eq!(m.queue_len(), 1, "fresh packet still owns the queue head");
+}
+
+#[test]
+fn pcmac_cts_echo_match_confirms_delivery() {
+    let mut m = mac(1, Variant::Pcmac);
+    let session = SessionId::for_pair(NodeId(1), NodeId(2));
+
+    // Packet 1 exchange.
+    let (_, _, t0) = launch_rts(&mut m, data_packet(1, 1, 2), 2, t(0));
+    let mut out = Vec::new();
+    let t1 = t0 + Duration::from_micros(352);
+    m.on_tx_end(t1, &mut out);
+    out.clear();
+    let mk_cts = |echo: Option<(SessionId, u32)>| Frame {
+        kind: FrameKind::Cts,
+        tx: NodeId(2),
+        rx: NodeId(1),
+        duration: Duration::from_micros(2500),
+        tx_power: Milliwatts(1.0),
+        body: FrameBody::Cts {
+            required_data_power: Some(Milliwatts(1.0)),
+            last_received: echo,
+        },
+    };
+    let t2 = t1 + Duration::from_micros(314);
+    m.on_rx_end(mk_cts(None), Milliwatts(1e-3), true, t2, &mut out);
+    let (_, tok) = armed(&out, MacTimerKind::Response).unwrap();
+    out.clear();
+    m.on_timer(
+        MacTimerKind::Response,
+        tok,
+        t2 + Duration::from_micros(10),
+        &mut out,
+    );
+    let seq1 = match tx_frames(&out)[0].0.body {
+        FrameBody::Data { seq, .. } => seq,
+        _ => unreachable!(),
+    };
+    out.clear();
+    let t3 = t2 + Duration::from_micros(2510);
+    m.on_tx_end(t3, &mut out);
+
+    // Packet 2: the receiver's echo confirms packet 1.
+    out.clear();
+    m.enqueue(
+        data_packet(2, 1, 2),
+        NodeId(2),
+        t3 + Duration::from_micros(5),
+        &mut out,
+    );
+    let (d, tok) = armed(&out, MacTimerKind::Defer).unwrap();
+    let mut now = t3 + Duration::from_micros(5) + d;
+    out.clear();
+    m.on_timer(MacTimerKind::Defer, tok, now, &mut out);
+    if let Some((bd, tok2)) = armed(&out, MacTimerKind::Backoff) {
+        now += bd;
+        out.clear();
+        m.on_timer(MacTimerKind::Backoff, tok2, now, &mut out);
+    }
+    out.clear();
+    now += Duration::from_micros(352);
+    m.on_tx_end(now, &mut out);
+    out.clear();
+    now += Duration::from_micros(314);
+    m.on_rx_end(
+        mk_cts(Some((session, seq1))),
+        Milliwatts(1e-3),
+        true,
+        now,
+        &mut out,
+    );
+    let (_, tok) = armed(&out, MacTimerKind::Response).unwrap();
+    out.clear();
+    m.on_timer(
+        MacTimerKind::Response,
+        tok,
+        now + Duration::from_micros(10),
+        &mut out,
+    );
+    match &tx_frames(&out)[0].0.body {
+        FrameBody::Data { packet, .. } => {
+            assert_eq!(packet.id, PacketId(2), "fresh packet, no retransmission")
+        }
+        b => panic!("{b:?}"),
+    }
+    assert_eq!(m.counters.implicit_retx, 0);
+}
+
+#[test]
+fn pcmac_power_steps_up_on_cts_timeout() {
+    let mut m = mac(1, Variant::Pcmac);
+    // Teach a low class toward node 2.
+    let mut out = Vec::new();
+    let teach = Frame {
+        kind: FrameKind::Ack,
+        tx: NodeId(2),
+        rx: NodeId(1),
+        duration: Duration::ZERO,
+        tx_power: MAX_P,
+        body: FrameBody::Ack,
+    };
+    m.on_rx_end(teach, Milliwatts(1e-3), true, t(0), &mut out);
+
+    let (_, p0, t0) = launch_rts(&mut m, data_packet(1, 1, 2), 2, t(10));
+    assert_eq!(p0, Milliwatts(1.0));
+    let mut out = Vec::new();
+    let t1 = t0 + Duration::from_micros(352);
+    m.on_tx_end(t1, &mut out);
+    let (cto, tok) = armed(&out, MacTimerKind::CtsTimeout).unwrap();
+    out.clear();
+    m.on_timer(MacTimerKind::CtsTimeout, tok, t1 + cto, &mut out);
+    // Walk the retry to the air and check the power went up a class.
+    let (d, tok) = armed(&out, MacTimerKind::Defer).unwrap();
+    let mut now = t1 + cto + d;
+    out.clear();
+    m.on_timer(MacTimerKind::Defer, tok, now, &mut out);
+    if let Some((bd, tok2)) = armed(&out, MacTimerKind::Backoff) {
+        now += bd;
+        out.clear();
+        m.on_timer(MacTimerKind::Backoff, tok2, now, &mut out);
+    }
+    let (_, p1) = tx_frames(&out)[0];
+    assert_eq!(p1, Milliwatts(2.0), "one class up after timeout");
+    assert_eq!(m.counters.power_step_ups, 1);
+}
+
+#[test]
+fn scheme2_rts_uses_learned_level_scheme1_uses_max() {
+    for (variant, want) in [
+        (Variant::Scheme1, MAX_P),
+        (Variant::Scheme2, Milliwatts(1.0)),
+    ] {
+        let mut m = mac(1, variant);
+        let mut out = Vec::new();
+        let teach = Frame {
+            kind: FrameKind::Ack,
+            tx: NodeId(2),
+            rx: NodeId(1),
+            duration: Duration::ZERO,
+            tx_power: MAX_P,
+            body: FrameBody::Ack,
+        };
+        m.on_rx_end(teach, Milliwatts(1e-3), true, t(0), &mut out);
+        let (_, p, _) = launch_rts(&mut m, data_packet(1, 1, 2), 2, t(10));
+        assert_eq!(p, want, "{variant:?}");
+    }
+}
+
+#[test]
+fn queue_overflow_reports_drop() {
+    let mut m = mac(1, Variant::Basic);
+    let mut out = Vec::new();
+    // One current + 50 queued fills everything.
+    for n in 0..52 {
+        m.enqueue(data_packet(n, 1, 2), NodeId(2), t(0), &mut out);
+    }
+    let drops = out
+        .iter()
+        .filter(|a| matches!(a, MacAction::QueueDrop { .. }))
+        .count();
+    assert_eq!(drops, 1);
+    assert_eq!(m.counters.queue_drops, 1);
+}

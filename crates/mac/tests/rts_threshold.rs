@@ -1,0 +1,219 @@
+//! dot11RTSThreshold behaviour: small frames skip the RTS/CTS exchange.
+
+use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, PacketId, SimTime, TimerToken};
+use pcmac_mac::{DcfMac, Frame, FrameBody, FrameKind, MacAction, MacConfig, MacTimerKind, Variant};
+use pcmac_net::Packet;
+
+const MAX_P: Milliwatts = Milliwatts(281.83815);
+
+fn t(us: u64) -> SimTime {
+    SimTime::ZERO + Duration::from_micros(us)
+}
+
+fn mac_with_threshold(variant: Variant, threshold: u32) -> DcfMac {
+    let mut cfg = MacConfig::paper_default(variant);
+    cfg.rts_threshold = threshold;
+    DcfMac::new(NodeId(1), cfg, 42)
+}
+
+fn small_packet(n: u64) -> Packet {
+    // 64 B payload → 64+28+28 = 120 B on air.
+    Packet::data(
+        PacketId(n),
+        FlowId(0),
+        NodeId(1),
+        NodeId(2),
+        64,
+        SimTime::ZERO,
+    )
+}
+
+fn big_packet(n: u64) -> Packet {
+    Packet::data(
+        PacketId(n),
+        FlowId(0),
+        NodeId(1),
+        NodeId(2),
+        512,
+        SimTime::ZERO,
+    )
+}
+
+fn armed(out: &[MacAction], kind: MacTimerKind) -> Option<(Duration, TimerToken)> {
+    out.iter().find_map(|a| match a {
+        MacAction::Arm {
+            kind: k,
+            delay,
+            token,
+        } if *k == kind => Some((*delay, *token)),
+        _ => None,
+    })
+}
+
+fn first_tx(out: &[MacAction]) -> Option<Frame> {
+    out.iter().find_map(|a| match a {
+        MacAction::TxFrame { frame, .. } => Some(frame.clone()),
+        _ => None,
+    })
+}
+
+/// Walk enqueue → defer (→ backoff) → first frame on air.
+fn launch(m: &mut DcfMac, pkt: Packet) -> (Frame, SimTime) {
+    let mut out = Vec::new();
+    m.enqueue(pkt, NodeId(2), t(0), &mut out);
+    let (d, tok) = armed(&out, MacTimerKind::Defer).expect("defer");
+    let mut now = t(0) + d;
+    out.clear();
+    m.on_timer(MacTimerKind::Defer, tok, now, &mut out);
+    if let Some((bd, tok2)) = armed(&out, MacTimerKind::Backoff) {
+        now += bd;
+        out.clear();
+        m.on_timer(MacTimerKind::Backoff, tok2, now, &mut out);
+    }
+    (first_tx(&out).expect("a frame"), now)
+}
+
+#[test]
+fn small_frame_skips_rts() {
+    let mut m = mac_with_threshold(Variant::Basic, 256);
+    let (frame, _) = launch(&mut m, small_packet(1));
+    assert_eq!(frame.kind, FrameKind::Data, "direct DATA below threshold");
+    match &frame.body {
+        FrameBody::Data { needs_ack, .. } => assert!(*needs_ack),
+        b => panic!("{b:?}"),
+    }
+    assert_eq!(
+        frame.duration,
+        Duration::from_micros(10 + 304),
+        "reserves the ACK"
+    );
+    assert_eq!(m.counters.rts_sent, 0);
+    assert_eq!(m.counters.data_sent, 1);
+}
+
+#[test]
+fn large_frame_still_uses_rts() {
+    let mut m = mac_with_threshold(Variant::Basic, 256);
+    let (frame, _) = launch(&mut m, big_packet(1));
+    assert_eq!(frame.kind, FrameKind::Rts, "568 B on air > 256 threshold");
+}
+
+#[test]
+fn zero_threshold_means_always_rts() {
+    let mut m = mac_with_threshold(Variant::Basic, 0);
+    let (frame, _) = launch(&mut m, small_packet(1));
+    assert_eq!(frame.kind, FrameKind::Rts, "paper/ns-2 configuration");
+}
+
+#[test]
+fn direct_data_completes_on_ack() {
+    let mut m = mac_with_threshold(Variant::Basic, 256);
+    let (_, t0) = launch(&mut m, small_packet(1));
+    let mut out = Vec::new();
+    // DATA (120 B at 2 Mbps + PLCP) ends.
+    let t1 = t0 + Duration::from_micros(192 + 120 * 4);
+    m.on_tx_end(t1, &mut out);
+    assert!(armed(&out, MacTimerKind::AckTimeout).is_some());
+    out.clear();
+    let ack = Frame {
+        kind: FrameKind::Ack,
+        tx: NodeId(2),
+        rx: NodeId(1),
+        duration: Duration::ZERO,
+        tx_power: MAX_P,
+        body: FrameBody::Ack,
+    };
+    m.on_rx_end(
+        ack,
+        Milliwatts(1e-4),
+        true,
+        t1 + Duration::from_micros(314),
+        &mut out,
+    );
+    assert_eq!(m.queue_len(), 0, "exchange complete");
+    assert_eq!(m.counters.retry_drops, 0);
+}
+
+#[test]
+fn direct_data_retries_then_drops_without_ack() {
+    let mut m = mac_with_threshold(Variant::Basic, 256);
+    let (_, mut now) = launch(&mut m, small_packet(1));
+    let mut out = Vec::new();
+    let mut drops = 0;
+    for _attempt in 0..4 {
+        now += Duration::from_micros(192 + 120 * 4);
+        out.clear();
+        m.on_tx_end(now, &mut out);
+        let (ato, tok) = armed(&out, MacTimerKind::AckTimeout).expect("ack timer");
+        now += ato;
+        out.clear();
+        m.on_timer(MacTimerKind::AckTimeout, tok, now, &mut out);
+        if out
+            .iter()
+            .any(|a| matches!(a, MacAction::LinkFailure { .. }))
+        {
+            drops += 1;
+            break;
+        }
+        // Walk the retry to the next transmission.
+        let (d, tok) = armed(&out, MacTimerKind::Defer).expect("retry defer");
+        now += d;
+        out.clear();
+        m.on_timer(MacTimerKind::Defer, tok, now, &mut out);
+        if let Some((bd, tok2)) = armed(&out, MacTimerKind::Backoff) {
+            now += bd;
+            out.clear();
+            m.on_timer(MacTimerKind::Backoff, tok2, now, &mut out);
+        }
+        let f = first_tx(&out).expect("retry frame");
+        assert_eq!(f.kind, FrameKind::Data, "retry is still a direct DATA");
+    }
+    assert_eq!(drops, 1, "long retry limit (4) exhausts");
+    assert_eq!(m.counters.ack_timeouts, 4);
+}
+
+#[test]
+fn pcmac_data_ignores_threshold() {
+    let mut m = mac_with_threshold(Variant::Pcmac, 10_000);
+    let (frame, _) = launch(&mut m, big_packet(1));
+    assert_eq!(
+        frame.kind,
+        FrameKind::Rts,
+        "PCMAC data needs the CTS echo, threshold or not"
+    );
+}
+
+#[test]
+fn pcmac_routing_unicast_respects_threshold() {
+    use pcmac_net::{Payload, Rrep};
+    let mut m = mac_with_threshold(Variant::Pcmac, 256);
+    let rrep = Packet::control(
+        PacketId(5),
+        NodeId(1),
+        NodeId(2),
+        SimTime::ZERO,
+        Payload::Rrep(Rrep {
+            origin: NodeId(3),
+            target: NodeId(2),
+            target_seq: 1,
+            hop_count: 1,
+        }),
+    );
+    let mut out = Vec::new();
+    m.enqueue(rrep, NodeId(2), t(0), &mut out);
+    let (d, tok) = armed(&out, MacTimerKind::Defer).unwrap();
+    let mut now = t(0) + d;
+    out.clear();
+    m.on_timer(MacTimerKind::Defer, tok, now, &mut out);
+    if let Some((bd, tok2)) = armed(&out, MacTimerKind::Backoff) {
+        now += bd;
+        out.clear();
+        m.on_timer(MacTimerKind::Backoff, tok2, now, &mut out);
+    }
+    let f = first_tx(&out).expect("frame");
+    assert_eq!(
+        f.kind,
+        FrameKind::Data,
+        "small routing unicast (68 B on air) goes direct"
+    );
+}

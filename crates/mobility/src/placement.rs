@@ -1,0 +1,97 @@
+//! Initial node layouts.
+//!
+//! The paper scatters 50 nodes uniformly over the 1000 m × 1000 m field;
+//! tests and the Figure 4/6 reproductions use deterministic geometries.
+
+use pcmac_engine::{Point, RngStream};
+
+/// `n` points uniform over a `width × height` field.
+pub fn uniform(n: usize, width: f64, height: f64, rng: &mut RngStream) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.uniform(0.0, width), rng.uniform(0.0, height)))
+        .collect()
+}
+
+/// A horizontal chain starting at `origin` with `spacing` meters between
+/// consecutive nodes — the classic multi-hop test topology.
+pub fn chain(n: usize, origin: Point, spacing: f64) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(origin.x + i as f64 * spacing, origin.y))
+        .collect()
+}
+
+/// A `cols × rows` grid with `spacing` meters pitch, origin at `origin`.
+pub fn grid(cols: usize, rows: usize, origin: Point, spacing: f64) -> Vec<Point> {
+    let mut out = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.push(Point::new(
+                origin.x + c as f64 * spacing,
+                origin.y + r as f64 * spacing,
+            ));
+        }
+    }
+    out
+}
+
+/// The paper's Figure 4 geometry: two communicating pairs A→B and C→D.
+/// A and B sit `close` meters apart; C and D sit `far` meters apart, with
+/// C placed `gap` meters beyond B on the same line, so C/D are outside
+/// A/B's (shrunken) zones but close enough to jam B when transmitting at
+/// the high power their own distance requires.
+pub fn asymmetric_pairs(close: f64, far: f64, gap: f64) -> Vec<Point> {
+    vec![
+        Point::new(0.0, 0.0),               // A
+        Point::new(close, 0.0),             // B
+        Point::new(close + gap, 0.0),       // C
+        Point::new(close + gap + far, 0.0), // D
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_field() {
+        let mut rng = RngStream::derive(1, "placement");
+        let pts = uniform(500, 1000.0, 800.0, &mut rng);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|p| (0.0..1000.0).contains(&p.x)));
+        assert!(pts.iter().all(|p| (0.0..800.0).contains(&p.y)));
+        // Spread sanity: corners of the field are all represented.
+        assert!(pts.iter().any(|p| p.x < 250.0 && p.y < 200.0));
+        assert!(pts.iter().any(|p| p.x > 750.0 && p.y > 600.0));
+    }
+
+    #[test]
+    fn chain_spacing_is_exact() {
+        let pts = chain(5, Point::new(10.0, 20.0), 200.0);
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert_eq!(w[0].distance(w[1]), 200.0);
+        }
+        assert_eq!(pts[0], Point::new(10.0, 20.0));
+        assert_eq!(pts[4], Point::new(810.0, 20.0));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let pts = grid(3, 2, Point::new(0.0, 0.0), 100.0);
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], Point::new(0.0, 0.0));
+        assert_eq!(pts[2], Point::new(200.0, 0.0));
+        assert_eq!(pts[5], Point::new(200.0, 100.0));
+    }
+
+    #[test]
+    fn asymmetric_geometry_matches_figure_4() {
+        let pts = asymmetric_pairs(60.0, 200.0, 300.0);
+        let (a, b, c, d) = (pts[0], pts[1], pts[2], pts[3]);
+        assert_eq!(a.distance(b), 60.0, "A-B close pair");
+        assert_eq!(c.distance(d), 200.0, "C-D far pair");
+        assert_eq!(b.distance(c), 300.0, "C beyond B's zone");
+        // The essential property: C is much farther from B than A is.
+        assert!(b.distance(c) > 4.0 * a.distance(b));
+    }
+}

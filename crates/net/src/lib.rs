@@ -1,0 +1,21 @@
+//! # pcmac-net — packet model and interface queue
+//!
+//! The network-layer view shared by the MAC, the routing protocol and the
+//! traffic agents:
+//!
+//! * [`packet`] — the [`Packet`] type (application data or AODV control
+//!   messages) with realistic on-air sizes (IP 20 B + UDP 8 B headers for
+//!   data; RFC-3561-shaped sizes for routing messages).
+//! * [`queue`] — the DropTail interface queue between routing and MAC
+//!   (ns-2's 50-packet `PriQueue`, including its priority lane for routing
+//!   control packets).
+//!
+//! Packet *formats* live here; protocol *logic* lives in `pcmac-aodv` and
+//! `pcmac-mac`. This mirrors how real stacks separate wire formats from
+//! engines and keeps the crate graph acyclic.
+
+pub mod packet;
+pub mod queue;
+
+pub use packet::{Packet, Payload, Rerr, Rrep, Rreq, IP_HEADER_BYTES, UDP_HEADER_BYTES};
+pub use queue::{DropTailQueue, QueuedPacket};

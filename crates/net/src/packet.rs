@@ -1,0 +1,224 @@
+//! Network packets.
+//!
+//! A [`Packet`] is what travels end-to-end: application data (the paper's
+//! 512-byte CBR payloads) or an AODV control message. The MAC wraps packets
+//! in frames hop by hop; the `src`/`dst` here are the *network* endpoints,
+//! not the per-hop MAC addresses.
+
+use pcmac_engine::{FlowId, NodeId, PacketId, SimTime};
+
+/// IPv4 header size modelled on every packet (bytes).
+pub const IP_HEADER_BYTES: u32 = 20;
+/// UDP header size modelled on data packets (bytes).
+pub const UDP_HEADER_BYTES: u32 = 8;
+
+/// AODV route request (flooded network-wide).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rreq {
+    /// Flood identifier, unique per originator.
+    pub rreq_id: u32,
+    /// The node that started the discovery.
+    pub origin: NodeId,
+    /// Originator's own sequence number.
+    pub origin_seq: u32,
+    /// The destination being sought.
+    pub target: NodeId,
+    /// Last known sequence number for the target (`None` = unknown).
+    pub target_seq: Option<u32>,
+    /// Hops travelled so far.
+    pub hop_count: u8,
+}
+
+/// AODV route reply (unicast back along the reverse path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rrep {
+    /// The discovery originator this reply is heading to.
+    pub origin: NodeId,
+    /// The destination the route leads to.
+    pub target: NodeId,
+    /// Destination sequence number certified by this reply.
+    pub target_seq: u32,
+    /// Hops from the replying node to the target.
+    pub hop_count: u8,
+}
+
+/// AODV route error (unicast/broadcast upstream on link breakage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rerr {
+    /// Destinations now unreachable, with their bumped sequence numbers.
+    pub unreachable: Vec<(NodeId, u32)>,
+}
+
+/// What a packet carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Application data of the given UDP payload size (bytes).
+    Data {
+        /// UDP payload length in bytes (512 in the paper's workload).
+        bytes: u32,
+    },
+    /// AODV route request.
+    Rreq(Rreq),
+    /// AODV route reply.
+    Rrep(Rrep),
+    /// AODV route error.
+    Rerr(Rerr),
+}
+
+impl Payload {
+    /// `true` for routing-protocol control payloads.
+    pub fn is_routing(&self) -> bool {
+        !matches!(self, Payload::Data { .. })
+    }
+
+    /// On-air size of the payload itself (bytes), excluding IP header.
+    pub fn body_bytes(&self) -> u32 {
+        match self {
+            Payload::Data { bytes } => UDP_HEADER_BYTES + bytes,
+            // RFC 3561 message sizes.
+            Payload::Rreq(_) => 24,
+            Payload::Rrep(_) => 20,
+            Payload::Rerr(r) => 4 + 8 * r.unreachable.len() as u32,
+        }
+    }
+}
+
+/// An end-to-end network packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Unique id assigned at creation (delay accounting).
+    pub id: PacketId,
+    /// Flow this packet belongs to (`None` for routing control).
+    pub flow: Option<FlowId>,
+    /// Network-layer source.
+    pub src: NodeId,
+    /// Network-layer destination (may be [`NodeId::BROADCAST`]).
+    pub dst: NodeId,
+    /// Creation time at the source (end-to-end delay reference).
+    pub created_at: SimTime,
+    /// Remaining hop budget; decremented per forward, dropped at zero.
+    pub ttl: u8,
+    /// The payload.
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Default IP TTL used by the stack.
+    pub const DEFAULT_TTL: u8 = 32;
+
+    /// A data packet of `bytes` UDP payload.
+    pub fn data(
+        id: PacketId,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        created_at: SimTime,
+    ) -> Self {
+        Packet {
+            id,
+            flow: Some(flow),
+            src,
+            dst,
+            created_at,
+            ttl: Self::DEFAULT_TTL,
+            payload: Payload::Data { bytes },
+        }
+    }
+
+    /// A routing-control packet.
+    pub fn control(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        created_at: SimTime,
+        payload: Payload,
+    ) -> Self {
+        debug_assert!(payload.is_routing());
+        Packet {
+            id,
+            flow: None,
+            src,
+            dst,
+            created_at,
+            ttl: Self::DEFAULT_TTL,
+            payload,
+        }
+    }
+
+    /// Total network-layer size (bytes): IP header + payload body. This is
+    /// what the MAC wraps in a frame.
+    pub fn size_bytes(&self) -> u32 {
+        IP_HEADER_BYTES + self.payload.body_bytes()
+    }
+
+    /// `true` for routing-protocol packets (these keep the four-way
+    /// handshake under PCMAC and ride the queue's priority lane).
+    pub fn is_routing(&self) -> bool {
+        self.payload.is_routing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_packet(bytes: u32) -> Packet {
+        Packet::data(
+            PacketId(1),
+            FlowId(0),
+            NodeId(1),
+            NodeId(2),
+            bytes,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn paper_data_packet_is_540_bytes_on_air() {
+        // 512 payload + 8 UDP + 20 IP.
+        assert_eq!(data_packet(512).size_bytes(), 540);
+    }
+
+    #[test]
+    fn control_sizes_match_rfc_shapes() {
+        let rreq = Packet::control(
+            PacketId(2),
+            NodeId(1),
+            NodeId::BROADCAST,
+            SimTime::ZERO,
+            Payload::Rreq(Rreq {
+                rreq_id: 1,
+                origin: NodeId(1),
+                origin_seq: 1,
+                target: NodeId(9),
+                target_seq: None,
+                hop_count: 0,
+            }),
+        );
+        assert_eq!(rreq.size_bytes(), 20 + 24);
+        assert!(rreq.is_routing());
+
+        let rerr = Payload::Rerr(Rerr {
+            unreachable: vec![(NodeId(3), 7), (NodeId(4), 9)],
+        });
+        assert_eq!(rerr.body_bytes(), 4 + 16);
+    }
+
+    #[test]
+    fn data_is_not_routing() {
+        assert!(!data_packet(512).is_routing());
+        assert!(Payload::Rrep(Rrep {
+            origin: NodeId(0),
+            target: NodeId(1),
+            target_seq: 0,
+            hop_count: 0
+        })
+        .is_routing());
+    }
+
+    #[test]
+    fn ttl_defaults() {
+        assert_eq!(data_packet(1).ttl, Packet::DEFAULT_TTL);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-width bucket histograms with percentile queries.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[0, width × buckets)` with an overflow bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `buckets` buckets of `width` each.
+    pub fn new(width: f64, buckets: usize) -> Self {
+        assert!(width > 0.0 && buckets > 0);
+        Histogram {
+            width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one sample (negatives clamp into the first bucket).
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        let idx = (x.max(0.0) / self.width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper edge of the bucket containing the `q`-quantile (0 ≤ q ≤ 1),
+    /// or `None` when empty. Overflowed quantiles report `infinity`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some((i + 1) as f64 * self.width);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Count in the overflow bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Merge another histogram with identical geometry (bucket width and
+    /// count) into this one.
+    ///
+    /// # Panics
+    /// If the geometries differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "bucket width mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.95), Some(95.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn overflow_reports_infinity() {
+        let mut h = Histogram::new(1.0, 10);
+        h.record(5.0);
+        h.record(1e9);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+        assert_eq!(h.quantile(0.25), Some(6.0));
+    }
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let h = Histogram::new(1.0, 10);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn negatives_clamp_to_first_bucket() {
+        let mut h = Histogram::new(2.0, 4);
+        h.record(-5.0);
+        assert_eq!(h.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = Histogram::new(1.0, 50);
+        let mut b = Histogram::new(1.0, 50);
+        let mut whole = Histogram::new(1.0, 50);
+        for i in 0..40 {
+            let x = (i * 7 % 45) as f64;
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), whole.total());
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_rejects_different_geometry() {
+        let mut a = Histogram::new(1.0, 10);
+        let b = Histogram::new(2.0, 10);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,23 @@
+//! # pcmac-stats — metric collection primitives
+//!
+//! Small, dependency-light building blocks the simulation core and the
+//! figure harness assemble their reports from:
+//!
+//! * [`OnlineStats`] — Welford single-pass mean/variance/min/max.
+//! * [`Histogram`] — fixed-width buckets with percentile queries (delay
+//!   distributions).
+//! * [`Series`] — named (x, y) curves with CSV emission, the shape of the
+//!   paper's figures.
+//! * [`Table`] — aligned text tables for harness stdout.
+
+pub mod histogram;
+pub mod online;
+pub mod plot;
+pub mod series;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use plot::ascii_plot;
+pub use series::Series;
+pub use table::Table;

@@ -1,0 +1,104 @@
+//! Named (x, y) curves — the shape of the paper's figures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One labelled curve: the paper's figures are families of these over a
+/// shared x-axis (offered load).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. "PCMAC").
+    pub name: String,
+    /// (x, y) points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point (x must be non-decreasing for CSV sanity).
+    pub fn push(&mut self, x: f64, y: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|(px, _)| *px <= x),
+            "x must be non-decreasing"
+        );
+        self.points.push((x, y));
+    }
+
+    /// y at the given x, if sampled.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+}
+
+/// Render a family of series sharing an x-axis as CSV:
+/// `x,<name1>,<name2>,...` — one row per x value.
+pub fn to_csv(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{x_label}");
+    for s in series {
+        let _ = write!(out, ",{}", s.name);
+    }
+    out.push('\n');
+    let xs: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|(x, _)| *x).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.points.get(i) {
+                Some((_, y)) => {
+                    let _ = write!(out, ",{y:.3}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut s = Series::new("PCMAC");
+        s.push(300.0, 360.0);
+        s.push(400.0, 420.0);
+        assert_eq!(s.y_at(300.0), Some(360.0));
+        assert_eq!(s.y_at(500.0), None);
+    }
+
+    #[test]
+    fn csv_layout() {
+        let mut a = Series::new("Basic");
+        let mut b = Series::new("PCMAC");
+        a.push(300.0, 350.0);
+        a.push(400.0, 410.0);
+        b.push(300.0, 365.0);
+        b.push(400.0, 445.0);
+        let csv = to_csv("load_kbps", &[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "load_kbps,Basic,PCMAC");
+        assert_eq!(lines[1], "300,350.000,365.000");
+        assert_eq!(lines[2], "400,410.000,445.000");
+    }
+
+    #[test]
+    fn empty_family_yields_header_only() {
+        let csv = to_csv("x", &[]);
+        assert_eq!(csv, "x\n");
+    }
+}

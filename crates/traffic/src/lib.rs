@@ -1,0 +1,16 @@
+//! # pcmac-traffic — workload generation and measurement
+//!
+//! The paper's workload: 10 constant-bit-rate (CBR) flows over UDP with
+//! 512-byte packets, scaled from 300 to 1000 kbps of aggregate offered
+//! load. [`CbrSource`] reproduces it exactly; [`PoissonSource`] and
+//! [`OnOffSource`] are extensions used by robustness tests (bursty
+//! arrivals stress the MAC differently than a metronome).
+//!
+//! [`Sink`] is the measuring end: per-flow delivered packets/bytes and
+//! end-to-end delay statistics — the two metrics of Figures 8 and 9.
+
+pub mod sink;
+pub mod source;
+
+pub use sink::{FlowStats, Sink};
+pub use source::{CbrSource, OnOffSource, PoissonSource, Source};

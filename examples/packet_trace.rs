@@ -1,0 +1,39 @@
+//! ns-2-style packet tracing.
+//!
+//! Runs one second of a two-node PCMAC exchange and prints the channel
+//! trace — every RTS/CTS/DATA arrival, transmit end and tolerance
+//! broadcast, in execution order. The same `TraceWriter` plugs into any
+//! scenario via `Simulator::run_with_observer`.
+//!
+//! ```text
+//! cargo run --release --example packet_trace [-- <lines>]
+//! ```
+
+use std::cell::RefCell;
+
+use pcmac::{ScenarioConfig, Simulator, TraceWriter, Variant};
+use pcmac_engine::Duration;
+
+fn main() {
+    let max_lines: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    let cfg = ScenarioConfig::two_nodes(Variant::Pcmac, 80.0, 100_000.0, 42)
+        .with_duration(Duration::from_secs(1));
+    let mut tracer = TraceWriter::new();
+    let report = {
+        let tracer = RefCell::new(&mut tracer);
+        Simulator::new(cfg).run_with_observer(|ev, at| tracer.borrow_mut().record(ev, at))
+    };
+
+    println!(
+        "trace ({} lines total, first {max_lines} shown):\n",
+        tracer.len()
+    );
+    for line in tracer.text().lines().take(max_lines) {
+        println!("{line}");
+    }
+    println!("\n{}", report.summary());
+}

@@ -1,0 +1,41 @@
+//! Quickstart: the smallest useful simulation.
+//!
+//! Two static nodes 80 m apart, one 100 kbps CBR flow of 512-byte
+//! packets, 10 simulated seconds under PCMAC. Prints the run report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pcmac::{ScenarioConfig, Simulator, Variant};
+
+fn main() {
+    let cfg = ScenarioConfig::two_nodes(Variant::Pcmac, 80.0, 100_000.0, 42);
+    println!("scenario: {}", cfg.name);
+    println!(
+        "offered load: {:.1} kbps over {:.0} s",
+        cfg.offered_load_kbps(),
+        cfg.duration.as_secs_f64()
+    );
+
+    let report = Simulator::new(cfg).run();
+
+    println!("\n{}", report.summary());
+    println!("\nMAC counters:");
+    println!("  RTS sent        {}", report.mac.rts_sent);
+    println!("  CTS sent        {}", report.mac.cts_sent);
+    println!("  DATA sent       {}", report.mac.data_sent);
+    println!("  ACK sent        {}", report.mac.ack_sent);
+    println!("  CTS timeouts    {}", report.mac.cts_timeouts);
+    println!("  rx errors       {}", report.mac.rx_errors);
+    println!("  ctrl broadcasts {}", report.mac.ctrl_broadcasts);
+    println!("  ctrl deferrals  {}", report.mac.ctrl_deferrals);
+    println!("\nenergy: {:.2} mJ radiated total", report.radiated_mj);
+    println!(
+        "        {:.4} mJ per delivered packet",
+        report.radiated_mj_per_packet
+    );
+    println!("\n{} events in {:.2} s wall", report.events, report.wall_s);
+
+    assert!(report.pdr() > 0.9, "two nodes in range must deliver");
+}

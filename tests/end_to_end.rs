@@ -1,0 +1,228 @@
+//! Cross-crate integration: full simulations through the public API.
+
+use pcmac::{FlowShape, FlowSpec, NodeSetup, ScenarioConfig, Simulator, Variant};
+use pcmac_engine::{Duration, FlowId, NodeId, Point, SimTime};
+
+/// Two nodes in range must deliver essentially everything, under every
+/// protocol variant.
+#[test]
+fn two_nodes_deliver_under_every_variant() {
+    for v in Variant::ALL {
+        let cfg =
+            ScenarioConfig::two_nodes(v, 80.0, 100_000.0, 42).with_duration(Duration::from_secs(5));
+        let r = Simulator::new(cfg).run();
+        assert!(
+            r.pdr() > 0.95,
+            "{}: pdr {:.3} too low (sent {}, delivered {})",
+            v.name(),
+            r.pdr(),
+            r.sent_packets,
+            r.delivered_packets
+        );
+        assert!(
+            r.mean_delay_ms < 50.0,
+            "{}: delay {}",
+            v.name(),
+            r.mean_delay_ms
+        );
+    }
+}
+
+/// PCMAC's three-way handshake: data frames draw no ACKs, and the control
+/// channel carries tolerance broadcasts; basic 802.11 does the opposite.
+#[test]
+fn handshake_arity_is_protocol_correct() {
+    let run = |v| {
+        let cfg =
+            ScenarioConfig::two_nodes(v, 80.0, 100_000.0, 42).with_duration(Duration::from_secs(5));
+        Simulator::new(cfg).run()
+    };
+    let pcmac = run(Variant::Pcmac);
+    let basic = run(Variant::Basic);
+
+    // Both move comparable data.
+    assert!(pcmac.mac.data_sent > 100);
+    assert!(basic.mac.data_sent > 100);
+    // Basic ACKs every data frame; PCMAC only the few routing unicasts.
+    assert!(basic.mac.ack_sent >= basic.mac.data_sent - 5);
+    assert!(
+        pcmac.mac.ack_sent < 10,
+        "PCMAC sent {} ACKs — three-way handshake violated",
+        pcmac.mac.ack_sent
+    );
+    // Only PCMAC uses the control channel.
+    assert!(pcmac.mac.ctrl_broadcasts > 100);
+    assert_eq!(basic.mac.ctrl_broadcasts, 0);
+}
+
+/// A four-hop chain forces AODV discovery and multi-hop forwarding.
+#[test]
+fn chain_multihop_delivers() {
+    for v in [Variant::Basic, Variant::Pcmac] {
+        let duration = Duration::from_secs(10);
+        let mut cfg = ScenarioConfig::two_nodes(v, 80.0, 40_000.0, 7);
+        cfg.name = format!("chain-{}", v.name());
+        cfg.nodes = NodeSetup::Static(pcmac_mobility::placement::chain(
+            5,
+            Point::new(100.0, 500.0),
+            200.0,
+        ));
+        cfg.flows = vec![FlowSpec {
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(4),
+            bytes: 512,
+            rate_bps: 40_000.0,
+            start: SimTime::ZERO + Duration::from_millis(200),
+            stop: SimTime::ZERO + duration,
+            shape: FlowShape::Cbr,
+        }];
+        let r = Simulator::new(cfg.with_duration(duration)).run();
+        assert!(
+            r.pdr() > 0.9,
+            "{}: 4-hop chain pdr {:.3} (sent {} delivered {})",
+            v.name(),
+            r.pdr(),
+            r.sent_packets,
+            r.delivered_packets
+        );
+        // Forwarding actually happened (3 intermediate hops).
+        assert!(
+            r.routing.data_forwarded >= 3 * r.delivered_packets / 2,
+            "{}: forwarded {} for {} delivered",
+            v.name(),
+            r.routing.data_forwarded,
+            r.delivered_packets
+        );
+        // Route discovery ran.
+        assert!(r.routing.rreq_originated >= 1);
+        assert!(r.routing.rrep_generated >= 1);
+    }
+}
+
+/// Same seed ⇒ bit-identical outcome; different seed ⇒ different run.
+#[test]
+fn determinism_and_seed_sensitivity() {
+    let run = |seed| {
+        let cfg = ScenarioConfig::paper(Variant::Pcmac, 500.0, seed)
+            .with_duration(Duration::from_secs(8));
+        Simulator::new(cfg).run()
+    };
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a.delivered_packets, b.delivered_packets);
+    assert_eq!(a.sent_packets, b.sent_packets);
+    assert_eq!(a.mean_delay_ms, b.mean_delay_ms);
+    assert_eq!(a.mac.rts_sent, b.mac.rts_sent);
+    assert_eq!(a.mac.rx_errors, b.mac.rx_errors);
+    assert_eq!(a.events, b.events);
+
+    let c = run(2);
+    assert_ne!(
+        (a.events, a.mac.rts_sent),
+        (c.events, c.mac.rts_sent),
+        "different seeds must explore different trajectories"
+    );
+}
+
+/// Out-of-range nodes cannot communicate: AODV gives up cleanly and no
+/// data arrives (no panic, no phantom delivery).
+#[test]
+fn disconnected_nodes_fail_cleanly() {
+    let mut cfg = ScenarioConfig::two_nodes(Variant::Basic, 80.0, 50_000.0, 3);
+    // 700 m apart: outside even the max-power decode range (250 m).
+    cfg.nodes = NodeSetup::Static(vec![Point::new(100.0, 500.0), Point::new(800.0, 500.0)]);
+    // The discovery retry ladder (1 + 2 + 4 + 8 s binary backoff) takes
+    // 15 s to exhaust; give it room.
+    let r = Simulator::new(cfg.with_duration(Duration::from_secs(20))).run();
+    assert_eq!(r.delivered_packets, 0);
+    assert!(r.routing.discoveries_failed >= 1, "discovery must give up");
+    assert!(r.routing.drops > 0, "buffered packets must be dropped");
+}
+
+/// Offered load above link capacity saturates throughput instead of
+/// collapsing, and builds queueing delay.
+#[test]
+fn saturation_is_graceful() {
+    let run = |rate: f64| {
+        let cfg = ScenarioConfig::two_nodes(Variant::Basic, 80.0, rate, 11)
+            .with_duration(Duration::from_secs(6));
+        Simulator::new(cfg).run()
+    };
+    let light = run(200_000.0);
+    let heavy = run(3_000_000.0); // far beyond the 2 Mbps channel
+    assert!(light.pdr() > 0.95);
+    assert!(
+        heavy.throughput_kbps > 0.8 * light.throughput_kbps,
+        "saturated throughput must not collapse: {} vs {}",
+        heavy.throughput_kbps,
+        light.throughput_kbps
+    );
+    assert!(
+        heavy.mean_delay_ms > 10.0 * light.mean_delay_ms,
+        "saturation must show queueing delay ({} vs {})",
+        heavy.mean_delay_ms,
+        light.mean_delay_ms
+    );
+    assert!(heavy.mac.queue_drops > 0, "DropTail must engage");
+}
+
+/// Energy accounting: power control radiates less than fixed max power
+/// on the same workload.
+#[test]
+fn power_control_saves_radiated_energy() {
+    let run = |v| {
+        let cfg =
+            ScenarioConfig::two_nodes(v, 60.0, 100_000.0, 5).with_duration(Duration::from_secs(5));
+        Simulator::new(cfg).run()
+    };
+    let basic = run(Variant::Basic);
+    let pcmac = run(Variant::Pcmac);
+    assert!(basic.pdr() > 0.95 && pcmac.pdr() > 0.95);
+    assert!(
+        pcmac.radiated_mj < basic.radiated_mj / 5.0,
+        "60 m apart, PCMAC should radiate ≪ max power: {} vs {} mJ",
+        pcmac.radiated_mj,
+        basic.radiated_mj
+    );
+}
+
+/// Poisson and on/off sources run end-to-end (robustness extension).
+#[test]
+fn bursty_traffic_shapes_run() {
+    for shape in [
+        FlowShape::Poisson,
+        FlowShape::OnOff {
+            mean_on_s: 0.5,
+            mean_off_s: 0.5,
+        },
+    ] {
+        let duration = Duration::from_secs(6);
+        let mut cfg = ScenarioConfig::two_nodes(Variant::Pcmac, 80.0, 100_000.0, 9);
+        cfg.flows[0].shape = shape;
+        let r = Simulator::new(cfg.with_duration(duration)).run();
+        assert!(
+            r.delivered_packets > 20,
+            "{shape:?}: delivered {}",
+            r.delivered_packets
+        );
+        assert!(r.pdr() > 0.9, "{shape:?}: pdr {:.3}", r.pdr());
+    }
+}
+
+/// The paper's full 50-node mobile scenario runs under every protocol at
+/// a light load with healthy delivery.
+#[test]
+fn fifty_node_mobile_smoke() {
+    for v in Variant::ALL {
+        let cfg = ScenarioConfig::paper(v, 300.0, 1).with_duration(Duration::from_secs(10));
+        let r = Simulator::new(cfg).run();
+        assert!(
+            r.pdr() > 0.5,
+            "{}: pdr {:.3} at light load",
+            v.name(),
+            r.pdr()
+        );
+        assert!(r.events > 10_000, "{}: suspiciously few events", v.name());
+    }
+}

@@ -1,0 +1,59 @@
+//! Reduced-scale regression of the paper's Figures 8 and 9: run a small
+//! load sweep and assert the qualitative claims the reproduction stands
+//! on. The full-resolution sweep lives in the `pcmac-bench` binaries;
+//! this keeps the shape guarded by `cargo test`.
+
+use pcmac_bench::{check_figure8_shape, check_figure9_shape, Sweep};
+
+fn sweep() -> pcmac_bench::SweepResult {
+    Sweep {
+        loads: vec![300.0, 650.0, 1000.0],
+        secs: 30,
+        seeds: vec![1],
+        threads: 0,
+    }
+    .run()
+}
+
+#[test]
+fn figure_8_and_9_shapes_hold_at_reduced_scale() {
+    let result = sweep();
+
+    let throughput = result.throughput_series();
+    if let Err(e) = check_figure8_shape(&throughput) {
+        panic!(
+            "figure 8 shape violated: {e}\n{}",
+            result.render_table("thpt", &throughput)
+        );
+    }
+
+    let delay = result.delay_series();
+    if let Err(e) = check_figure9_shape(&delay) {
+        panic!(
+            "figure 9 shape violated: {e}\n{}",
+            result.render_table("delay", &delay)
+        );
+    }
+
+    // The paper's headline: at saturation PCMAC gains on the order of
+    // 10% over unmodified 802.11 (we accept anything clearly positive,
+    // and nothing absurdly large, at this reduced scale).
+    let p = throughput
+        .iter()
+        .find(|s| s.name == "PCMAC")
+        .unwrap()
+        .y_at(1000.0)
+        .unwrap();
+    let b = throughput
+        .iter()
+        .find(|s| s.name == "Basic 802.11")
+        .unwrap()
+        .y_at(1000.0)
+        .unwrap();
+    let gain = (p - b) / b;
+    assert!(
+        (0.0..0.6).contains(&gain),
+        "PCMAC gain over Basic at saturation: {:.1}% (paper: 8-10%)",
+        gain * 100.0
+    );
+}
