@@ -1,0 +1,173 @@
+//! Channel fan-out: spatial index vs brute-force scan.
+//!
+//! Runs the same static sparse-field scenario under
+//! `ChannelIndexMode::Grid` and `ChannelIndexMode::BruteForce` at
+//! N ∈ {50, 100, 200, 400} nodes, timing whole simulation runs (the
+//! channel fan-out dominates them: every transmission fans out to its
+//! audible neighbourhood). The field grows with N at constant density
+//! (one node per 250 m × 250 m on average) and the interference floor is
+//! ns-2's carrier-sense threshold, giving a 550 m reach at maximum
+//! power — sparse enough that a transmission's 3×3 cell block covers a
+//! small fraction of the field, which is exactly the regime the paper's
+//! large-network claims live in.
+//!
+//! Besides the usual criterion output, the comparison is written to
+//! `BENCH_channel.json` at the repository root, and the run **fails**
+//! if the indexed channel does not beat the brute-force scan at
+//! N ≥ 200 (the regression bar from the issue's acceptance criteria).
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use pcmac::{ChannelIndexMode, FlowShape, FlowSpec, NodeSetup, ScenarioConfig, Simulator, Variant};
+use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
+
+/// Node counts under comparison.
+const SIZES: [usize; 4] = [50, 100, 200, 400];
+
+/// Field side for a given node count: constant density, one node per
+/// 250 m × 250 m.
+fn field_side(n: usize) -> f64 {
+    (n as f64).sqrt() * 250.0
+}
+
+/// The benchmark scenario: N static nodes scattered uniformly, N/10
+/// saturating CBR flows between random pairs, 1 simulated second,
+/// basic 802.11 (every frame at maximum power — the heaviest fan-out).
+fn scenario(n: usize, mode: ChannelIndexMode) -> ScenarioConfig {
+    let side = field_side(n);
+    let duration = Duration::from_secs(1);
+    let mut cfg = ScenarioConfig::two_nodes(Variant::Basic, 100.0, 1000.0, 1);
+    cfg.name = format!("channel-bench-{n}");
+    cfg.field = (side, side);
+    cfg.duration = duration;
+    // ns-2's CSThresh: reach 550 m at max power, so reception is local
+    // relative to the field — the regime a spatial index exists for.
+    cfg.interference_floor = Milliwatts(1.559e-8);
+    cfg.channel_index = mode;
+    let mut rng = RngStream::derive(7, "bench.channel.placement");
+    cfg.nodes = NodeSetup::Static(
+        (0..n)
+            .map(|_| Point::new(rng.uniform(0.0, side), rng.uniform(0.0, side)))
+            .collect(),
+    );
+    let mut rng = RngStream::derive(7, "bench.channel.flows");
+    cfg.flows = (0..(n / 10).max(2) as u32)
+        .map(|i| {
+            let src = rng.below(n as u64) as u32;
+            let dst = loop {
+                let d = rng.below(n as u64) as u32;
+                if d != src {
+                    break d;
+                }
+            };
+            FlowSpec {
+                flow: FlowId(i),
+                src: NodeId(src),
+                dst: NodeId(dst),
+                bytes: 512,
+                rate_bps: 80_000.0,
+                start: SimTime::ZERO + Duration::from_millis(50 + 13 * i as u64),
+                stop: SimTime::ZERO + duration,
+                shape: FlowShape::Cbr,
+            }
+        })
+        .collect();
+    cfg
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    g.sample_size(10);
+    for &n in &SIZES {
+        g.bench_function(format!("brute/{n}"), |b| {
+            b.iter(|| {
+                let r = Simulator::new(scenario(n, ChannelIndexMode::BruteForce)).run();
+                black_box(r.events)
+            });
+        });
+        g.bench_function(format!("grid/{n}"), |b| {
+            b.iter(|| {
+                let r = Simulator::new(scenario(n, ChannelIndexMode::Grid)).run();
+                black_box(r.events)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = channel;
+    config = Criterion::default().sample_size(10);
+    targets = bench_channel
+);
+
+fn main() {
+    channel();
+
+    // Fold the measurements into BENCH_channel.json at the repo root.
+    let measurements = criterion::take_measurements();
+    let mean = |id: &str| {
+        measurements
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.mean_ns)
+            .expect("benchmark ran")
+    };
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>9}",
+        "N", "brute", "grid", "speedup"
+    );
+    for &n in &SIZES {
+        let brute_ns = mean(&format!("channel/brute/{n}"));
+        let grid_ns = mean(&format!("channel/grid/{n}"));
+        let speedup = brute_ns / grid_ns;
+        println!(
+            "{n:>6} {:>10.2}ms {:>10.2}ms {speedup:>8.2}x",
+            brute_ns / 1e6,
+            grid_ns / 1e6
+        );
+        if n >= 200 && speedup <= 1.0 {
+            failures.push(format!(
+                "indexed channel must beat brute force at N={n} (got {speedup:.2}x)"
+            ));
+        }
+        rows.push(serde_json::Value::Map(vec![
+            ("n".into(), serde_json::Value::U64(n as u64)),
+            (
+                "field_m".into(),
+                serde_json::Value::F64(field_side(n).round()),
+            ),
+            ("brute_ns".into(), serde_json::Value::F64(brute_ns)),
+            ("grid_ns".into(), serde_json::Value::F64(grid_ns)),
+            ("speedup".into(), serde_json::Value::F64(speedup)),
+        ]));
+    }
+
+    let doc = serde_json::Value::Map(vec![
+        ("bench".into(), serde_json::Value::Str("channel".into())),
+        (
+            "description".into(),
+            serde_json::Value::Str(
+                "whole-run wall time, static sparse field (1 node / 250m x 250m, \
+                 floor = CSThresh), brute-force O(N) channel vs uniform-grid index"
+                    .into(),
+            ),
+        ),
+        ("results".into(), serde_json::Value::Seq(rows)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_channel.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+        .expect("write BENCH_channel.json");
+    println!("\nwrote {path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

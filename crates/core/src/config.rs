@@ -70,6 +70,18 @@ impl NodeSetup {
     }
 }
 
+/// How the channel finds candidate receivers for each transmission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelIndexMode {
+    /// Query the uniform-grid spatial index: only cells within the
+    /// transmission's maximum reception range are visited. The default.
+    #[default]
+    Grid,
+    /// Scan every node per transmission. The O(N) reference
+    /// implementation, kept for equivalence tests and benchmarks.
+    BruteForce,
+}
+
 /// Log-normal shadowing on top of the two-ray model (robustness
 /// experiments; the paper's channel has none).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -109,6 +121,8 @@ pub struct ScenarioConfig {
     pub interference_floor: Milliwatts,
     /// Optional log-normal shadowing (robustness ablations).
     pub shadowing: Option<ShadowingConfig>,
+    /// Candidate-receiver lookup strategy (spatial index vs full scan).
+    pub channel_index: ChannelIndexMode,
 }
 
 impl ScenarioConfig {
@@ -189,6 +203,7 @@ impl ScenarioConfig {
             aodv: AodvConfig::default(),
             interference_floor: Milliwatts(1.559e-10), // CSThresh / 100
             shadowing: None,
+            channel_index: ChannelIndexMode::default(),
         }
     }
 
@@ -221,6 +236,7 @@ impl ScenarioConfig {
             aodv: AodvConfig::default(),
             interference_floor: Milliwatts(1.559e-10),
             shadowing: None,
+            channel_index: ChannelIndexMode::default(),
         }
     }
 
@@ -263,6 +279,7 @@ impl ScenarioConfig {
             aodv: AodvConfig::default(),
             interference_floor: Milliwatts(1.559e-10),
             shadowing: None,
+            channel_index: ChannelIndexMode::default(),
         }
     }
 

@@ -58,7 +58,9 @@ pub mod runner;
 pub mod sim;
 pub mod trace;
 
-pub use config::{FlowShape, FlowSpec, NodeSetup, ScenarioConfig, ShadowingConfig};
+pub use config::{
+    ChannelIndexMode, FlowShape, FlowSpec, NodeSetup, ScenarioConfig, ShadowingConfig,
+};
 pub use event::SimEvent;
 pub use report::RunReport;
 pub use runner::run_parallel;

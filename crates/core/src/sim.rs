@@ -1,29 +1,86 @@
 //! The simulator: event dispatch and the wireless channel.
 //!
 //! The channel is not an object — it is a *pattern*: when a node
-//! transmits, the simulator computes the received power at every other
-//! node from the propagation model and current positions, and schedules
-//! `ArrivalStart`/`ArrivalEnd` events after the speed-of-light delay.
-//! Each receiver's radio then decides locally what it heard. Arrivals
-//! weaker than the configured interference floor are culled (they cannot
-//! affect carrier sense or any plausible SINR).
+//! transmits, the simulator computes the received power at every
+//! candidate receiver from the propagation model and current positions,
+//! and schedules `ArrivalStart`/`ArrivalEnd` events after the
+//! speed-of-light delay. Each receiver's radio then decides locally what
+//! it heard. Arrivals weaker than the configured interference floor are
+//! culled (they cannot affect carrier sense or any plausible SINR).
+//!
+//! # The hot path
+//!
+//! Candidate receivers come from a [`UniformGrid`] spatial index sized
+//! to the maximum reception range (max transmit power against the
+//! interference floor), so a transmission visits only the cells its
+//! signal can reach instead of scanning all N nodes
+//! ([`ChannelIndexMode::BruteForce`] keeps the O(N) reference scan for
+//! equivalence tests and benchmarks — both paths schedule the identical
+//! arrival sequence). Candidate lists are sorted by node id, so the
+//! event schedule is independent of the index's internal bucket order.
+//!
+//! Propagation is dispatched statically through [`PropagationModel`];
+//! fully static scenarios additionally precompute every pairwise gain in
+//! a [`GainCache`] so the per-receiver work degenerates to a table
+//! lookup. Event dispatch draws its scratch buffers from per-type pools
+//! on the simulator, so the steady state allocates nothing.
 
 use std::sync::Arc;
 
-use pcmac_engine::{Duration, EventQueue, Milliwatts, NodeId, Point, RngStream, SimTime};
+use pcmac_engine::{
+    Duration, EventQueue, Milliwatts, NodeId, Point, RngStream, SimTime, UniformGrid,
+};
 use pcmac_mac::{CtrlFrame, Frame, MacAction};
 use pcmac_mobility::{placement, Mobility, RandomWaypoint};
 use pcmac_phy::energy::RadioMode;
 use pcmac_phy::radio::RadioEvent;
-use pcmac_phy::{Propagation, Shadowed, TwoRayGround};
+use pcmac_phy::{GainCache, PropagationModel, Shadowed, TwoRayGround};
 
-use crate::config::{NodeSetup, ScenarioConfig};
+use crate::config::{ChannelIndexMode, NodeSetup, ScenarioConfig};
 use crate::event::SimEvent;
 use crate::node::{Node, TrafficSource};
 use crate::report::RunReport;
 
 /// Speed of light (m/s) for propagation delays.
 const C: f64 = 299_792_458.0;
+
+/// Relative slack on the culling radius, absorbing the floating-point
+/// error of inverting the path-loss formula so the spatial index can
+/// never drop a receiver the exact power test would keep.
+const RADIUS_SLACK: f64 = 1.0 + 1e-9;
+
+/// Gain caches are quadratic in node count; beyond this many nodes the
+/// table would dominate memory for little win and the simulator falls
+/// back to live (still statically-dispatched) gain evaluation.
+const GAIN_CACHE_MAX_NODES: usize = 2048;
+
+/// A free list of scratch buffers: `take` hands out an empty vector
+/// (reusing a previously returned allocation when one exists), `put`
+/// clears and shelves it. Action application is reentrant — MAC actions
+/// can trigger routing actions that trigger MAC actions — and each
+/// nesting level simply takes its own buffer, so pooling is safe at any
+/// recursion depth while the steady state allocates nothing.
+#[derive(Debug)]
+struct BufPool<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> Default for BufPool<T> {
+    fn default() -> Self {
+        BufPool { free: Vec::new() }
+    }
+}
+
+impl<T> BufPool<T> {
+    fn take(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, mut buf: Vec<T>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+}
 
 /// A configured, runnable simulation.
 pub struct Simulator {
@@ -33,9 +90,23 @@ pub struct Simulator {
     positions: Vec<Point>,
     positions_at: Option<SimTime>,
     any_mobile: bool,
-    propagation: Box<dyn Propagation + Send>,
+    propagation: PropagationModel,
+    /// Spatial index over `positions` (kept in sync by
+    /// [`Simulator::refresh_positions`]).
+    grid: UniformGrid,
+    /// Pairwise gain table (static scenarios only).
+    gain_cache: Option<GainCache>,
+    use_grid: bool,
     next_key: u64,
     sent_packets: u64,
+    // Scratch-buffer pools for allocation-free dispatch.
+    rad_pool: BufPool<RadioEvent<Arc<Frame>>>,
+    ctrl_pool: BufPool<RadioEvent<CtrlFrame>>,
+    mac_pool: BufPool<MacAction>,
+    aodv_pool: BufPool<pcmac_aodv::AodvAction>,
+    /// Candidate-receiver scratch (used only between a position refresh
+    /// and the arrival-scheduling loop, which never re-enters).
+    candidates: Vec<u32>,
 }
 
 impl Simulator {
@@ -101,16 +172,44 @@ impl Simulator {
             nodes[home].sources.push(src);
         }
 
-        let propagation: Box<dyn Propagation + Send> = match cfg.shadowing {
-            Some(s) => Box::new(Shadowed::new(
+        let propagation = match cfg.shadowing {
+            Some(s) => PropagationModel::Shadowed(Shadowed::new(
                 TwoRayGround::ns2_default(),
                 s.sigma_db,
                 s.symmetric,
                 cfg.seed,
             )),
-            None => Box::new(TwoRayGround::ns2_default()),
+            None => PropagationModel::TwoRay(TwoRayGround::ns2_default()),
         };
+
+        // Cell size: the farthest any transmission can matter — maximum
+        // transmit power against the interference floor (inflated for the
+        // worst-case shadowing boost). The grid may shrink cells slightly
+        // to tile the field evenly (and caps the cell count on huge
+        // fields), so a max-reach query touches a small O(1) block of
+        // cells around the transmitter — typically 3×3, sometimes 4×4.
+        let max_reach = cull_radius(&propagation, cfg.mac.max_power(), cfg.interference_floor);
+        let cell = if max_reach.is_finite() {
+            max_reach.max(1.0)
+        } else {
+            cfg.field.0.max(cfg.field.1)
+        };
+        let grid = UniformGrid::new(cfg.field.0, cfg.field.1, cell, &positions);
+
+        // The gain cache belongs to the indexed channel: the brute-force
+        // mode is the O(N)-scan-with-live-propagation reference the
+        // indexed channel is benchmarked against (cache-vs-live equality
+        // is covered by the phy gain-cache tests, so equivalence between
+        // the modes is unaffected).
+        let use_grid = cfg.channel_index == ChannelIndexMode::Grid;
+        let gain_cache = if use_grid && !any_mobile && n <= GAIN_CACHE_MAX_NODES {
+            Some(GainCache::build(&propagation, &positions))
+        } else {
+            None
+        };
+
         Simulator {
+            use_grid,
             cfg,
             queue,
             nodes,
@@ -118,8 +217,15 @@ impl Simulator {
             positions_at: None,
             any_mobile,
             propagation,
+            grid,
+            gain_cache,
             next_key: 0,
             sent_packets: 0,
+            rad_pool: BufPool::default(),
+            ctrl_pool: BufPool::default(),
+            mac_pool: BufPool::default(),
+            aodv_pool: BufPool::default(),
+            candidates: Vec::new(),
         }
     }
 
@@ -168,26 +274,26 @@ impl Simulator {
                 end,
                 frame,
             } => {
-                let mut rad = Vec::new();
+                let mut rad = self.rad_pool.take();
                 self.nodes[node.index()]
                     .radio
                     .on_arrival_start(key, power, end, &frame, &mut rad);
                 self.forward_radio_events(node.index(), rad, now);
             }
             SimEvent::ArrivalEnd { node, key } => {
-                let mut rad = Vec::new();
+                let mut rad = self.rad_pool.take();
                 self.nodes[node.index()].radio.on_arrival_end(key, &mut rad);
                 self.forward_radio_events(node.index(), rad, now);
             }
             SimEvent::TxEnd { node } => {
                 let i = node.index();
-                let mut rad = Vec::new();
+                let mut rad = self.rad_pool.take();
                 self.nodes[i].radio.end_tx(&mut rad);
                 self.nodes[i]
                     .energy
                     .set_mode(now, RadioMode::Idle, Milliwatts::ZERO);
                 self.forward_radio_events(i, rad, now);
-                let mut acts = Vec::new();
+                let mut acts = self.mac_pool.take();
                 self.nodes[i].mac.on_tx_end(now, &mut acts);
                 self.apply_mac_actions(i, acts, now);
             }
@@ -198,14 +304,14 @@ impl Simulator {
                 end,
                 frame,
             } => {
-                let mut rad = Vec::new();
+                let mut rad = self.ctrl_pool.take();
                 self.nodes[node.index()]
                     .ctrl_radio
                     .on_arrival_start(key, power, end, &frame, &mut rad);
                 self.forward_ctrl_events(node.index(), rad, now);
             }
             SimEvent::CtrlArrivalEnd { node, key } => {
-                let mut rad = Vec::new();
+                let mut rad = self.ctrl_pool.take();
                 self.nodes[node.index()]
                     .ctrl_radio
                     .on_arrival_end(key, &mut rad);
@@ -213,21 +319,22 @@ impl Simulator {
             }
             SimEvent::CtrlTxEnd { node } => {
                 let i = node.index();
-                let mut rad = Vec::new();
+                let mut rad = self.ctrl_pool.take();
                 self.nodes[i].ctrl_radio.end_tx(&mut rad);
                 // The tolerance broadcast happens while the data radio is
                 // mid-reception; energy for it was accounted at start.
+                self.ctrl_pool.put(rad);
                 self.nodes[i].mac.on_ctrl_tx_end(now);
             }
             SimEvent::MacTimer { node, kind, token } => {
                 let i = node.index();
-                let mut acts = Vec::new();
+                let mut acts = self.mac_pool.take();
                 self.nodes[i].mac.on_timer(kind, token, now, &mut acts);
                 self.apply_mac_actions(i, acts, now);
             }
             SimEvent::AodvTimer { node, dst, token } => {
                 let i = node.index();
-                let mut acts = Vec::new();
+                let mut acts = self.aodv_pool.take();
                 self.nodes[i]
                     .aodv
                     .on_discovery_timeout(dst, token, now, &mut acts);
@@ -245,7 +352,7 @@ impl Simulator {
                     self.queue
                         .schedule_at(t, SimEvent::TrafficEmit { node, source });
                 }
-                let mut acts = Vec::new();
+                let mut acts = self.aodv_pool.take();
                 self.nodes[i].aodv.send(packet, now, &mut acts);
                 self.apply_aodv_actions(i, acts, now);
             }
@@ -259,11 +366,11 @@ impl Simulator {
     fn forward_radio_events(
         &mut self,
         i: usize,
-        events: Vec<RadioEvent<Arc<Frame>>>,
+        mut events: Vec<RadioEvent<Arc<Frame>>>,
         now: SimTime,
     ) {
-        for ev in events {
-            let mut acts = Vec::new();
+        for ev in events.drain(..) {
+            let mut acts = self.mac_pool.take();
             {
                 let node = &mut self.nodes[i];
                 let noise = node.radio.noise_power();
@@ -286,10 +393,16 @@ impl Simulator {
             }
             self.apply_mac_actions(i, acts, now);
         }
+        self.rad_pool.put(events);
     }
 
-    fn forward_ctrl_events(&mut self, i: usize, events: Vec<RadioEvent<CtrlFrame>>, now: SimTime) {
-        for ev in events {
+    fn forward_ctrl_events(
+        &mut self,
+        i: usize,
+        mut events: Vec<RadioEvent<CtrlFrame>>,
+        now: SimTime,
+    ) {
+        for ev in events.drain(..) {
             // The control channel is pure broadcast signalling: no carrier
             // sense, no NAV; only successfully-decoded frames matter.
             if let RadioEvent::RxEnd {
@@ -302,14 +415,15 @@ impl Simulator {
                 self.nodes[i].mac.on_ctrl_rx(frame, power, now);
             }
         }
+        self.ctrl_pool.put(events);
     }
 
     // ------------------------------------------------------------------
     // Action application
     // ------------------------------------------------------------------
 
-    fn apply_mac_actions(&mut self, i: usize, actions: Vec<MacAction>, now: SimTime) {
-        for a in actions {
+    fn apply_mac_actions(&mut self, i: usize, mut actions: Vec<MacAction>, now: SimTime) {
+        for a in actions.drain(..) {
             match a {
                 MacAction::TxFrame { frame, power } => self.transmit_frame(i, frame, power, now),
                 MacAction::TxCtrl { frame, power } => self.transmit_ctrl(i, frame, power, now),
@@ -324,7 +438,7 @@ impl Simulator {
                     );
                 }
                 MacAction::Deliver { packet, from } => {
-                    let mut acts = Vec::new();
+                    let mut acts = self.aodv_pool.take();
                     self.nodes[i].aodv.on_packet(packet, from, now, &mut acts);
                     self.apply_aodv_actions(i, acts, now);
                 }
@@ -332,7 +446,7 @@ impl Simulator {
                     // Purge other frames queued for the dead hop first, so
                     // the routing agent can salvage or drop them too.
                     let drained = self.nodes[i].mac.drain_next_hop(next_hop);
-                    let mut acts = Vec::new();
+                    let mut acts = self.aodv_pool.take();
                     self.nodes[i]
                         .aodv
                         .on_link_failure(packet, next_hop, now, &mut acts);
@@ -348,14 +462,20 @@ impl Simulator {
                 }
             }
         }
+        self.mac_pool.put(actions);
     }
 
-    fn apply_aodv_actions(&mut self, i: usize, actions: Vec<pcmac_aodv::AodvAction>, now: SimTime) {
+    fn apply_aodv_actions(
+        &mut self,
+        i: usize,
+        mut actions: Vec<pcmac_aodv::AodvAction>,
+        now: SimTime,
+    ) {
         use pcmac_aodv::AodvAction;
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 AodvAction::Transmit { packet, next_hop } => {
-                    let mut acts = Vec::new();
+                    let mut acts = self.mac_pool.take();
                     self.nodes[i].mac.enqueue(packet, next_hop, now, &mut acts);
                     self.apply_mac_actions(i, acts, now);
                 }
@@ -380,30 +500,70 @@ impl Simulator {
                 }
             }
         }
+        self.aodv_pool.put(actions);
     }
 
     // ------------------------------------------------------------------
     // The wireless channel
     // ------------------------------------------------------------------
 
+    /// Bring `positions` (and the spatial index) up to `now`.
+    ///
+    /// The timestamp is recorded on **every** call, so repeated
+    /// transmissions at the same instant — common when several nodes
+    /// react to the same timer tick — skip the full O(N) mobility rescan
+    /// entirely, and static scenarios never pay it at all.
     fn refresh_positions(&mut self, now: SimTime) {
-        if !self.any_mobile || self.positions_at == Some(now) {
-            if self.positions_at.is_none() {
-                self.positions_at = Some(now);
-            }
+        if self.positions_at == Some(now) {
             return;
         }
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            self.positions[i] = node.mobility.position(now);
+        if self.any_mobile {
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                let p = node.mobility.position(now);
+                if p != self.positions[i] {
+                    self.positions[i] = p;
+                    if self.use_grid {
+                        self.grid.update(i as u32, p);
+                    }
+                }
+            }
         }
         self.positions_at = Some(now);
+    }
+
+    /// Fill `self.candidates` with every node (other than `i`, sorted by
+    /// id) that could receive a transmission from `i` at `power` above
+    /// the interference floor.
+    fn collect_receivers(&mut self, i: usize, power: Milliwatts, now: SimTime) {
+        self.refresh_positions(now);
+        self.candidates.clear();
+        if self.use_grid {
+            let radius = cull_radius(&self.propagation, power, self.cfg.interference_floor);
+            self.grid
+                .query_circle(self.positions[i], radius, &mut self.candidates);
+            if let Ok(at) = self.candidates.binary_search(&(i as u32)) {
+                self.candidates.remove(at);
+            }
+        } else {
+            self.candidates
+                .extend((0..self.nodes.len() as u32).filter(|&j| j as usize != i));
+        }
+    }
+
+    /// Gain from node `i` to node `j` (table lookup when static).
+    #[inline]
+    fn link_gain(&self, i: usize, j: usize) -> f64 {
+        match &self.gain_cache {
+            Some(cache) => cache.gain(i, j),
+            None => self.propagation.gain(self.positions[i], self.positions[j]),
+        }
     }
 
     fn transmit_frame(&mut self, i: usize, frame: Frame, power: Milliwatts, now: SimTime) {
         let airtime = self.nodes[i].mac.config().timing.frame_airtime(&frame);
         let end = now + airtime;
 
-        let mut rad = Vec::new();
+        let mut rad = self.rad_pool.take();
         self.nodes[i].radio.start_tx(end, &mut rad);
         self.nodes[i]
             .energy
@@ -416,17 +576,15 @@ impl Simulator {
             },
         );
 
-        self.refresh_positions(now);
+        self.collect_receivers(i, power, now);
         let frame = Arc::new(frame);
         let key = self.next_key;
         self.next_key += 1;
         let src_pos = self.positions[i];
-        for j in 0..self.nodes.len() {
-            if j == i {
-                continue;
-            }
+        for c in 0..self.candidates.len() {
+            let j = self.candidates[c] as usize;
             let dst_pos = self.positions[j];
-            let pr = power * self.propagation.gain(src_pos, dst_pos);
+            let pr = power * self.link_gain(i, j);
             if pr.value() < self.cfg.interference_floor.value() {
                 continue;
             }
@@ -455,8 +613,9 @@ impl Simulator {
         let airtime = CtrlFrame::airtime(self.nodes[i].mac.config().pcmac.ctrl_rate_bps);
         let end = now + airtime;
 
-        let mut rad = Vec::new();
+        let mut rad = self.ctrl_pool.take();
         self.nodes[i].ctrl_radio.start_tx(end, &mut rad);
+        self.ctrl_pool.put(rad);
         // The ctrl broadcast radiates too (the data radio may be mid-rx;
         // energy is attributed per-channel, transmit wins for the overlap).
         self.queue.schedule_at(
@@ -466,16 +625,14 @@ impl Simulator {
             },
         );
 
-        self.refresh_positions(now);
+        self.collect_receivers(i, power, now);
         let key = self.next_key;
         self.next_key += 1;
         let src_pos = self.positions[i];
-        for j in 0..self.nodes.len() {
-            if j == i {
-                continue;
-            }
+        for c in 0..self.candidates.len() {
+            let j = self.candidates[c] as usize;
             let dst_pos = self.positions[j];
-            let pr = power * self.propagation.gain(src_pos, dst_pos);
+            let pr = power * self.link_gain(i, j);
             if pr.value() < self.cfg.interference_floor.value() {
                 continue;
             }
@@ -499,4 +656,14 @@ impl Simulator {
             );
         }
     }
+}
+
+/// The radius beyond which a transmission at `power` cannot reach
+/// `floor` under any realisation of `model` (slightly inflated for
+/// float-inversion safety). Infinite when the floor is disabled.
+fn cull_radius(model: &PropagationModel, power: Milliwatts, floor: Milliwatts) -> f64 {
+    if floor.value() <= 0.0 || power.value() <= 0.0 {
+        return f64::INFINITY;
+    }
+    model.max_range_for(power, floor) * RADIUS_SLACK
 }

@@ -1,0 +1,232 @@
+//! Grid-indexed channel ≡ brute-force channel.
+//!
+//! The uniform-grid spatial index is a pure optimization: for any
+//! scenario, the set (and order) of arrivals it schedules must be
+//! *identical* to the O(N) scan over all nodes, so a run under
+//! `ChannelIndexMode::Grid` must equal a run under
+//! `ChannelIndexMode::BruteForce` in every observable — event counts,
+//! deliveries, MAC/routing counters, energy, per-flow breakdowns.
+//!
+//! These tests compare entire serialized [`RunReport`]s (minus wall-clock
+//! time) across random seeds, field sizes, node counts, interference
+//! floors, and protocol variants, under static placement, mobility, and
+//! shadowing.
+
+use pcmac::{
+    ChannelIndexMode, FlowShape, FlowSpec, NodeSetup, RunReport, ScenarioConfig, ShadowingConfig,
+    Simulator, Variant,
+};
+use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
+use proptest::prelude::*;
+
+/// Strip the only legitimately nondeterministic field and serialize.
+fn fingerprint(r: &RunReport) -> serde_json::Value {
+    let text = serde_json::to_string(r).expect("reports serialize");
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    match v {
+        serde_json::Value::Map(entries) => {
+            serde_json::Value::Map(entries.into_iter().filter(|(k, _)| k != "wall_s").collect())
+        }
+        other => other,
+    }
+}
+
+/// A randomized scenario: `n` nodes scattered over a `side`×`side`
+/// field with a handful of cross-field flows.
+fn random_scenario(
+    variant: Variant,
+    seed: u64,
+    n: usize,
+    side: f64,
+    floor: Milliwatts,
+    mobile: bool,
+    shadowing: Option<ShadowingConfig>,
+) -> ScenarioConfig {
+    let duration = Duration::from_secs(2);
+    let mut cfg = ScenarioConfig::two_nodes(variant, 100.0, 1000.0, seed);
+    cfg.name = format!("equiv-{seed}-{n}-{side}");
+    cfg.field = (side, side);
+    cfg.duration = duration;
+    cfg.interference_floor = floor;
+    cfg.shadowing = shadowing;
+    if mobile {
+        cfg.nodes = NodeSetup::UniformWaypoint {
+            count: n,
+            speed: 20.0, // fast: force many grid cell crossings
+            pause: Duration::from_millis(200),
+        };
+    } else {
+        let mut rng = RngStream::derive(seed, "equiv.placement");
+        cfg.nodes = NodeSetup::Static(
+            (0..n)
+                .map(|_| Point::new(rng.uniform(0.0, side), rng.uniform(0.0, side)))
+                .collect(),
+        );
+    }
+    let mut rng = RngStream::derive(seed, "equiv.flows");
+    cfg.flows = (0..4)
+        .map(|i| {
+            let src = rng.below(n as u64) as u32;
+            let dst = loop {
+                let d = rng.below(n as u64) as u32;
+                if d != src {
+                    break d;
+                }
+            };
+            FlowSpec {
+                flow: FlowId(i),
+                src: NodeId(src),
+                dst: NodeId(dst),
+                bytes: 512,
+                rate_bps: 40_000.0,
+                start: SimTime::ZERO + Duration::from_millis(100 + 37 * i as u64),
+                stop: SimTime::ZERO + duration,
+                shape: FlowShape::Cbr,
+            }
+        })
+        .collect();
+    cfg
+}
+
+fn assert_equivalent(cfg: ScenarioConfig) {
+    let mut grid_cfg = cfg.clone();
+    grid_cfg.channel_index = ChannelIndexMode::Grid;
+    let mut brute_cfg = cfg;
+    brute_cfg.channel_index = ChannelIndexMode::BruteForce;
+    let grid = Simulator::new(grid_cfg).run();
+    let brute = Simulator::new(brute_cfg).run();
+    assert!(
+        grid.events > 0,
+        "degenerate run: no events means the comparison is vacuous"
+    );
+    assert_eq!(
+        fingerprint(&grid),
+        fingerprint(&brute),
+        "grid and brute-force channels diverged (seed {})",
+        grid.seed
+    );
+}
+
+/// The acceptance-criterion sweep: ≥16 distinct random seeds, static
+/// fields of varying size and density, exact report equality.
+#[test]
+fn grid_matches_brute_force_across_16_seeds() {
+    for seed in 0..16u64 {
+        let n = 10 + (seed as usize % 4) * 8;
+        let side = 800.0 + 400.0 * (seed % 5) as f64;
+        let variant = Variant::ALL[seed as usize % 4];
+        let cfg = random_scenario(variant, seed, n, side, Milliwatts(1.559e-10), false, None);
+        assert_equivalent(cfg);
+    }
+}
+
+#[test]
+fn grid_matches_brute_force_under_mobility() {
+    for seed in [3u64, 17, 40] {
+        let cfg = random_scenario(
+            Variant::Pcmac,
+            seed,
+            16,
+            1500.0,
+            Milliwatts(1.559e-10),
+            true,
+            None,
+        );
+        assert_equivalent(cfg);
+    }
+}
+
+#[test]
+fn grid_matches_brute_force_under_shadowing() {
+    // Shadowing can lift links far beyond their median range; the index
+    // must inflate its culling radius to cover the boost — in both the
+    // reciprocal and the assumption-violating asymmetric mode.
+    for symmetric in [true, false] {
+        let cfg = random_scenario(
+            Variant::Pcmac,
+            9,
+            14,
+            1200.0,
+            Milliwatts(1.559e-10),
+            false,
+            Some(ShadowingConfig {
+                sigma_db: 6.0,
+                symmetric,
+            }),
+        );
+        assert_equivalent(cfg);
+    }
+}
+
+#[test]
+fn grid_matches_brute_force_under_mobility_with_shadowing() {
+    // The hardest combination: the shadow-inflated culling radius must
+    // stay a superset while incremental grid updates track cell
+    // crossings — a regression in either alone could hide behind the
+    // separate mobility and shadowing tests.
+    for (seed, symmetric) in [(11u64, true), (23, false)] {
+        let cfg = random_scenario(
+            Variant::Pcmac,
+            seed,
+            14,
+            1500.0,
+            Milliwatts(1.559e-10),
+            true,
+            Some(ShadowingConfig {
+                sigma_db: 5.0,
+                symmetric,
+            }),
+        );
+        assert_equivalent(cfg);
+    }
+}
+
+#[test]
+fn grid_matches_brute_force_with_disabled_floor() {
+    // floor = 0 ⇒ every node hears every transmission; the index must
+    // degrade to full coverage, not drop anyone.
+    let cfg = random_scenario(Variant::Basic, 5, 12, 2000.0, Milliwatts(0.0), false, None);
+    assert_equivalent(cfg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fuzzed equivalence: random seed, node count, field size, floor
+    /// scaling, variant, and mobility flag.
+    #[test]
+    fn grid_matches_brute_force_fuzzed(
+        seed in 0u64..10_000,
+        n in 8usize..24,
+        side in 600.0f64..3500.0,
+        floor_exp in 0u32..4,
+        variant_idx in 0usize..4,
+        mobile in any::<bool>(),
+    ) {
+        // Floors from CSThresh/100 up to CSThresh·10: small floors make
+        // everyone audible (stress superset-coverage), large floors make
+        // reception local (stress cell culling).
+        let floor = Milliwatts(1.559e-10 * 10f64.powi(floor_exp as i32));
+        let cfg = random_scenario(
+            Variant::ALL[variant_idx],
+            seed,
+            n,
+            side,
+            floor,
+            mobile,
+            None,
+        );
+        let mut grid_cfg = cfg.clone();
+        grid_cfg.channel_index = ChannelIndexMode::Grid;
+        let mut brute_cfg = cfg;
+        brute_cfg.channel_index = ChannelIndexMode::BruteForce;
+        let grid = Simulator::new(grid_cfg).run();
+        let brute = Simulator::new(brute_cfg).run();
+        prop_assert_eq!(
+            fingerprint(&grid),
+            fingerprint(&brute),
+            "diverged: seed {} n {} side {} floor {:?} mobile {}",
+            seed, n, side, floor, mobile
+        );
+    }
+}

@@ -15,6 +15,9 @@
 //!   reproducible sequence.
 //! * [`geom`] — 2-D geometry ([`Point`], [`Vector`]) for node positions and
 //!   mobility.
+//! * [`grid`] — a uniform-grid spatial index ([`UniformGrid`]) answering
+//!   "who is within radius r?" in O(local density) instead of O(N); the
+//!   wireless channel's per-transmission neighbourhood query.
 //! * [`units`] — RF power quantities ([`Milliwatts`], [`Dbm`]) and safe
 //!   conversions between them.
 //! * [`ids`] — strongly-typed identifiers ([`NodeId`], [`FlowId`], …).
@@ -25,6 +28,7 @@
 //! independently testable.
 
 pub mod geom;
+pub mod grid;
 pub mod ids;
 pub mod queue;
 pub mod rng;
@@ -33,6 +37,7 @@ pub mod timer;
 pub mod units;
 
 pub use geom::{Point, Vector};
+pub use grid::UniformGrid;
 pub use ids::{FlowId, NodeId, PacketId, SessionId};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::RngStream;

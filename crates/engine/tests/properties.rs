@@ -118,3 +118,62 @@ proptest! {
         prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
     }
 }
+
+mod grid_properties {
+    use pcmac_engine::{Point, UniformGrid};
+    use proptest::prelude::*;
+
+    /// Reference answer: exact disc membership by full scan.
+    fn brute(positions: &[Point], center: Point, radius: f64) -> Vec<u32> {
+        (0..positions.len() as u32)
+            .filter(|&i| positions[i as usize].distance_sq(center) <= radius * radius)
+            .collect()
+    }
+
+    fn points(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    proptest! {
+        /// A grid query returns exactly the nodes inside the disc, in
+        /// ascending id order, for arbitrary fields, cell sizes, radii
+        /// and centers.
+        #[test]
+        fn query_equals_brute_force(
+            coords in proptest::collection::vec((0.0f64..2000.0, 0.0f64..2000.0), 1..120),
+            cell in 10.0f64..800.0,
+            cx in -100.0f64..2100.0,
+            cy in -100.0f64..2100.0,
+            radius in 0.0f64..2500.0,
+        ) {
+            let pts = points(&coords);
+            let grid = UniformGrid::new(2000.0, 2000.0, cell, &pts);
+            let mut got = Vec::new();
+            grid.query_circle(Point::new(cx, cy), radius, &mut got);
+            prop_assert_eq!(got, brute(&pts, Point::new(cx, cy), radius));
+        }
+
+        /// Incremental updates preserve query exactness: after an
+        /// arbitrary sequence of node moves, queries still match the
+        /// brute-force scan over the *current* positions.
+        #[test]
+        fn updates_preserve_equivalence(
+            coords in proptest::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 2..60),
+            moves in proptest::collection::vec((0usize..60, 0.0f64..1000.0, 0.0f64..1000.0), 1..80),
+            cell in 20.0f64..500.0,
+            radius in 0.0f64..1200.0,
+        ) {
+            let mut pts = points(&coords);
+            let mut grid = UniformGrid::new(1000.0, 1000.0, cell, &pts);
+            for &(node, x, y) in &moves {
+                let node = node % pts.len();
+                pts[node] = Point::new(x, y);
+                grid.update(node as u32, pts[node]);
+                let center = pts[node];
+                let mut got = Vec::new();
+                grid.query_circle(center, radius, &mut got);
+                prop_assert_eq!(got, brute(&pts, center, radius));
+            }
+        }
+    }
+}

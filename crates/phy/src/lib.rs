@@ -7,6 +7,9 @@
 //!   wireless extensions) uses **two-ray ground** with the Lucent WaveLAN
 //!   constants: 914 MHz carrier, 1.5 m antennas, decode range 250 m and
 //!   carrier-sense range 550 m at the 281.8 mW maximum power.
+//! * [`model`] — the closed [`PropagationModel`] enum (static dispatch on
+//!   the channel hot path) and the [`GainCache`] precomputing pairwise
+//!   gains for fully static scenarios.
 //! * [`levels`] — the paper's ten discrete transmit power levels
 //!   (1 mW … 281.8 mW) and quantisation of a computed "needed power" up to
 //!   the next level.
@@ -22,12 +25,14 @@
 
 pub mod energy;
 pub mod levels;
+pub mod model;
 pub mod propagation;
 pub mod radio;
 pub mod shadowing;
 
 pub use energy::{EnergyMeter, RadioMode};
 pub use levels::PowerLevels;
+pub use model::{GainCache, PropagationModel};
 pub use propagation::{Propagation, TwoRayGround};
 pub use radio::{CapturePolicy, Radio, RadioConfig, RadioEvent};
 pub use shadowing::Shadowed;

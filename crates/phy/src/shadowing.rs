@@ -55,6 +55,11 @@ impl<P: Propagation> Shadowed<P> {
         &self.base
     }
 
+    /// Standard deviation of the shadowing term (dB).
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
     fn cell(&self, p: Point) -> (i64, i64) {
         (
             (p.x / self.cell_m).floor() as i64,

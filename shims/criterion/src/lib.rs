@@ -1,0 +1,273 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal benchmark harness exposing the criterion API surface this
+//! repository's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark it estimates the cost of one
+//! iteration during a short calibration phase, then takes `sample_size`
+//! samples (each a timed batch sized to ≈5 ms) and reports min / mean /
+//! max of the per-iteration time. No statistics beyond that, no plots,
+//! no baselines — just honest wall-clock numbers printed to stdout.
+//! Means are also recorded in a process-global registry that bench
+//! binaries can drain via [`take_measurements`] to export machine-
+//! readable results (e.g. `BENCH_channel.json`).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The shim times routine and
+/// setup together but subtracts a setup-only calibration, so the hint is
+/// accepted for API compatibility and otherwise unused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// One recorded measurement: benchmark id and mean ns/iter.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Fully-qualified benchmark name (`group/name` for grouped).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drain every measurement recorded so far in this process.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().unwrap())
+}
+
+fn record(id: &str, mean_ns: f64) {
+    MEASUREMENTS.lock().unwrap().push(Measurement {
+        id: id.to_string(),
+        mean_ns,
+    });
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Close the group (printing nothing extra; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    /// Samples of (total duration, iterations) collected so far.
+    samples: Vec<(Duration, u64)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibrate: how many iterations fit in ~5 ms?
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            ((Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000)) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((start.elapsed(), per_sample));
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup cost.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    record(id, mean);
+    println!(
+        "{id:<40} [{} {} {}]",
+        human_ns(min),
+        human_ns(mean),
+        human_ns(max)
+    );
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a group of benchmark functions, optionally with a config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("shim/iter", |b| b.iter(|| 1 + 1));
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("x", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        quick(&mut c);
+        let m = take_measurements();
+        assert!(m.iter().any(|m| m.id == "shim/iter"));
+        assert!(m.iter().any(|m| m.id == "grp/x"));
+        assert!(m.iter().all(|m| m.mean_ns >= 0.0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline shim for `crossbeam`: the `channel::unbounded` MPMC channel
+//! the experiment driver uses, built on `std::sync` primitives.
+
+pub mod channel {
+    //! Multi-producer multi-consumer unbounded channel.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Sending half. Cloneable; the channel closes when all senders drop.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half. Cloneable (work-stealing consumers).
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Error returned when sending into a channel with no receivers left.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the channel is empty and all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a value; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.queue.lock().unwrap();
+            st.items.push_back(value);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.queue.lock().unwrap();
+            st.senders -= 1;
+            let closed = st.senders == 0;
+            drop(st);
+            if closed {
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender has dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking receive: `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.queue.lock().unwrap().items.pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_out_consumes_everything() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let got = &got;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        got.lock().unwrap().push(v);
+                    }
+                });
+            }
+        });
+        let mut items = std::mem::take(got.get_mut().unwrap());
+        items.sort_unstable();
+        assert_eq!(items, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_fails_after_close() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

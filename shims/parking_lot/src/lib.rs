@@ -1,0 +1,44 @@
+//! Offline shim for `parking_lot`: a [`Mutex`] whose `lock()` returns the
+//! guard directly (poisoning is translated into a panic, which matches
+//! parking_lot's abort-on-poisoned-invariant behavior closely enough for
+//! the experiment driver).
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// Mutual exclusion with parking_lot's `lock() -> Guard` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Acquire the lock, blocking the current thread.
+    pub fn lock(&self) -> StdGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Consume the mutex and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the small slice of the `rand` API the simulator uses: a fast
+//! xoshiro256++ [`rngs::SmallRng`] seeded via SplitMix64, the
+//! [`SeedableRng::seed_from_u64`] constructor, and the [`RngExt`]
+//! extension methods `random_range` / `random_bool`.
+//!
+//! The streams are deterministic and platform-independent, which is all
+//! the simulator requires; no claim of statistical equivalence with the
+//! real `rand` crate is made (seeds were never run against it — the seed
+//! repo did not build).
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The produced value type.
+    type Output;
+    /// Draw a uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Extension methods mirroring `rand`'s `Rng`/`RngExt`.
+pub trait RngExt: RngCore {
+    /// Uniform draw from an integer or float range.
+    fn random_range<T: SampleRange>(&mut self, range: T) -> T::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    // 53 high bits → [0, 1).
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                let v = uniform_u128_below(rng, span);
+                (self.start as u128 + v) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let v = uniform_u128_below(rng, span);
+                (lo as u128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+/// Uniform value in `[0, n)` by rejection sampling on 64-bit words
+/// (`n` ≤ 2⁶⁴ here in practice; the u128 arithmetic only avoids
+/// overflow at the extremes).
+#[inline]
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, n: u128) -> u128 {
+    debug_assert!(n > 0);
+    if n > u64::MAX as u128 {
+        // Span longer than 2⁶⁴ never occurs for the ranges the simulator
+        // draws; fall back to a plain modulo draw of two words.
+        let w = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        return w % n;
+    }
+    let n64 = n as u64;
+    // Lemire-style widening multiply with rejection for exact uniformity.
+    let zone = u64::MAX - (u64::MAX - n64 + 1) % n64;
+    loop {
+        let w = rng.next_u64();
+        if w <= zone {
+            return (w as u128 * n64 as u128) >> 64;
+        }
+    }
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                let v = self.start + (self.end - self.start) * u;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the same family the real `SmallRng` uses on 64-bit
+    /// platforms: fast, small state, excellent for simulation.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(5u64..=7);
+            assert!((5..=7).contains(&w));
+            let f = r.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+
+    #[test]
+    fn full_u64_range_not_constant() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let a = r.random_range(0u64..u64::MAX);
+        let b = r.random_range(0u64..u64::MAX);
+        let c = r.random_range(0u64..u64::MAX);
+        assert!(a != b || b != c);
+    }
+}
