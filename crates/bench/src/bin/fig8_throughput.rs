@@ -3,14 +3,15 @@
 //!
 //! ```text
 //! cargo run -p pcmac-bench --release --bin fig8_throughput [-- --full] \
-//!     [--secs N] [--seeds 1,2,3] [--loads 300,...,1000] [--json out.jsonl]
+//!     [--secs N] [--seeds 1,2,3] [--loads 300,...,1000] [--json out.jsonl] \
+//!     [--campaign-json CAMPAIGN_fig8.json]
 //! ```
 //!
 //! The paper's result (ICPP'03, Fig. 8): all four curves rise with load
 //! and saturate; PCMAC saturates highest (~8–10 % above Basic 802.11),
 //! while the naive power-control schemes fall *below* Basic.
 
-use pcmac_bench::{check_figure8_shape, Sweep};
+use pcmac_bench::{check_figure8_shape, write_output_flag, Sweep};
 use pcmac_stats::series::to_csv;
 
 fn main() {
@@ -44,13 +45,18 @@ fn main() {
         )
     );
     println!("CSV:\n{}", to_csv("offered_load_kbps", &series));
+    println!(
+        "per-point aggregation (mean ± 95% CI over seeds):\n{}",
+        result.campaign.render_table()
+    );
 
-    if let Some(i) = args.iter().position(|a| a == "--json") {
-        if let Some(path) = args.get(i + 1) {
-            std::fs::write(path, result.to_json_lines()).expect("write json");
-            eprintln!("wrote raw reports to {path}");
-        }
-    }
+    write_output_flag(&args, "--json", "raw reports", || result.to_json_lines());
+    write_output_flag(
+        &args,
+        "--campaign-json",
+        "aggregated campaign report",
+        || result.campaign.to_json(),
+    );
 
     match check_figure8_shape(&series) {
         Ok(()) => {

@@ -3,14 +3,15 @@
 //!
 //! ```text
 //! cargo run -p pcmac-bench --release --bin fig9_delay [-- --full] \
-//!     [--secs N] [--seeds 1,2,3] [--loads 300,...,1000] [--json out.jsonl]
+//!     [--secs N] [--seeds 1,2,3] [--loads 300,...,1000] [--json out.jsonl] \
+//!     [--campaign-json CAMPAIGN_fig9.json]
 //! ```
 //!
 //! The paper's result (ICPP'03, Fig. 9): delay rises with load for every
 //! protocol (to ~1.4 s past saturation) and PCMAC stays lowest thanks to
 //! spatial reuse shortening queue waits.
 
-use pcmac_bench::{check_figure9_shape, Sweep};
+use pcmac_bench::{check_figure9_shape, write_output_flag, Sweep};
 use pcmac_stats::series::to_csv;
 
 fn main() {
@@ -44,13 +45,18 @@ fn main() {
         )
     );
     println!("CSV:\n{}", to_csv("offered_load_kbps", &series));
+    println!(
+        "per-point aggregation (mean ± 95% CI over seeds):\n{}",
+        result.campaign.render_table()
+    );
 
-    if let Some(i) = args.iter().position(|a| a == "--json") {
-        if let Some(path) = args.get(i + 1) {
-            std::fs::write(path, result.to_json_lines()).expect("write json");
-            eprintln!("wrote raw reports to {path}");
-        }
-    }
+    write_output_flag(&args, "--json", "raw reports", || result.to_json_lines());
+    write_output_flag(
+        &args,
+        "--campaign-json",
+        "aggregated campaign report",
+        || result.campaign.to_json(),
+    );
 
     match check_figure9_shape(&series) {
         Ok(()) => println!(

@@ -14,9 +14,16 @@
 //! parallel and seeds are averaged. `--full` switches to the paper's
 //! exact 400-second duration (the default is a faster 60 s, which already
 //! shows the same curve shapes).
+//!
+//! The sweep itself is a thin veneer over the `pcmac-campaign` subsystem:
+//! [`Sweep::to_campaign`] builds the declarative [`CampaignSpec`] the CLI
+//! flags describe, and [`Sweep::run`] executes it through
+//! [`pcmac_campaign::run_campaign`], so the figure binaries share the
+//! expansion, validation, and per-point mean ± CI aggregation with every
+//! spec-file campaign.
 
-use pcmac::{run_parallel, RunReport, ScenarioConfig, Variant};
-use pcmac_engine::Duration;
+use pcmac::{RunReport, Variant};
+use pcmac_campaign::{run_campaign, AxesSpec, CampaignReport, CampaignSpec, ScenarioSpec};
 use pcmac_stats::{Series, Table};
 
 /// Sweep parameters shared by the figure binaries.
@@ -74,24 +81,42 @@ impl Sweep {
         sweep
     }
 
-    /// Run the full (protocol × load × seed) grid.
-    pub fn run(&self) -> SweepResult {
-        let mut scenarios = Vec::new();
-        for &seed in &self.seeds {
-            for &load in &self.loads {
-                for v in Variant::ALL {
-                    scenarios.push(
-                        ScenarioConfig::paper(v, load, seed)
-                            .with_duration(Duration::from_secs(self.secs)),
-                    );
-                }
-            }
+    /// The declarative campaign this sweep describes: the paper's base
+    /// scenario swept over (offered load × all four variants) × seeds.
+    pub fn to_campaign(&self) -> CampaignSpec {
+        CampaignSpec {
+            name: "figures".into(),
+            base: ScenarioSpec::paper(),
+            duration_s: Some(self.secs as f64),
+            seeds: self.seeds.clone(),
+            axes: AxesSpec {
+                loads_kbps: Some(self.loads.clone()),
+                node_counts: None,
+                variants: Some(Variant::ALL.to_vec()),
+                power_level_sets_mw: None,
+            },
         }
-        let reports = run_parallel(scenarios, self.threads);
+    }
+
+    /// Run the full (protocol × load × seed) grid through the campaign
+    /// subsystem.
+    ///
+    /// Exits with a clean message (status 2) when the CLI flags describe
+    /// an invalid sweep — e.g. `--secs` shorter than the flow start
+    /// stagger, or non-positive `--loads` values.
+    pub fn run(&self) -> SweepResult {
+        let outcome = run_campaign(&self.to_campaign(), self.threads).unwrap_or_else(|e| {
+            eprintln!("sweep configuration is invalid:");
+            for p in &e.problems {
+                eprintln!("  - {p}");
+            }
+            std::process::exit(2);
+        });
         SweepResult {
             loads: self.loads.clone(),
             seeds: self.seeds.len(),
-            reports,
+            campaign: outcome.report,
+            reports: outcome.runs,
         }
     }
 }
@@ -103,7 +128,10 @@ pub struct SweepResult {
     pub loads: Vec<f64>,
     /// Number of seeds averaged.
     pub seeds: usize,
-    /// All reports (seed-major, then load, then protocol).
+    /// Per-point aggregation (mean ± CI per metric) from the campaign
+    /// runner — the `CAMPAIGN_*.json` artifact shape.
+    pub campaign: CampaignReport,
+    /// All raw reports (point-major: load, then protocol, then seed).
     pub reports: Vec<RunReport>,
 }
 
@@ -169,6 +197,26 @@ impl SweepResult {
             .map(|r| serde_json::to_string(r).expect("reports serialize"))
             .collect::<Vec<_>>()
             .join("\n")
+    }
+}
+
+/// Shared output plumbing for the figure binaries: when `flag` is
+/// present on the command line, write `contents()` to the path that
+/// follows it.
+pub fn write_output_flag(
+    args: &[String],
+    flag: &str,
+    what: &str,
+    contents: impl FnOnce() -> String,
+) {
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, contents())
+            .unwrap_or_else(|e| panic!("cannot write {what} to {path}: {e}"));
+        eprintln!("wrote {what} to {path}");
     }
 }
 

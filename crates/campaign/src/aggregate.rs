@@ -1,0 +1,164 @@
+//! Per-point aggregation of run reports.
+//!
+//! A campaign point runs once per seed; the figures need the seeds
+//! collapsed to mean ± confidence interval per metric. Aggregation is
+//! built on [`pcmac_stats::OnlineStats`] (Welford mean/variance plus the
+//! Student-t 95% interval), and the result serializes to the
+//! machine-readable `CAMPAIGN_*.json` artifact.
+
+use pcmac::RunReport;
+use pcmac_stats::{OnlineStats, Table};
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::PointKey;
+
+/// Mean ± spread of one metric across the seeds of one point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1).
+    pub stddev: f64,
+    /// Half-width of the two-sided 95% confidence interval (Student t).
+    pub ci95: f64,
+    /// Smallest seed value.
+    pub min: f64,
+    /// Largest seed value.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    fn from_samples(samples: impl Iterator<Item = f64>) -> Self {
+        let mut s = OnlineStats::new();
+        for x in samples {
+            s.push(x);
+        }
+        MetricSummary {
+            mean: s.mean(),
+            stddev: s.stddev(),
+            ci95: s.ci95_halfwidth(),
+            min: s.min().unwrap_or(0.0),
+            max: s.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// One aggregated grid point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointSummary {
+    /// Grid coordinates.
+    pub key: PointKey,
+    /// Seeds averaged.
+    pub seeds: Vec<u64>,
+    /// Aggregate network throughput (kbps) — the Figure 8 metric.
+    pub throughput_kbps: MetricSummary,
+    /// Mean end-to-end delay (ms) — the Figure 9 metric.
+    pub mean_delay_ms: MetricSummary,
+    /// Packet delivery ratio in [0, 1].
+    pub pdr: MetricSummary,
+    /// Jain fairness index over per-flow deliveries.
+    pub jain_fairness: MetricSummary,
+    /// Total radiated energy (mJ).
+    pub radiated_mj: MetricSummary,
+}
+
+impl PointSummary {
+    /// Collapse one point's per-seed reports.
+    pub fn from_reports(key: PointKey, seeds: Vec<u64>, reports: &[RunReport]) -> Self {
+        let metric = |f: fn(&RunReport) -> f64| MetricSummary::from_samples(reports.iter().map(f));
+        PointSummary {
+            key,
+            seeds,
+            throughput_kbps: metric(|r| r.throughput_kbps),
+            mean_delay_ms: metric(|r| r.mean_delay_ms),
+            pdr: metric(|r| r.pdr()),
+            jain_fairness: metric(|r| r.jain_fairness()),
+            radiated_mj: metric(|r| r.radiated_mj),
+        }
+    }
+}
+
+/// The machine-readable outcome of a whole campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign label.
+    pub campaign: String,
+    /// Total runs executed (points × seeds).
+    pub runs: usize,
+    /// Simulated seconds per run.
+    pub duration_s: f64,
+    /// Total wall-clock seconds across all runs (sum over workers).
+    pub wall_s: f64,
+    /// One aggregated summary per grid point, in expansion order.
+    pub points: Vec<PointSummary>,
+}
+
+impl CampaignReport {
+    /// Serialize to pretty JSON (the `CAMPAIGN_*.json` artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialize")
+    }
+
+    /// Parse a `CAMPAIGN_*.json` artifact back.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Render the per-point table the CLI prints: one row per grid
+    /// point, mean ± 95% CI for the headline metrics.
+    pub fn render_table(&self) -> String {
+        let mut t = Table::new(&[
+            "protocol",
+            "load kbps",
+            "nodes",
+            "levels",
+            "thpt kbps (±ci95)",
+            "delay ms (±ci95)",
+            "pdr %",
+            "fairness",
+        ]);
+        for p in &self.points {
+            t.row(&[
+                p.key.variant.clone(),
+                format!("{:.0}", p.key.load_kbps),
+                format!("{}", p.key.node_count),
+                p.key
+                    .power_levels_mw
+                    .as_ref()
+                    .map(|l| format!("{}-level", l.len()))
+                    .unwrap_or_else(|| "paper".into()),
+                format!(
+                    "{:.1} ± {:.1}",
+                    p.throughput_kbps.mean, p.throughput_kbps.ci95
+                ),
+                format!("{:.1} ± {:.1}", p.mean_delay_ms.mean, p.mean_delay_ms.ci95),
+                format!("{:.1}", p.pdr.mean * 100.0),
+                format!("{:.3}", p.jain_fairness.mean),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_summary_collapses_samples() {
+        let m = MetricSummary::from_samples([10.0, 12.0, 14.0].into_iter());
+        assert!((m.mean - 12.0).abs() < 1e-12);
+        assert!((m.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(m.min, 10.0);
+        assert_eq!(m.max, 14.0);
+        assert!(m.ci95 > 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_no_interval() {
+        let m = MetricSummary::from_samples([7.0].into_iter());
+        assert_eq!(m.mean, 7.0);
+        assert_eq!(m.ci95, 0.0);
+        assert_eq!(m.stddev, 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! `pcmac-campaign` — run declarative scenario campaigns from spec files.
+//!
+//! ```text
+//! pcmac-campaign run <campaign.json> [--threads N] [--out FILE]
+//! pcmac-campaign expand <campaign.json>
+//! pcmac-campaign validate <campaign.json>
+//! pcmac-campaign scenario <scenario.json> [--seed S]
+//! pcmac-campaign example
+//! ```
+
+use std::process::ExitCode;
+
+use pcmac::Simulator;
+use pcmac_campaign::{run_campaign, AxesSpec, CampaignSpec, ScenarioSpec};
+
+const USAGE: &str = "\
+usage: pcmac-campaign <command> [args]
+
+commands:
+  run <campaign.json> [--threads N] [--out FILE]
+        expand the campaign, run every point x seed in parallel, print the
+        aggregated table and write CAMPAIGN_<name>.json (or FILE)
+  expand <campaign.json>
+        print the grid a campaign expands to, without running it
+  validate <campaign.json>
+        check the spec; exit 0 when clean, 1 with one problem per line
+  scenario <scenario.json> [--seed S]
+        materialize and run a single ScenarioSpec (default seed 1)
+  example
+        print a starter campaign spec (pipe into a .json file to begin)";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn read_spec(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_campaign(path: &str) -> Result<CampaignSpec, String> {
+    let text = read_spec(path)?;
+    let spec = CampaignSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    spec.validate()
+        .map_err(|e| format!("{path} is invalid:\n  - {}", e.problems.join("\n  - ")))?;
+    Ok(spec)
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    let spec = load_campaign(path)?;
+    let threads = flag_value(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let out = flag_value(args, "--out")
+        .unwrap_or_else(|| format!("CAMPAIGN_{}.json", sanitize(&spec.name)));
+
+    eprintln!(
+        "campaign `{}`: {} points x {} seeds = {} runs",
+        spec.name,
+        spec.point_count(),
+        spec.seeds.len(),
+        spec.run_count()
+    );
+    let outcome = run_campaign(&spec, threads).map_err(|e| e.to_string())?;
+
+    println!(
+        "campaign `{}` — {} runs, {:.0} s each, {:.1} s CPU total\n",
+        outcome.report.campaign,
+        outcome.report.runs,
+        outcome.report.duration_s,
+        outcome.report.wall_s
+    );
+    println!("{}", outcome.report.render_table());
+
+    std::fs::write(&out, outcome.report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_expand(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    let spec = load_campaign(path)?;
+    let points = spec.expand().map_err(|e| e.to_string())?;
+    println!(
+        "campaign `{}`: {} points x {} seeds = {} runs",
+        spec.name,
+        points.len(),
+        spec.seeds.len(),
+        spec.run_count()
+    );
+    for p in &points {
+        println!(
+            "  {:<14} load {:>6.0} kbps  {:>4} nodes  levels {:<7} seeds {:?}",
+            p.key.variant,
+            p.key.load_kbps,
+            p.key.node_count,
+            p.key
+                .power_levels_mw
+                .as_ref()
+                .map(|l| format!("{}-level", l.len()))
+                .unwrap_or_else(|| "paper".into()),
+            p.seeds,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    load_campaign(path)?;
+    println!("{path}: OK");
+    Ok(())
+}
+
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or(USAGE)?;
+    let text = read_spec(path)?;
+    let spec = ScenarioSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let seed = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let cfg = spec
+        .materialize(seed)
+        .map_err(|e| format!("{path} is invalid:\n  - {}", e.problems.join("\n  - ")))?;
+    eprintln!(
+        "running `{}` ({} nodes, {} flows)",
+        cfg.name,
+        cfg.nodes.count(),
+        cfg.flows.len()
+    );
+    let report = Simulator::new(cfg).run();
+    println!("{}", report.summary());
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("reports serialize")
+    );
+    Ok(())
+}
+
+fn cmd_example() -> Result<(), String> {
+    let spec = CampaignSpec {
+        name: "paper-load-sweep".into(),
+        base: ScenarioSpec::paper(),
+        duration_s: Some(60.0),
+        seeds: vec![1, 2],
+        axes: AxesSpec {
+            loads_kbps: Some(vec![300.0, 650.0, 1000.0]),
+            node_counts: None,
+            variants: Some(vec![pcmac::Variant::Basic, pcmac::Variant::Pcmac]),
+            power_level_sets_mw: None,
+        },
+    };
+    println!("{}", spec.to_json());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("expand") => cmd_expand(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
+        Some("example") => cmd_example(),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Campaign specifications: a base scenario spec expanded across
+//! parameter grids × seed lists into concrete runs.
+//!
+//! A campaign is the unit the paper's evaluation is actually made of —
+//! Figures 8/9 are (variant × offered load × seed) grids, the power-level
+//! table is a (level-set) sweep, the density extension a (node count)
+//! sweep. [`CampaignSpec::expand`] produces one [`CampaignPoint`] per
+//! grid cell, each holding one materialized [`ScenarioConfig`] per seed.
+
+use pcmac::{ScenarioConfig, Variant};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{ScenarioSpec, SpecError};
+
+/// The sweep axes. Every `None` axis stays at the base spec's value;
+/// every `Some` axis multiplies the grid.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AxesSpec {
+    /// Aggregate offered loads (kbps).
+    pub loads_kbps: Option<Vec<f64>>,
+    /// Node counts (density sweeps).
+    pub node_counts: Option<Vec<usize>>,
+    /// MAC variants to compare.
+    pub variants: Option<Vec<Variant>>,
+    /// Discrete transmit power-level sets (mW, each strictly increasing).
+    pub power_level_sets_mw: Option<Vec<Vec<f64>>>,
+}
+
+/// A declarative campaign: base spec × axes × seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign label; the output artifact is `CAMPAIGN_<name>.json`.
+    pub name: String,
+    /// The scenario every grid point starts from.
+    pub base: ScenarioSpec,
+    /// Override the base spec's duration (s) for every run — shrinking a
+    /// published campaign for smoke tests without editing the base.
+    pub duration_s: Option<f64>,
+    /// Seeds run (and later averaged) per grid point.
+    pub seeds: Vec<u64>,
+    /// Sweep axes.
+    pub axes: AxesSpec,
+}
+
+/// The coordinates of one grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointKey {
+    /// Protocol name (paper naming).
+    pub variant: String,
+    /// Aggregate offered load (kbps).
+    pub load_kbps: f64,
+    /// Node count.
+    pub node_count: usize,
+    /// Power-level set (mW), when that axis is swept.
+    pub power_levels_mw: Option<Vec<f64>>,
+}
+
+/// One grid point: its coordinates and one concrete scenario per seed.
+#[derive(Debug, Clone)]
+pub struct CampaignPoint {
+    /// Grid coordinates.
+    pub key: PointKey,
+    /// Seeds, aligned with `scenarios`.
+    pub seeds: Vec<u64>,
+    /// One runnable scenario per seed.
+    pub scenarios: Vec<ScenarioConfig>,
+}
+
+impl CampaignSpec {
+    /// Check the campaign (base spec, seeds, axis values) with actionable
+    /// messages.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let mut problems = Vec::new();
+        if let Err(e) = self.base.validate() {
+            problems.extend(e.problems.into_iter().map(|p| format!("base: {p}")));
+        }
+        if self.seeds.is_empty() {
+            problems.push("campaign has no seeds".into());
+        }
+        if let Some(d) = self.duration_s {
+            if !d.is_finite() || d <= 0.0 {
+                problems.push(format!("duration {d} s must be positive and finite"));
+            } else if d <= self.base.min_duration_s() {
+                // The override replaces the base duration at expansion;
+                // catch an over-shrunk campaign here, not mid-expand.
+                problems.push(format!(
+                    "duration override {d} s leaves later flows no airtime (flow starts are staggered up to {:.3} s)",
+                    self.base.min_duration_s()
+                ));
+            }
+        }
+        if let Some(loads) = &self.axes.loads_kbps {
+            if loads.is_empty() {
+                problems.push("loads_kbps axis is empty".into());
+            }
+            for l in loads {
+                if !l.is_finite() || *l <= 0.0 {
+                    problems.push(format!("load {l} kbps must be positive and finite"));
+                }
+            }
+        }
+        if let Some(counts) = &self.axes.node_counts {
+            if counts.is_empty() {
+                problems.push("node_counts axis is empty".into());
+            }
+            if counts.iter().any(|c| *c < 2) {
+                problems.push("node counts must be at least 2".into());
+            }
+            if matches!(
+                self.base.nodes.placement,
+                crate::spec::PlacementSpec::Density { .. }
+                    | crate::spec::PlacementSpec::Explicit { .. }
+            ) {
+                problems.push(
+                    "node_counts axis conflicts with a placement that implies its own count".into(),
+                );
+            }
+        }
+        if let Some(vs) = &self.axes.variants {
+            if vs.is_empty() {
+                problems.push("variants axis is empty".into());
+            }
+        }
+        if let Some(sets) = &self.axes.power_level_sets_mw {
+            if sets.is_empty() {
+                problems.push("power_level_sets_mw axis is empty".into());
+            }
+            for (i, levels) in sets.iter().enumerate() {
+                if levels.is_empty() {
+                    problems.push(format!("power level set {i} is empty"));
+                } else if levels.iter().any(|l| !l.is_finite() || *l <= 0.0) {
+                    problems.push(format!(
+                        "power level set {i} must be all-positive and finite (mW)"
+                    ));
+                } else if levels.windows(2).any(|w| w[0] >= w[1]) {
+                    problems.push(format!("power level set {i} must be strictly increasing"));
+                }
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(SpecError { problems })
+        }
+    }
+
+    /// Number of grid points (before seeds).
+    pub fn point_count(&self) -> usize {
+        let axis = |n: Option<usize>| n.unwrap_or(1).max(1);
+        axis(self.axes.loads_kbps.as_ref().map(Vec::len))
+            * axis(self.axes.node_counts.as_ref().map(Vec::len))
+            * axis(self.axes.variants.as_ref().map(Vec::len))
+            * axis(self.axes.power_level_sets_mw.as_ref().map(Vec::len))
+    }
+
+    /// Total runs the campaign will execute.
+    pub fn run_count(&self) -> usize {
+        self.point_count() * self.seeds.len()
+    }
+
+    /// Expand the grid: for every (load × count × level-set × variant)
+    /// cell, materialize the base spec at each seed. Every materialized
+    /// scenario is validated; the first defective cell aborts the
+    /// expansion with its full problem list.
+    pub fn expand(&self) -> Result<Vec<CampaignPoint>, SpecError> {
+        self.validate()?;
+        let one_load = [self.base.traffic.offered_load_kbps];
+        let loads = self.axes.loads_kbps.as_deref().unwrap_or(&one_load);
+        let base_count = self.base.node_count()?;
+        let one_count = [base_count];
+        let counts = self.axes.node_counts.as_deref().unwrap_or(&one_count);
+        let one_variant = [self.base.variant];
+        let variants = self.axes.variants.as_deref().unwrap_or(&one_variant);
+        // `None` for "whatever the base spec says" (usually the paper's
+        // ten classes).
+        let level_sets: Vec<Option<&Vec<f64>>> = match &self.axes.power_level_sets_mw {
+            Some(sets) => sets.iter().map(Some).collect(),
+            None => vec![None],
+        };
+
+        let mut points = Vec::with_capacity(self.point_count());
+        for &load in loads {
+            for &count in counts {
+                for levels in &level_sets {
+                    for &variant in variants {
+                        let mut spec = self.base.clone();
+                        spec.traffic.offered_load_kbps = load;
+                        spec.variant = variant;
+                        if !matches!(
+                            spec.nodes.placement,
+                            crate::spec::PlacementSpec::Density { .. }
+                                | crate::spec::PlacementSpec::Explicit { .. }
+                        ) {
+                            spec.nodes.count = Some(count);
+                        }
+                        if let Some(levels) = levels {
+                            spec.power_levels_mw = Some((*levels).clone());
+                        }
+                        if let Some(d) = self.duration_s {
+                            spec.duration_s = d;
+                        }
+                        let scenarios: Vec<ScenarioConfig> = self
+                            .seeds
+                            .iter()
+                            .map(|&seed| spec.materialize(seed))
+                            .collect::<Result<_, _>>()?;
+                        points.push(CampaignPoint {
+                            key: PointKey {
+                                variant: variant.name().to_string(),
+                                load_kbps: load,
+                                node_count: count,
+                                power_levels_mw: levels.map(|l| (*l).clone()),
+                            },
+                            seeds: self.seeds.clone(),
+                            scenarios,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(points)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specs always serialize")
+    }
+
+    /// Parse from JSON (no validation — call [`CampaignSpec::validate`]).
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}

@@ -1,0 +1,43 @@
+//! # pcmac-campaign — scenarios as data
+//!
+//! The paper's results are all *parameter sweeps over scenarios*; this
+//! crate makes both layers declarative:
+//!
+//! * [`ScenarioSpec`] — one JSON-loadable scenario: a placement from the
+//!   `pcmac-mobility` generator library (uniform, density, grid, chain,
+//!   ring, clustered hotspots, corridor, explicit points), optional
+//!   random-waypoint mobility, and a traffic block whose arrival process
+//!   can be any `pcmac-traffic` source (CBR, Poisson, on/off).
+//!   [`ScenarioSpec::materialize`] turns it into a seeded, validated
+//!   [`pcmac::ScenarioConfig`].
+//! * [`CampaignSpec`] — a base spec expanded across parameter grids
+//!   (offered load × node count × variant × power-level set) × a seed
+//!   list into concrete runs.
+//! * [`run_campaign`] — executes the expansion through the parallel
+//!   driver and collapses each grid point's seeds into mean / stddev /
+//!   95% confidence interval per metric ([`CampaignReport`], written as
+//!   the machine-readable `CAMPAIGN_*.json` artifact).
+//!
+//! The `pcmac-campaign` binary drives all of this from the command line:
+//!
+//! ```text
+//! pcmac-campaign run examples/paper_load_sweep.json --out CAMPAIGN.json
+//! pcmac-campaign expand <spec.json>     # show the grid without running
+//! pcmac-campaign validate <spec.json>   # actionable errors, exit code
+//! pcmac-campaign scenario <spec.json>   # run a single ScenarioSpec
+//! pcmac-campaign example                # print a starter campaign spec
+//! ```
+//!
+//! Adding a new workload is now a JSON file, not a Rust constructor.
+
+pub mod aggregate;
+pub mod campaign;
+pub mod runner;
+pub mod spec;
+
+pub use aggregate::{CampaignReport, MetricSummary, PointSummary};
+pub use campaign::{AxesSpec, CampaignPoint, CampaignSpec, PointKey};
+pub use runner::{run_campaign, CampaignOutcome};
+pub use spec::{
+    MobilitySpec, NodesSpec, PlacementSpec, ScenarioSpec, SpecError, TrafficPattern, TrafficSpec,
+};

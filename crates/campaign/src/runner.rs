@@ -1,0 +1,129 @@
+//! The campaign runner: expand → run in parallel → aggregate.
+
+use pcmac::{run_parallel, RunReport};
+
+use crate::aggregate::{CampaignReport, PointSummary};
+use crate::campaign::CampaignSpec;
+use crate::spec::SpecError;
+
+/// Everything a campaign produced: the aggregated report (the
+/// `CAMPAIGN_*.json` artifact) plus the raw per-run reports for callers
+/// that need more than the per-point summaries (the figure harness, flow
+/// fairness analyses).
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Per-point aggregation.
+    pub report: CampaignReport,
+    /// Raw reports, point-major and seed-minor, matching the expansion
+    /// order of [`CampaignSpec::expand`].
+    pub runs: Vec<RunReport>,
+}
+
+/// Expand `spec` into its full grid, execute every run through the
+/// parallel driver (`threads == 0` means one per core), and aggregate
+/// each point's seeds with mean / stddev / 95% CI per metric.
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignOutcome, SpecError> {
+    let mut points = spec.expand()?;
+    let per_point = spec.seeds.len();
+
+    // Move, don't clone: a large campaign's expansion should exist once.
+    let scenarios: Vec<_> = points
+        .iter_mut()
+        .flat_map(|p| std::mem::take(&mut p.scenarios))
+        .collect();
+    let duration_s = scenarios
+        .first()
+        .map(|c| c.duration.as_secs_f64())
+        .unwrap_or(0.0);
+    let runs = run_parallel(scenarios, threads);
+
+    let summaries: Vec<PointSummary> = points
+        .into_iter()
+        .zip(runs.chunks(per_point))
+        .map(|(p, reports)| PointSummary::from_reports(p.key, p.seeds, reports))
+        .collect();
+
+    Ok(CampaignOutcome {
+        report: CampaignReport {
+            campaign: spec.name.clone(),
+            runs: runs.len(),
+            duration_s,
+            wall_s: runs.iter().map(|r| r.wall_s).sum(),
+            points: summaries,
+        },
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{
+        MobilitySpec, NodesSpec, PlacementSpec, ScenarioSpec, TrafficPattern, TrafficSpec,
+    };
+    use crate::AxesSpec;
+    use pcmac::{FlowShape, Variant};
+
+    fn tiny_campaign() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            base: ScenarioSpec {
+                name: "tiny".into(),
+                variant: Variant::Basic,
+                duration_s: 2.0,
+                field: (500.0, 500.0),
+                nodes: NodesSpec {
+                    count: Some(4),
+                    placement: PlacementSpec::Ring { radius: 80.0 },
+                    mobility: None,
+                },
+                traffic: TrafficSpec {
+                    pattern: TrafficPattern::NeighbourPairs { flows: 2 },
+                    bytes: 512,
+                    offered_load_kbps: 100.0,
+                    shape: FlowShape::Cbr,
+                },
+                power_levels_mw: None,
+                shadowing: None,
+            },
+            duration_s: None,
+            seeds: vec![1, 2],
+            axes: AxesSpec {
+                loads_kbps: Some(vec![50.0, 100.0]),
+                ..AxesSpec::default()
+            },
+        }
+    }
+
+    #[test]
+    fn runner_aggregates_every_point() {
+        let spec = tiny_campaign();
+        assert_eq!(spec.run_count(), 4);
+        let outcome = run_campaign(&spec, 0).expect("runs");
+        assert_eq!(outcome.runs.len(), 4);
+        assert_eq!(outcome.report.points.len(), 2);
+        for p in &outcome.report.points {
+            assert_eq!(p.seeds, vec![1, 2]);
+            assert!(p.throughput_kbps.mean > 0.0, "static ring delivers");
+            assert!(p.pdr.mean > 0.0);
+            assert!(p.throughput_kbps.ci95.is_finite());
+        }
+        // Points follow expansion order: load 50 then load 100.
+        assert_eq!(outcome.report.points[0].key.load_kbps, 50.0);
+        assert_eq!(outcome.report.points[1].key.load_kbps, 100.0);
+    }
+
+    #[test]
+    fn mobility_spec_on_generated_placement_runs() {
+        let mut spec = tiny_campaign();
+        spec.base.nodes.mobility = Some(MobilitySpec {
+            speed_mps: 2.0,
+            pause_s: 1.0,
+        });
+        spec.axes.loads_kbps = None;
+        spec.seeds = vec![3];
+        let outcome = run_campaign(&spec, 0).expect("mobile ring runs");
+        assert_eq!(outcome.runs.len(), 1);
+        assert!(outcome.runs[0].sent_packets > 0);
+    }
+}

@@ -1,0 +1,618 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] is the JSON-loadable description of *one kind of
+//! experiment*: how nodes are placed (via the `pcmac-mobility` generator
+//! library), whether they move, what traffic they carry and with which
+//! arrival process, and which MAC variant runs. It stays abstract —
+//! "50 nodes clustered in 3 hotspots, ten random Poisson pairs at
+//! 600 kbps" — until [`ScenarioSpec::materialize`] turns it into a
+//! concrete, seeded [`ScenarioConfig`] the simulator can run.
+//!
+//! Materialization is deterministic in the seed, and the `Uniform` +
+//! `RandomPairs` path reproduces [`ScenarioConfig::paper`] bit for bit,
+//! so spec-driven sweeps extend the constructor-built figures instead of
+//! forking them.
+
+use pcmac::{FlowShape, FlowSpec, NodeSetup, ScenarioConfig, ShadowingConfig, Variant};
+use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
+use pcmac_mac::MacConfig;
+use pcmac_mobility::placement;
+use pcmac_phy::{CapturePolicy, PowerLevels, RadioConfig};
+use serde::{Deserialize, Serialize};
+
+/// Everything wrong with a spec, found in one pass.
+#[derive(Debug, Clone)]
+pub struct SpecError {
+    /// Human-readable problems, one per defect.
+    pub problems: Vec<String>,
+}
+
+impl SpecError {
+    pub(crate) fn one(msg: impl Into<String>) -> Self {
+        SpecError {
+            problems: vec![msg.into()],
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid spec: {}", self.problems.join("; "))
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<pcmac::InvalidScenario> for SpecError {
+    fn from(e: pcmac::InvalidScenario) -> Self {
+        SpecError {
+            problems: e.problems,
+        }
+    }
+}
+
+/// How nodes are laid out, in terms of the `pcmac-mobility` generator
+/// library. Stochastic placements draw from an RNG stream derived from
+/// the scenario seed, so the same seed always yields the same layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementSpec {
+    /// Uniform scatter over the whole field (the paper's layout).
+    Uniform,
+    /// Uniform scatter at a target density; the node count is computed
+    /// from the field area (`count` is ignored).
+    Density {
+        /// Nodes per square kilometre.
+        per_km2: f64,
+    },
+    /// Square grid centred pitch-by-pitch from the origin.
+    Grid {
+        /// Pitch between neighbours (m).
+        spacing: f64,
+    },
+    /// Horizontal chain from the field's left edge midline.
+    Chain {
+        /// Distance between consecutive nodes (m).
+        spacing: f64,
+    },
+    /// Evenly spaced on a circle around the field centre.
+    Ring {
+        /// Circle radius (m).
+        radius: f64,
+    },
+    /// Hotspots: cluster centres uniform, members uniform in a disc
+    /// around their centre.
+    Clustered {
+        /// Number of hotspots.
+        clusters: usize,
+        /// Disc radius around each centre (m).
+        spread_m: f64,
+    },
+    /// Uniform over a thin horizontal strip across the field's vertical
+    /// centre.
+    Corridor {
+        /// Strip height (m); the strip spans the full field width.
+        width_m: f64,
+    },
+    /// Exact positions, as given.
+    Explicit {
+        /// One point per node.
+        points: Vec<Point>,
+    },
+}
+
+/// Random-waypoint movement parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilitySpec {
+    /// Constant speed (m/s).
+    pub speed_mps: f64,
+    /// Pause at each waypoint (s).
+    pub pause_s: f64,
+}
+
+/// Node population: how many, where, and whether they move.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodesSpec {
+    /// Node count. `None` is allowed only where the placement implies it
+    /// (`Density`, `Explicit`).
+    pub count: Option<usize>,
+    /// Layout generator.
+    pub placement: PlacementSpec,
+    /// Random-waypoint mobility; `None` means static.
+    pub mobility: Option<MobilitySpec>,
+}
+
+/// Which node pairs carry flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Seeded distinct random pairs — the paper's workload shape.
+    RandomPairs {
+        /// Number of flows.
+        flows: usize,
+    },
+    /// Adjacent pairs by id: 0→1, 2→3, … (deterministic geometries where
+    /// ids encode positions, e.g. chains and rings).
+    NeighbourPairs {
+        /// Number of flows (needs `2·flows ≤ count`).
+        flows: usize,
+    },
+    /// Exact `(src, dst)` node pairs.
+    Explicit {
+        /// One pair per flow.
+        pairs: Vec<(u32, u32)>,
+    },
+}
+
+/// Application traffic: pattern, packet size, aggregate load, arrival
+/// process. The aggregate load splits evenly across flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSpec {
+    /// Which pairs talk.
+    pub pattern: TrafficPattern,
+    /// UDP payload bytes per packet.
+    pub bytes: u32,
+    /// Aggregate offered load (kbit/s) across all flows.
+    pub offered_load_kbps: f64,
+    /// Arrival process (CBR, Poisson, or bursty on/off — all three
+    /// sources from `pcmac-traffic` are reachable here).
+    pub shape: FlowShape,
+}
+
+/// A declarative scenario: data, not code. Load from JSON, validate,
+/// then [`materialize`](ScenarioSpec::materialize) with a seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Human-readable label; materialized scenario names derive from it.
+    pub name: String,
+    /// MAC protocol under test.
+    pub variant: Variant,
+    /// Simulated seconds.
+    pub duration_s: f64,
+    /// Field dimensions (m).
+    pub field: (f64, f64),
+    /// Node population.
+    pub nodes: NodesSpec,
+    /// Application traffic.
+    pub traffic: TrafficSpec,
+    /// Override the paper's ten discrete transmit power classes (mW,
+    /// strictly increasing). `None` keeps the defaults.
+    pub power_levels_mw: Option<Vec<f64>>,
+    /// Optional log-normal shadowing (robustness ablations).
+    pub shadowing: Option<ShadowingConfig>,
+}
+
+impl ScenarioSpec {
+    /// The paper's §IV scenario as a declarative spec: 50 nodes uniform
+    /// waypoint at 3 m/s / 3 s pause over 1000 m², ten random 512-byte
+    /// CBR pairs, 400 s. Materializes identically to
+    /// [`ScenarioConfig::paper`].
+    pub fn paper() -> Self {
+        ScenarioSpec {
+            name: "paper".into(),
+            variant: Variant::Pcmac,
+            duration_s: 400.0,
+            field: (1000.0, 1000.0),
+            nodes: NodesSpec {
+                count: Some(50),
+                placement: PlacementSpec::Uniform,
+                mobility: Some(MobilitySpec {
+                    speed_mps: 3.0,
+                    pause_s: 3.0,
+                }),
+            },
+            traffic: TrafficSpec {
+                pattern: TrafficPattern::RandomPairs { flows: 10 },
+                bytes: 512,
+                offered_load_kbps: 600.0,
+                shape: FlowShape::Cbr,
+            },
+            power_levels_mw: None,
+            shadowing: None,
+        }
+    }
+
+    /// The node count this spec materializes (resolving density- and
+    /// placement-implied counts).
+    pub fn node_count(&self) -> Result<usize, SpecError> {
+        match (&self.nodes.placement, self.nodes.count) {
+            (PlacementSpec::Density { per_km2 }, maybe_count) => {
+                if !per_km2.is_finite() || *per_km2 <= 0.0 {
+                    return Err(SpecError::one(format!(
+                        "density {per_km2} nodes/km² must be positive and finite"
+                    )));
+                }
+                let computed = placement::density_count(*per_km2, self.field.0, self.field.1);
+                match maybe_count {
+                    None => Ok(computed),
+                    Some(c) if c == computed => Ok(c),
+                    Some(c) => Err(SpecError::one(format!(
+                        "count {c} conflicts with the density placement, which computes \
+                         {computed} nodes; omit count"
+                    ))),
+                }
+            }
+            (PlacementSpec::Explicit { points }, None) => Ok(points.len()),
+            (PlacementSpec::Explicit { points }, Some(c)) if c == points.len() => Ok(c),
+            (PlacementSpec::Explicit { points }, Some(c)) => Err(SpecError::one(format!(
+                "count {c} disagrees with the {} explicit points",
+                points.len()
+            ))),
+            (_, Some(c)) => Ok(c),
+            (_, None) => Err(SpecError::one(
+                "node count is required unless the placement implies it (Density, Explicit)",
+            )),
+        }
+    }
+
+    /// Number of flows the traffic pattern creates.
+    pub fn flow_count(&self) -> usize {
+        match &self.traffic.pattern {
+            TrafficPattern::RandomPairs { flows } | TrafficPattern::NeighbourPairs { flows } => {
+                *flows
+            }
+            TrafficPattern::Explicit { pairs } => pairs.len(),
+        }
+    }
+
+    /// The duration a run must *exceed* for every flow to get airtime:
+    /// the last flow's staggered start ([`pcmac::flow_start`], the same
+    /// schedule materialization uses).
+    pub fn min_duration_s(&self) -> f64 {
+        pcmac::flow_start(self.flow_count().saturating_sub(1)).as_secs_f64()
+    }
+
+    /// Check the spec for defects with actionable messages, without
+    /// materializing it.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let mut problems = Vec::new();
+        if !self.duration_s.is_finite() || self.duration_s <= 0.0 {
+            problems.push(format!(
+                "duration {} s must be positive and finite",
+                self.duration_s
+            ));
+        }
+        for (which, dim) in [("width", self.field.0), ("height", self.field.1)] {
+            if !dim.is_finite() || dim <= 0.0 {
+                problems.push(format!("field {which} {dim} must be positive and finite"));
+            }
+        }
+        let count = match self.node_count() {
+            Ok(0) => {
+                problems.push("scenario has zero nodes".to_string());
+                0
+            }
+            Ok(c) => c,
+            Err(e) => {
+                problems.extend(e.problems);
+                0
+            }
+        };
+        match &self.nodes.placement {
+            PlacementSpec::Grid { spacing } => {
+                if !spacing.is_finite() || *spacing <= 0.0 {
+                    problems.push(format!("spacing {spacing} m must be positive and finite"));
+                } else if count > 0 {
+                    let cols = (count as f64).sqrt().ceil() as usize;
+                    let rows = count.div_ceil(cols);
+                    if (cols - 1) as f64 * spacing > self.field.0
+                        || (rows - 1) as f64 * spacing > self.field.1
+                    {
+                        problems.push(format!(
+                            "a {cols}x{rows} grid at {spacing} m pitch does not fit the {} m x {} m field",
+                            self.field.0, self.field.1
+                        ));
+                    }
+                }
+            }
+            PlacementSpec::Chain { spacing } => {
+                if !spacing.is_finite() || *spacing <= 0.0 {
+                    problems.push(format!("spacing {spacing} m must be positive and finite"));
+                } else if count > 1 && (count - 1) as f64 * spacing > self.field.0 {
+                    problems.push(format!(
+                        "a {count}-node chain at {spacing} m spacing exceeds the field width {}",
+                        self.field.0
+                    ));
+                }
+            }
+            PlacementSpec::Ring { radius } => {
+                if !radius.is_finite() || *radius <= 0.0 {
+                    problems.push(format!(
+                        "ring radius {radius} m must be positive and finite"
+                    ));
+                } else if *radius > self.field.0.min(self.field.1) / 2.0 {
+                    problems.push(format!(
+                        "ring radius {radius} m does not fit the {} m x {} m field",
+                        self.field.0, self.field.1
+                    ));
+                }
+            }
+            PlacementSpec::Clustered { clusters, spread_m } => {
+                if *clusters == 0 {
+                    problems.push("clustered placement needs at least one cluster".into());
+                }
+                if !spread_m.is_finite() || *spread_m <= 0.0 {
+                    problems.push(format!(
+                        "cluster spread {spread_m} m must be positive and finite"
+                    ));
+                }
+            }
+            PlacementSpec::Corridor { width_m } => {
+                if !width_m.is_finite() || *width_m <= 0.0 || *width_m > self.field.1 {
+                    problems.push(format!(
+                        "corridor width {width_m} m must be positive and fit the field height {}",
+                        self.field.1
+                    ));
+                }
+            }
+            PlacementSpec::Explicit { points } => {
+                if points.is_empty() {
+                    problems.push("explicit placement has no points".into());
+                }
+                for (i, p) in points.iter().enumerate() {
+                    if !p.x.is_finite()
+                        || !p.y.is_finite()
+                        || !(0.0..=self.field.0).contains(&p.x)
+                        || !(0.0..=self.field.1).contains(&p.y)
+                    {
+                        problems.push(format!(
+                            "point {i} ({}, {}) lies outside the {} m x {} m field",
+                            p.x, p.y, self.field.0, self.field.1
+                        ));
+                    }
+                }
+            }
+            PlacementSpec::Uniform | PlacementSpec::Density { .. } => {}
+        }
+        if let Some(m) = &self.nodes.mobility {
+            if !m.speed_mps.is_finite() || m.speed_mps < 0.0 {
+                problems.push(format!(
+                    "mobility speed {} m/s must be finite and non-negative",
+                    m.speed_mps
+                ));
+            }
+            if !m.pause_s.is_finite() || m.pause_s < 0.0 {
+                problems.push(format!(
+                    "mobility pause {} s must be finite and non-negative",
+                    m.pause_s
+                ));
+            }
+        }
+        let load = self.traffic.offered_load_kbps;
+        if !load.is_finite() || load <= 0.0 {
+            problems.push(format!(
+                "offered load {load} kbps must be positive and finite"
+            ));
+        }
+        if self.traffic.bytes == 0 {
+            problems.push("packet size is zero bytes".into());
+        }
+        if let FlowShape::OnOff {
+            mean_on_s,
+            mean_off_s,
+        } = self.traffic.shape
+        {
+            for (which, mean) in [("on", mean_on_s), ("off", mean_off_s)] {
+                if !mean.is_finite() || mean <= 0.0 {
+                    problems.push(format!(
+                        "mean {which} phase {mean} s must be positive and finite"
+                    ));
+                }
+            }
+        }
+        // A duration at or below the last flow's staggered start would
+        // silently strand flows with zero airtime — the classic
+        // over-shrunk smoke campaign.
+        if self.duration_s.is_finite()
+            && self.duration_s > 0.0
+            && self.duration_s <= self.min_duration_s()
+        {
+            problems.push(format!(
+                "duration {} s leaves later flows no airtime (flow starts are staggered up to {:.3} s)",
+                self.duration_s,
+                self.min_duration_s()
+            ));
+        }
+        match &self.traffic.pattern {
+            TrafficPattern::RandomPairs { flows } => {
+                if *flows == 0 {
+                    problems.push("traffic has zero flows".into());
+                } else if count > 0 && count * (count.saturating_sub(1)) < *flows {
+                    problems.push(format!(
+                        "{flows} distinct random pairs cannot be drawn from {count} nodes"
+                    ));
+                }
+            }
+            TrafficPattern::NeighbourPairs { flows } => {
+                if *flows == 0 {
+                    problems.push("traffic has zero flows".into());
+                } else if count > 0 && 2 * flows > count {
+                    problems.push(format!(
+                        "{flows} neighbour pairs need {} nodes, scenario has {count}",
+                        2 * flows
+                    ));
+                }
+            }
+            TrafficPattern::Explicit { pairs } => {
+                if pairs.is_empty() {
+                    problems.push("traffic has zero flows".into());
+                }
+                for (i, (s, d)) in pairs.iter().enumerate() {
+                    if s == d {
+                        problems.push(format!(
+                            "flow {i}: source and destination are both node {s}"
+                        ));
+                    }
+                    if count > 0 {
+                        for (role, node) in [("source", s), ("destination", d)] {
+                            if *node as usize >= count {
+                                problems.push(format!(
+                                    "flow {i}: {role} node {node} out of range (scenario has {count} nodes)"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(levels) = &self.power_levels_mw {
+            if levels.is_empty() {
+                problems.push("power level set is empty".into());
+            }
+            if levels.iter().any(|l| !l.is_finite() || *l <= 0.0) {
+                problems.push("power levels must all be positive and finite (mW)".into());
+            } else if levels.windows(2).any(|w| w[0] >= w[1]) {
+                problems.push("power levels must be strictly increasing".into());
+            }
+        }
+        if let Some(s) = &self.shadowing {
+            if !s.sigma_db.is_finite() || s.sigma_db < 0.0 {
+                problems.push(format!(
+                    "shadowing sigma {} dB must be finite and non-negative",
+                    s.sigma_db
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(SpecError { problems })
+        }
+    }
+
+    /// Turn the spec into a concrete, runnable [`ScenarioConfig`] for
+    /// `seed`. Validates first; the result additionally passes
+    /// [`ScenarioConfig::validate`].
+    pub fn materialize(&self, seed: u64) -> Result<ScenarioConfig, SpecError> {
+        self.validate()?;
+        let count = self.node_count()?;
+        let duration = Duration::from_secs_f64(self.duration_s);
+        let (w, h) = self.field;
+
+        let starts: Option<Vec<Point>> = match &self.nodes.placement {
+            // Uniform placement is left symbolic: the simulator derives
+            // it from the seed exactly as `ScenarioConfig::paper` does,
+            // keeping spec-built and constructor-built runs identical.
+            PlacementSpec::Uniform => None,
+            PlacementSpec::Density { .. } => {
+                let mut rng = RngStream::derive(seed, "scenario.placement");
+                Some(placement::uniform(count, w, h, &mut rng))
+            }
+            PlacementSpec::Grid { spacing } => {
+                let cols = (count as f64).sqrt().ceil() as usize;
+                let rows = count.div_ceil(cols);
+                let mut pts = placement::grid(cols, rows, Point::new(0.0, 0.0), *spacing);
+                pts.truncate(count);
+                Some(pts)
+            }
+            PlacementSpec::Chain { spacing } => {
+                Some(placement::chain(count, Point::new(0.0, h / 2.0), *spacing))
+            }
+            PlacementSpec::Ring { radius } => Some(placement::ring(
+                count,
+                Point::new(w / 2.0, h / 2.0),
+                *radius,
+            )),
+            PlacementSpec::Clustered { clusters, spread_m } => {
+                let mut rng = RngStream::derive(seed, "spec.placement.clustered");
+                Some(placement::clustered(
+                    count, *clusters, w, h, *spread_m, &mut rng,
+                ))
+            }
+            PlacementSpec::Corridor { width_m } => {
+                let mut rng = RngStream::derive(seed, "spec.placement.corridor");
+                Some(placement::corridor(
+                    count,
+                    Point::new(0.0, (h - width_m) / 2.0),
+                    w,
+                    *width_m,
+                    &mut rng,
+                ))
+            }
+            PlacementSpec::Explicit { points } => Some(points.clone()),
+        };
+
+        let nodes = match (starts, &self.nodes.mobility) {
+            (None, Some(m)) => NodeSetup::UniformWaypoint {
+                count,
+                speed: m.speed_mps,
+                pause: Duration::from_secs_f64(m.pause_s),
+            },
+            (None, None) => {
+                // Static uniform scatter still needs concrete points.
+                let mut rng = RngStream::derive(seed, "scenario.placement");
+                NodeSetup::Static(placement::uniform(count, w, h, &mut rng))
+            }
+            (Some(starts), Some(m)) => NodeSetup::WaypointFrom {
+                starts,
+                speed: m.speed_mps,
+                pause: Duration::from_secs_f64(m.pause_s),
+            },
+            (Some(starts), None) => NodeSetup::Static(starts),
+        };
+
+        let pairs: Vec<(u32, u32)> = match &self.traffic.pattern {
+            TrafficPattern::RandomPairs { flows } => pcmac::random_flow_pairs(seed, count, *flows),
+            TrafficPattern::NeighbourPairs { flows } => (0..*flows)
+                .map(|i| (2 * i as u32, 2 * i as u32 + 1))
+                .collect(),
+            TrafficPattern::Explicit { pairs } => pairs.clone(),
+        };
+        let per_flow_bps = self.traffic.offered_load_kbps * 1000.0 / pairs.len() as f64;
+        let flows: Vec<FlowSpec> = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (src, dst))| FlowSpec {
+                flow: FlowId(i as u32),
+                src: NodeId(src),
+                dst: NodeId(dst),
+                bytes: self.traffic.bytes,
+                rate_bps: per_flow_bps,
+                start: pcmac::flow_start(i),
+                stop: SimTime::ZERO + duration,
+                shape: self.traffic.shape,
+            })
+            .collect();
+
+        let mut mac = MacConfig::paper_default(self.variant);
+        if let Some(levels) = &self.power_levels_mw {
+            mac.levels = PowerLevels::new(levels.iter().map(|&l| Milliwatts(l)).collect());
+        }
+
+        let cfg = ScenarioConfig {
+            name: format!(
+                "{}-{}-{:.0}kbps-s{seed}",
+                self.name,
+                self.variant.name(),
+                self.traffic.offered_load_kbps
+            ),
+            variant: self.variant,
+            seed,
+            duration,
+            field: self.field,
+            nodes,
+            flows,
+            // The paper's numbers come from ns2.1b8a, whose capture model
+            // is pairwise and start-only (see `ScenarioConfig::paper`).
+            radio: RadioConfig {
+                capture_policy: CapturePolicy::StartOnly,
+                ..RadioConfig::ns2_default()
+            },
+            mac,
+            aodv: Default::default(),
+            interference_floor: Milliwatts(1.559e-10), // CSThresh / 100
+            shadowing: self.shadowing,
+            channel_index: Default::default(),
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specs always serialize")
+    }
+
+    /// Parse from JSON (no validation — call [`ScenarioSpec::validate`]).
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}

@@ -1,0 +1,212 @@
+//! Load-time validation: defective specs must fail with actionable
+//! messages naming the problem, not panic mid-run.
+
+use pcmac::{FlowShape, ScenarioConfig, Variant};
+use pcmac_campaign::{
+    AxesSpec, CampaignSpec, NodesSpec, PlacementSpec, ScenarioSpec, TrafficPattern, TrafficSpec,
+};
+
+fn valid_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "ok".into(),
+        variant: Variant::Basic,
+        duration_s: 5.0,
+        field: (1000.0, 1000.0),
+        nodes: NodesSpec {
+            count: Some(6),
+            placement: PlacementSpec::Uniform,
+            mobility: None,
+        },
+        traffic: TrafficSpec {
+            pattern: TrafficPattern::RandomPairs { flows: 3 },
+            bytes: 512,
+            offered_load_kbps: 200.0,
+            shape: FlowShape::Cbr,
+        },
+        power_levels_mw: None,
+        shadowing: None,
+    }
+}
+
+/// The spec must fail validation and the combined message must contain
+/// `needle` so users can find the defect.
+fn assert_problem(spec: &ScenarioSpec, needle: &str) {
+    let err = spec.validate().expect_err("spec must be rejected");
+    let all = err.problems.join("\n");
+    assert!(
+        all.contains(needle),
+        "expected problem containing {needle:?}, got:\n{all}"
+    );
+}
+
+#[test]
+fn the_baseline_is_valid() {
+    valid_spec().validate().expect("baseline valid");
+    valid_spec().materialize(1).expect("and materializes");
+}
+
+#[test]
+fn zero_nodes_is_rejected() {
+    let mut s = valid_spec();
+    s.nodes.count = Some(0);
+    assert_problem(&s, "zero nodes");
+}
+
+#[test]
+fn nan_and_negative_loads_are_rejected() {
+    let mut s = valid_spec();
+    s.traffic.offered_load_kbps = f64::NAN;
+    assert_problem(&s, "offered load");
+    s.traffic.offered_load_kbps = -10.0;
+    assert_problem(&s, "offered load");
+    s.traffic.offered_load_kbps = 0.0;
+    assert_problem(&s, "offered load");
+}
+
+#[test]
+fn out_of_range_flow_endpoints_are_rejected() {
+    let mut s = valid_spec();
+    s.traffic.pattern = TrafficPattern::Explicit {
+        pairs: vec![(0, 99)],
+    };
+    assert_problem(&s, "out of range");
+    // Self-loops too.
+    s.traffic.pattern = TrafficPattern::Explicit {
+        pairs: vec![(2, 2)],
+    };
+    assert_problem(&s, "source and destination");
+}
+
+#[test]
+fn too_many_neighbour_pairs_are_rejected() {
+    let mut s = valid_spec();
+    s.traffic.pattern = TrafficPattern::NeighbourPairs { flows: 4 };
+    assert_problem(&s, "neighbour pairs");
+}
+
+#[test]
+fn bad_power_levels_are_rejected() {
+    let mut s = valid_spec();
+    s.power_levels_mw = Some(vec![]);
+    assert_problem(&s, "empty");
+    s.power_levels_mw = Some(vec![10.0, 5.0]);
+    assert_problem(&s, "strictly increasing");
+    s.power_levels_mw = Some(vec![-1.0, 5.0]);
+    assert_problem(&s, "positive");
+}
+
+#[test]
+fn bad_mobility_and_duration_are_rejected() {
+    let mut s = valid_spec();
+    s.duration_s = 0.0;
+    assert_problem(&s, "duration");
+    let mut s = valid_spec();
+    s.nodes.mobility = Some(pcmac_campaign::MobilitySpec {
+        speed_mps: f64::INFINITY,
+        pause_s: 1.0,
+    });
+    assert_problem(&s, "speed");
+}
+
+#[test]
+fn placements_that_overflow_the_field_are_rejected() {
+    let mut s = valid_spec();
+    s.nodes.placement = PlacementSpec::Ring { radius: 5000.0 };
+    assert_problem(&s, "does not fit the");
+    let mut s = valid_spec();
+    s.nodes.count = Some(12);
+    s.nodes.placement = PlacementSpec::Chain { spacing: 150.0 };
+    assert_problem(&s, "exceeds the field width");
+    let mut s = valid_spec();
+    s.nodes.placement = PlacementSpec::Explicit {
+        points: (0..6)
+            .map(|i| pcmac_engine::Point::new(400.0 * i as f64, 100.0))
+            .collect(),
+    };
+    s.nodes.count = None;
+    assert_problem(&s, "outside the");
+}
+
+#[test]
+fn over_shrunk_durations_are_rejected() {
+    // 3 flows start staggered up to 1.274 s; a 1 s run strands them.
+    let mut s = valid_spec();
+    s.duration_s = 1.0;
+    assert_problem(&s, "no airtime");
+    // The campaign-level duration override is checked too.
+    let c = CampaignSpec {
+        name: "c".into(),
+        base: valid_spec(),
+        duration_s: Some(1.2),
+        seeds: vec![1],
+        axes: AxesSpec::default(),
+    };
+    let err = c.validate().expect_err("override too short");
+    assert!(
+        err.problems.iter().any(|p| p.contains("no airtime")),
+        "{:?}",
+        err.problems
+    );
+}
+
+#[test]
+fn every_problem_is_reported_at_once() {
+    let mut s = valid_spec();
+    s.nodes.count = Some(0);
+    s.traffic.offered_load_kbps = -1.0;
+    s.duration_s = f64::NAN;
+    let err = s.validate().expect_err("rejected");
+    assert!(
+        err.problems.len() >= 3,
+        "one pass must find all defects, got {:?}",
+        err.problems
+    );
+}
+
+#[test]
+fn campaign_axis_defects_are_rejected() {
+    let base = valid_spec();
+    let mut c = CampaignSpec {
+        name: "c".into(),
+        base,
+        duration_s: None,
+        seeds: vec![],
+        axes: AxesSpec::default(),
+    };
+    let err = c.validate().expect_err("no seeds");
+    assert!(err.problems.iter().any(|p| p.contains("no seeds")));
+
+    c.seeds = vec![1];
+    c.axes.loads_kbps = Some(vec![]);
+    let err = c.validate().expect_err("empty axis");
+    assert!(err.problems.iter().any(|p| p.contains("loads_kbps")));
+
+    c.axes.loads_kbps = Some(vec![100.0]);
+    c.axes.node_counts = Some(vec![1]);
+    let err = c.validate().expect_err("count < 2");
+    assert!(err.problems.iter().any(|p| p.contains("at least 2")));
+}
+
+#[test]
+fn scenario_config_validate_catches_raw_defects() {
+    // The same guard exists one level down, for hand-built configs.
+    let mut cfg = ScenarioConfig::two_nodes(Variant::Basic, 100.0, 50_000.0, 1);
+    cfg.flows[0].dst = pcmac_engine::NodeId(7);
+    let err = cfg.validate().expect_err("out-of-range dst");
+    assert!(err.problems[0].contains("out of range"), "{err}");
+
+    let mut cfg = ScenarioConfig::two_nodes(Variant::Basic, 100.0, 50_000.0, 1);
+    cfg.flows[0].rate_bps = f64::NAN;
+    assert!(cfg.validate().is_err(), "NaN rate");
+
+    let cfg = ScenarioConfig::two_nodes(Variant::Basic, 100.0, 50_000.0, 1);
+    cfg.validate().expect("stock scenario is valid");
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn simulator_construction_surfaces_the_problem_list() {
+    let mut cfg = ScenarioConfig::two_nodes(Variant::Basic, 100.0, 50_000.0, 1);
+    cfg.flows[0].dst = pcmac_engine::NodeId(7);
+    let _ = pcmac::Simulator::new(cfg);
+}

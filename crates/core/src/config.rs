@@ -58,6 +58,16 @@ pub enum NodeSetup {
     },
     /// Fixed positions, no movement (tests, Figure 4/6 geometries).
     Static(Vec<Point>),
+    /// Explicit starting positions moving by random waypoint — generated
+    /// placements (clustered, corridor, ring, …) under mobility.
+    WaypointFrom {
+        /// Starting position of each node.
+        starts: Vec<Point>,
+        /// Constant speed (m/s).
+        speed: f64,
+        /// Pause at each waypoint.
+        pause: Duration,
+    },
 }
 
 impl NodeSetup {
@@ -66,6 +76,7 @@ impl NodeSetup {
         match self {
             NodeSetup::UniformWaypoint { count, .. } => *count,
             NodeSetup::Static(v) => v.len(),
+            NodeSetup::WaypointFrom { starts, .. } => starts.len(),
         }
     }
 }
@@ -84,7 +95,7 @@ pub enum ChannelIndexMode {
 
 /// Log-normal shadowing on top of the two-ray model (robustness
 /// experiments; the paper's channel has none).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ShadowingConfig {
     /// Standard deviation of the shadowing term (dB).
     pub sigma_db: f64,
@@ -125,6 +136,55 @@ pub struct ScenarioConfig {
     pub channel_index: ChannelIndexMode,
 }
 
+/// Emission start of flow `i`: 1 s warm-up plus 137 ms per flow, so
+/// flows do not synchronise their first RREQ floods. The single source
+/// of truth shared by the paper constructors, the declarative spec
+/// materializer, and the spec validator's airtime check.
+pub fn flow_start(i: usize) -> SimTime {
+    SimTime::ZERO + Duration::from_millis(1000 + 137 * i as u64)
+}
+
+/// The seeded distinct `(src, dst)` pairs the paper scenarios draw their
+/// flows from. Exposed so declarative scenario specs reproduce a
+/// constructor-built sweep bit for bit: all protocol variants at the same
+/// seed see the *same* pairs, keeping comparisons paired as in the paper.
+pub fn random_flow_pairs(seed: u64, count: usize, n_flows: usize) -> Vec<(u32, u32)> {
+    assert!(count >= 2, "need two nodes to form a flow");
+    assert!(
+        n_flows <= count * (count - 1),
+        "{n_flows} distinct ordered pairs cannot be drawn from {count} nodes"
+    );
+    let mut rng = pcmac_engine::RngStream::derive(seed, "scenario.flows");
+    let mut used: Vec<(u32, u32)> = Vec::with_capacity(n_flows);
+    for _ in 0..n_flows {
+        let pair = loop {
+            let s = rng.below(count as u64) as u32;
+            let d = rng.below(count as u64) as u32;
+            if s != d && !used.contains(&(s, d)) {
+                break (s, d);
+            }
+        };
+        used.push(pair);
+    }
+    used
+}
+
+/// Everything wrong with a scenario, found in one pass — the load-time
+/// alternative to panicking mid-run.
+#[derive(Debug, Clone)]
+pub struct InvalidScenario {
+    /// Human-readable problems, one per defect.
+    pub problems: Vec<String>,
+}
+
+impl std::fmt::Display for InvalidScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid scenario: {}", self.problems.join("; "))
+    }
+}
+
+impl std::error::Error for InvalidScenario {}
+
 impl ScenarioConfig {
     /// The paper's §IV scenario at a given aggregate offered load: 50
     /// nodes, 1000 m × 1000 m, random waypoint 3 m/s / 3 s pause, ten
@@ -152,32 +212,20 @@ impl ScenarioConfig {
         let n_flows = 10;
         let per_flow_bps = offered_load_kbps * 1000.0 / n_flows as f64;
 
-        let mut rng = pcmac_engine::RngStream::derive(seed, "scenario.flows");
-        let mut flows = Vec::with_capacity(n_flows);
-        let mut used: Vec<(u32, u32)> = Vec::new();
-        for i in 0..n_flows {
-            // Distinct (src, dst) pairs, src ≠ dst.
-            let (src, dst) = loop {
-                let s = rng.below(count as u64) as u32;
-                let d = rng.below(count as u64) as u32;
-                if s != d && !used.contains(&(s, d)) {
-                    break (s, d);
-                }
-            };
-            used.push((src, dst));
-            // Stagger starts so flows do not synchronise their first RREQs.
-            let start = SimTime::ZERO + Duration::from_millis(1000 + 137 * i as u64);
-            flows.push(FlowSpec {
+        let flows: Vec<FlowSpec> = random_flow_pairs(seed, count, n_flows)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (src, dst))| FlowSpec {
                 flow: FlowId(i as u32),
                 src: NodeId(src),
                 dst: NodeId(dst),
                 bytes: 512,
                 rate_bps: per_flow_bps,
-                start,
+                start: flow_start(i),
                 stop: SimTime::ZERO + duration,
                 shape: FlowShape::Cbr,
-            });
-        }
+            })
+            .collect();
 
         ScenarioConfig {
             name: format!("paper-{}-{offered_load_kbps}kbps", variant.name()),
@@ -302,6 +350,100 @@ impl ScenarioConfig {
     /// Aggregate offered application load in kbit/s.
     pub fn offered_load_kbps(&self) -> f64 {
         self.flows.iter().map(|f| f.rate_bps).sum::<f64>() / 1000.0
+    }
+
+    /// Check the scenario for defects that would otherwise surface as
+    /// panics (or nonsense) deep inside a run: zero nodes, non-finite or
+    /// non-positive rates and dimensions, flows referencing out-of-range
+    /// nodes. Collects *every* problem so a bad spec file is fixed in one
+    /// round trip.
+    pub fn validate(&self) -> Result<(), InvalidScenario> {
+        let mut problems = Vec::new();
+        let count = self.nodes.count();
+        if count == 0 {
+            problems.push("scenario has zero nodes".to_string());
+        }
+        match &self.nodes {
+            NodeSetup::UniformWaypoint { speed, .. } | NodeSetup::WaypointFrom { speed, .. } => {
+                if !speed.is_finite() || *speed < 0.0 {
+                    problems.push(format!(
+                        "mobility speed {speed} must be finite and non-negative"
+                    ));
+                }
+            }
+            NodeSetup::Static(_) => {}
+        }
+        for (which, dim) in [("width", self.field.0), ("height", self.field.1)] {
+            if !dim.is_finite() || dim <= 0.0 {
+                problems.push(format!("field {which} {dim} must be positive and finite"));
+            }
+        }
+        if self.duration.as_nanos() == 0 {
+            problems.push("duration is zero: nothing would run".to_string());
+        }
+        for f in &self.flows {
+            let id = f.flow.0;
+            if f.src.index() >= count {
+                problems.push(format!(
+                    "flow {id}: source node {} out of range (scenario has {count} nodes)",
+                    f.src.0
+                ));
+            }
+            if f.dst.index() >= count {
+                problems.push(format!(
+                    "flow {id}: destination node {} out of range (scenario has {count} nodes)",
+                    f.dst.0
+                ));
+            }
+            if f.src == f.dst {
+                problems.push(format!(
+                    "flow {id}: source and destination are both node {}",
+                    f.src.0
+                ));
+            }
+            if f.bytes == 0 {
+                problems.push(format!("flow {id}: packet size is zero bytes"));
+            }
+            if !f.rate_bps.is_finite() || f.rate_bps <= 0.0 {
+                problems.push(format!(
+                    "flow {id}: rate {} b/s must be positive and finite",
+                    f.rate_bps
+                ));
+            }
+            if let FlowShape::OnOff {
+                mean_on_s,
+                mean_off_s,
+            } = f.shape
+            {
+                for (which, mean) in [("on", mean_on_s), ("off", mean_off_s)] {
+                    if !mean.is_finite() || mean <= 0.0 {
+                        problems.push(format!(
+                            "flow {id}: mean {which} phase {mean} s must be positive and finite"
+                        ));
+                    }
+                }
+            }
+        }
+        let floor = self.interference_floor.value();
+        if floor.is_nan() || floor < 0.0 {
+            problems.push(format!(
+                "interference floor {:?} must be non-negative",
+                self.interference_floor
+            ));
+        }
+        if let Some(s) = &self.shadowing {
+            if !s.sigma_db.is_finite() || s.sigma_db < 0.0 {
+                problems.push(format!(
+                    "shadowing sigma {} dB must be finite and non-negative",
+                    s.sigma_db
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(InvalidScenario { problems })
+        }
     }
 
     /// Serialize the scenario to pretty JSON (experiment provenance,

@@ -111,7 +111,16 @@ pub struct Simulator {
 
 impl Simulator {
     /// Build the network described by `cfg`.
+    ///
+    /// # Panics
+    /// If the scenario fails [`ScenarioConfig::validate`]; the panic
+    /// message lists every defect. Loading paths (spec files, campaign
+    /// expansion) validate first and surface the same list as a
+    /// `Result` instead.
     pub fn new(cfg: ScenarioConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         let n = cfg.nodes.count();
         let mut nodes = Vec::with_capacity(n);
         let mut positions = Vec::with_capacity(n);
@@ -123,11 +132,13 @@ impl Simulator {
                 placement::uniform(*count, cfg.field.0, cfg.field.1, &mut rng)
             }
             NodeSetup::Static(pts) => pts.clone(),
+            NodeSetup::WaypointFrom { starts, .. } => starts.clone(),
         };
 
         for (i, start) in starts.iter().enumerate() {
             let mobility = match &cfg.nodes {
-                NodeSetup::UniformWaypoint { speed, pause, .. } => {
+                NodeSetup::UniformWaypoint { speed, pause, .. }
+                | NodeSetup::WaypointFrom { speed, pause, .. } => {
                     any_mobile = true;
                     Mobility::Waypoint(RandomWaypoint::new(
                         *start,

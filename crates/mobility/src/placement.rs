@@ -34,6 +34,83 @@ pub fn grid(cols: usize, rows: usize, origin: Point, spacing: f64) -> Vec<Point>
     out
 }
 
+/// `n` points evenly spaced on a circle of `radius` around `center` —
+/// every node equidistant from its neighbours, the classic symmetric
+/// contention topology.
+pub fn ring(n: usize, center: Point, radius: f64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n.max(1) as f64;
+            Point::new(
+                center.x + radius * theta.cos(),
+                center.y + radius * theta.sin(),
+            )
+        })
+        .collect()
+}
+
+/// `n` points in `clusters` hotspots over a `width × height` field:
+/// cluster centres are uniform (kept `spread` away from the border so a
+/// whole cluster fits), members are uniform over a disc of radius
+/// `spread` around their centre, assigned round-robin so cluster sizes
+/// differ by at most one. Models the hotspot/conference-room density
+/// pattern that stresses spatial reuse.
+pub fn clustered(
+    n: usize,
+    clusters: usize,
+    width: f64,
+    height: f64,
+    spread: f64,
+    rng: &mut RngStream,
+) -> Vec<Point> {
+    assert!(clusters > 0, "need at least one cluster");
+    let margin = |dim: f64| spread.min(dim / 2.0);
+    let (mx, my) = (margin(width), margin(height));
+    let centers: Vec<Point> = (0..clusters)
+        .map(|_| Point::new(rng.uniform(mx, width - mx), rng.uniform(my, height - my)))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[i % clusters];
+            // Uniform over the disc: radius ∝ √u, angle uniform.
+            let r = spread * rng.unit().sqrt();
+            let theta = rng.uniform(0.0, 2.0 * std::f64::consts::PI);
+            Point::new(
+                (c.x + r * theta.cos()).clamp(0.0, width),
+                (c.y + r * theta.sin()).clamp(0.0, height),
+            )
+        })
+        .collect()
+}
+
+/// `n` points uniform over a thin horizontal strip of `length × width`
+/// starting at `origin` — a road/corridor topology where traffic is
+/// forced through a line of mutual contention.
+pub fn corridor(
+    n: usize,
+    origin: Point,
+    length: f64,
+    width: f64,
+    rng: &mut RngStream,
+) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                origin.x + rng.uniform(0.0, length),
+                origin.y + rng.uniform(0.0, width),
+            )
+        })
+        .collect()
+}
+
+/// Node count realising `per_km2` nodes per square kilometre over a
+/// `width × height` metre field (rounded, at least 1) — the
+/// density-controlled companion to [`uniform`].
+pub fn density_count(per_km2: f64, width: f64, height: f64) -> usize {
+    let area_km2 = width * height / 1e6;
+    (per_km2 * area_km2).round().max(1.0) as usize
+}
+
 /// The paper's Figure 4 geometry: two communicating pairs A→B and C→D.
 /// A and B sit `close` meters apart; C and D sit `far` meters apart, with
 /// C placed `gap` meters beyond B on the same line, so C/D are outside
@@ -82,6 +159,59 @@ mod tests {
         assert_eq!(pts[0], Point::new(0.0, 0.0));
         assert_eq!(pts[2], Point::new(200.0, 0.0));
         assert_eq!(pts[5], Point::new(200.0, 100.0));
+    }
+
+    #[test]
+    fn ring_is_equidistant_from_center() {
+        let pts = ring(8, Point::new(500.0, 500.0), 200.0);
+        assert_eq!(pts.len(), 8);
+        for p in &pts {
+            assert!((p.distance(Point::new(500.0, 500.0)) - 200.0).abs() < 1e-9);
+        }
+        // Consecutive spacing is uniform.
+        let gap = pts[0].distance(pts[1]);
+        for i in 0..8 {
+            assert!((pts[i].distance(pts[(i + 1) % 8]) - gap).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustered_points_stay_near_their_hotspots() {
+        let mut rng = RngStream::derive(3, "placement.clustered");
+        let n = 60;
+        let spread = 50.0;
+        let pts = clustered(n, 3, 1000.0, 1000.0, spread, &mut rng);
+        assert_eq!(pts.len(), n);
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..=1000.0).contains(&p.x) && (0.0..=1000.0).contains(&p.y)));
+        // Every point is within `spread` of at least one other cluster
+        // member placed 3 apart in round-robin order (same cluster).
+        for i in 0..n - 3 {
+            assert!(
+                pts[i].distance(pts[i + 3]) <= 2.0 * spread + 1e-9,
+                "round-robin cluster mates must share a disc"
+            );
+        }
+    }
+
+    #[test]
+    fn corridor_is_confined_to_the_strip() {
+        let mut rng = RngStream::derive(4, "placement.corridor");
+        let pts = corridor(200, Point::new(0.0, 450.0), 1000.0, 100.0, &mut rng);
+        assert_eq!(pts.len(), 200);
+        assert!(pts.iter().all(|p| (0.0..1000.0).contains(&p.x)));
+        assert!(pts.iter().all(|p| (450.0..550.0).contains(&p.y)));
+        // Long axis is actually used.
+        assert!(pts.iter().any(|p| p.x < 200.0));
+        assert!(pts.iter().any(|p| p.x > 800.0));
+    }
+
+    #[test]
+    fn density_count_scales_with_area() {
+        assert_eq!(density_count(50.0, 1000.0, 1000.0), 50);
+        assert_eq!(density_count(50.0, 2000.0, 1000.0), 100);
+        assert_eq!(density_count(0.0001, 100.0, 100.0), 1, "never zero nodes");
     }
 
     #[test]

@@ -78,6 +78,26 @@ impl OnlineStats {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Half-width of the two-sided 95% confidence interval for the mean:
+    /// `t(0.975, n−1) · s / √n`, with the Student-t critical value for
+    /// small samples (the seed counts campaigns actually use) and the
+    /// normal 1.96 beyond the table. `0` for fewer than two samples —
+    /// one seed gives a point estimate, not an interval.
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        // t(0.975, df) for df = 1..=30.
+        const T95: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        let df = (self.count - 1) as usize;
+        let t = if df <= T95.len() { T95[df - 1] } else { 1.96 };
+        t * self.stddev() / (self.count as f64).sqrt()
+    }
+
     /// Merge another accumulator into this one (parallel run aggregation).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -146,6 +166,32 @@ mod tests {
         assert!((a.variance() - whole.variance()).abs() < 1e-9);
         assert_eq!(a.min(), whole.min());
         assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn ci95_matches_hand_computation() {
+        let mut s = OnlineStats::new();
+        for x in [10.0, 12.0, 14.0] {
+            s.push(x);
+        }
+        // n = 3, s = 2, t(0.975, 2) = 4.303 → 4.303 · 2 / √3.
+        let expect = 4.303 * 2.0 / 3.0f64.sqrt();
+        assert!((s.ci95_halfwidth() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci95_degenerate_cases() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.ci95_halfwidth(), 0.0, "empty");
+        s.push(5.0);
+        assert_eq!(s.ci95_halfwidth(), 0.0, "single sample has no interval");
+        let mut big = OnlineStats::new();
+        for i in 0..100 {
+            big.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        // Past the t-table: normal critical value.
+        let expect = 1.96 * big.stddev() / 10.0;
+        assert!((big.ci95_halfwidth() - expect).abs() < 1e-9);
     }
 
     #[test]

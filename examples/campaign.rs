@@ -1,0 +1,48 @@
+//! Campaign subsystem quickstart: build a declarative campaign in code,
+//! run it, and print the aggregated per-point table.
+//!
+//! The same campaign as JSON lives in `examples/paper_load_sweep.json`
+//! and runs from the command line:
+//!
+//! ```text
+//! cargo run --release -p pcmac-campaign --bin pcmac-campaign -- \
+//!     run examples/paper_load_sweep.json
+//! ```
+//!
+//! ```text
+//! cargo run --release --example campaign
+//! ```
+
+use pcmac_sim::campaign::{run_campaign, AxesSpec, CampaignSpec, ScenarioSpec};
+use pcmac_sim::Variant;
+
+fn main() {
+    // The paper's §IV scenario, swept over three loads × two variants,
+    // two seeds per point, shrunk to 10 simulated seconds.
+    let spec = CampaignSpec {
+        name: "quickstart".into(),
+        base: ScenarioSpec::paper(),
+        duration_s: Some(10.0),
+        seeds: vec![1, 2],
+        axes: AxesSpec {
+            loads_kbps: Some(vec![300.0, 650.0, 1000.0]),
+            node_counts: None,
+            variants: Some(vec![Variant::Basic, Variant::Pcmac]),
+            power_level_sets_mw: None,
+        },
+    };
+    println!(
+        "campaign `{}`: {} points x {} seeds = {} runs",
+        spec.name,
+        spec.point_count(),
+        spec.seeds.len(),
+        spec.run_count()
+    );
+
+    let outcome = run_campaign(&spec, 0).expect("spec is valid");
+    println!("{}", outcome.report.render_table());
+    println!(
+        "({} runs, {:.1} s CPU total; artifact shape: CAMPAIGN_*.json)",
+        outcome.report.runs, outcome.report.wall_s
+    );
+}

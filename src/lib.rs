@@ -1,1 +1,5 @@
 pub use pcmac::*;
+
+/// The declarative scenario + campaign subsystem (`pcmac-campaign`):
+/// spec files, grid expansion, aggregating sweep runner.
+pub use pcmac_campaign as campaign;

@@ -1,0 +1,79 @@
+//! Reduced-scale campaign smoke test: the checked-in example spec must
+//! load, expand, run end-to-end, aggregate with finite mean ± CI per
+//! point, and produce a round-trippable `CAMPAIGN_*.json` artifact.
+
+use pcmac_campaign::{run_campaign, CampaignReport, CampaignSpec};
+
+fn example_spec() -> CampaignSpec {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/paper_load_sweep.json"
+    );
+    let text = std::fs::read_to_string(path).expect("example spec is checked in");
+    let spec = CampaignSpec::from_json(&text).expect("example spec parses");
+    spec.validate().expect("example spec is valid");
+    spec
+}
+
+#[test]
+fn example_spec_meets_the_acceptance_shape() {
+    let spec = example_spec();
+    let loads = spec.axes.loads_kbps.as_ref().expect("load axis");
+    assert!(loads.len() >= 3, "acceptance: >= 3-point load sweep");
+    assert!(spec.seeds.len() >= 2, "acceptance: >= 2 seeds");
+    let points = spec.expand().expect("expands");
+    assert_eq!(points.len(), spec.point_count());
+    for p in &points {
+        assert_eq!(p.scenarios.len(), spec.seeds.len());
+        for cfg in &p.scenarios {
+            cfg.validate().expect("every expanded scenario is valid");
+        }
+    }
+}
+
+#[test]
+fn reduced_campaign_runs_and_aggregates() {
+    let mut spec = example_spec();
+    // Shrink for test runtime: same grid, 5 simulated seconds.
+    spec.duration_s = Some(5.0);
+
+    let outcome = run_campaign(&spec, 0).expect("campaign runs");
+    assert_eq!(outcome.runs.len(), spec.run_count());
+    assert_eq!(outcome.report.points.len(), spec.point_count());
+    assert_eq!(outcome.report.runs, spec.run_count());
+
+    for p in &outcome.report.points {
+        assert_eq!(p.seeds.len(), spec.seeds.len(), "every seed aggregated");
+        for (metric, m) in [
+            ("throughput", &p.throughput_kbps),
+            ("delay", &p.mean_delay_ms),
+            ("pdr", &p.pdr),
+            ("fairness", &p.jain_fairness),
+            ("radiated", &p.radiated_mj),
+        ] {
+            assert!(m.mean.is_finite(), "{metric} mean finite");
+            assert!(m.ci95.is_finite() && m.ci95 >= 0.0, "{metric} ci valid");
+            assert!(m.min <= m.mean && m.mean <= m.max, "{metric} ordered");
+        }
+        assert!(
+            p.throughput_kbps.mean > 0.0,
+            "a 5 s paper scenario delivers something at {} kbps",
+            p.key.load_kbps
+        );
+    }
+
+    // The artifact is machine-readable and stable under re-serialization.
+    let json = outcome.report.to_json();
+    let back = CampaignReport::from_json(&json).expect("artifact reparses");
+    assert_eq!(back.to_json(), json);
+    assert_eq!(back.points.len(), outcome.report.points.len());
+
+    // The raw runs line up with the expansion: point-major, seed-minor.
+    for (i, p) in outcome.report.points.iter().enumerate() {
+        for (j, &seed) in p.seeds.iter().enumerate() {
+            let run = &outcome.runs[i * spec.seeds.len() + j];
+            assert_eq!(run.seed, seed);
+            assert_eq!(run.protocol, p.key.variant);
+        }
+    }
+}
