@@ -1,7 +1,12 @@
-//! Ablation benches for the design choices DESIGN.md calls out.
+//! Ablation campaigns for the design choices DESIGN.md calls out — now
+//! driven entirely by the checked-in campaign spec files under
+//! `examples/ablation_*.json`. Changing a sweep is a JSON edit, not a
+//! Rust edit; a parity test (`crates/campaign/tests/ablation_parity.rs`)
+//! proves the JSON path reproduces the old constructor-built sweeps bit
+//! for bit.
 //!
 //! Four sweeps, each on the paper's 50-node scenario at a saturating
-//! offered load (default 800 kbps):
+//! offered load (spec default 800 kbps, 60 s per run):
 //!
 //! 1. **safety factor** — the paper's 0.7 redundancy coefficient on the
 //!    advertised noise tolerance, swept over {0.5, 0.7, 0.9, 1.0}.
@@ -13,144 +18,116 @@
 //!    vs keeping the ACK.
 //!
 //! ```text
-//! cargo run -p pcmac-bench --release --bin ablations [-- --secs N] [--load L] [--seed S]
+//! cargo run -p pcmac-bench --release --bin ablations -- \
+//!     [--secs N] [--load L] [--seed S] [--threads N] [--spec-dir DIR]
 //! ```
+//!
+//! Each campaign prints the aggregated per-point table plus the per-run
+//! MAC counters the headline metrics cannot carry, and writes its
+//! `CAMPAIGN_<name>.json` artifact (the same shape `pcmac-campaign run`
+//! emits) to the working directory.
 
-use pcmac::{run_parallel, ScenarioConfig, Variant};
-use pcmac_engine::Duration;
-use pcmac_phy::CapturePolicy;
+use pcmac_bench::{flag_opt, flag_or, flag_value, sanitize};
+use pcmac_campaign::{run_campaign, CampaignSpec};
 use pcmac_stats::Table;
+
+const ABLATIONS: [&str; 4] = [
+    "ablation_safety_factor",
+    "ablation_ctrl_bandwidth",
+    "ablation_capture_policy",
+    "ablation_handshake",
+];
+
+fn fail(msg: String) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let grab = |flag: &str, default: f64| -> f64 {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    };
-    let secs = grab("--secs", 60.0) as u64;
-    let load = grab("--load", 800.0);
-    let seed = grab("--seed", 1.0) as u64;
-    let base = || {
-        ScenarioConfig::paper(Variant::Pcmac, load, seed).with_duration(Duration::from_secs(secs))
-    };
+    let spec_dir = flag_value(&args, "--spec-dir")
+        .unwrap_or("examples")
+        .to_string();
+    let secs: Option<f64> = flag_opt(&args, "--secs");
+    let load: Option<f64> = flag_opt(&args, "--load");
+    let seed: Option<u64> = flag_opt(&args, "--seed");
+    let threads: usize = flag_or(&args, "--threads", 0);
 
-    // ------------------------------------------------------------------
-    println!("== Ablation 1: PCMAC safety factor (paper: 0.7) ==");
-    println!("   load {load:.0} kbps, {secs} s, seed {seed}\n");
-    let factors = [0.5, 0.7, 0.9, 1.0];
-    let scenarios: Vec<_> = factors
-        .iter()
-        .map(|&f| {
-            let mut c = base();
-            c.name = format!("safety-{f}");
-            c.mac.pcmac.safety_factor = f;
-            c
-        })
-        .collect();
-    let reports = run_parallel(scenarios, 0);
-    let mut t = Table::new(&[
-        "factor",
-        "thpt kbps",
-        "delay ms",
-        "pdr %",
-        "deferrals",
-        "rxErr",
-    ]);
-    for (f, r) in factors.iter().zip(&reports) {
-        t.row(&[
-            format!("{f}"),
-            format!("{:.1}", r.throughput_kbps),
-            format!("{:.1}", r.mean_delay_ms),
-            format!("{:.1}", r.pdr() * 100.0),
-            format!("{}", r.mac.ctrl_deferrals),
-            format!("{}", r.mac.rx_errors),
-        ]);
-    }
-    println!("{}", t.render());
-
-    // ------------------------------------------------------------------
-    println!("== Ablation 2: control channel bandwidth (paper: 500 kbps) ==\n");
-    let rates = [100_000u64, 250_000, 500_000, 1_000_000];
-    let scenarios: Vec<_> = rates
-        .iter()
-        .map(|&bw| {
-            let mut c = base();
-            c.name = format!("ctrl-{}k", bw / 1000);
-            c.mac.pcmac.ctrl_rate_bps = bw;
-            c
-        })
-        .collect();
-    let reports = run_parallel(scenarios, 0);
-    let mut t = Table::new(&["ctrl kbps", "thpt kbps", "delay ms", "pdr %", "broadcasts"]);
-    for (bw, r) in rates.iter().zip(&reports) {
-        t.row(&[
-            format!("{}", bw / 1000),
-            format!("{:.1}", r.throughput_kbps),
-            format!("{:.1}", r.mean_delay_ms),
-            format!("{:.1}", r.pdr() * 100.0),
-            format!("{}", r.mac.ctrl_broadcasts),
-        ]);
-    }
-    println!("{}", t.render());
-
-    // ------------------------------------------------------------------
-    println!("== Ablation 3: capture policy (ns-2 start-only vs cumulative SINR) ==\n");
-    let mut scenarios = Vec::new();
-    for policy in [CapturePolicy::StartOnly, CapturePolicy::Continuous] {
-        for v in Variant::ALL {
-            let mut c =
-                ScenarioConfig::paper(v, load, seed).with_duration(Duration::from_secs(secs));
-            c.radio.capture_policy = policy;
-            c.name = format!("{policy:?}-{}", v.name());
-            scenarios.push(c);
+    for name in ABLATIONS {
+        let path = format!("{spec_dir}/{name}.json");
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            fail(format!(
+                "cannot read {path}: {e} (run from the repository root, or pass --spec-dir)"
+            ))
+        });
+        let mut spec =
+            CampaignSpec::from_json(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+        if let Some(s) = secs {
+            spec.duration_s = Some(s);
         }
-    }
-    let reports = run_parallel(scenarios, 0);
-    let mut t = Table::new(&["policy", "protocol", "thpt kbps", "delay ms", "rxErr"]);
-    for r in &reports {
-        let policy = if r.name.starts_with("StartOnly") {
-            "StartOnly"
-        } else {
-            "Continuous"
-        };
-        t.row(&[
-            policy.to_string(),
-            r.protocol.clone(),
-            format!("{:.1}", r.throughput_kbps),
-            format!("{:.1}", r.mean_delay_ms),
-            format!("{}", r.mac.rx_errors),
-        ]);
-    }
-    println!("{}", t.render());
+        if let Some(l) = load {
+            spec.base.traffic.offered_load_kbps = l;
+        }
+        if let Some(s) = seed {
+            spec.seeds = vec![s];
+        }
 
-    // ------------------------------------------------------------------
-    println!("== Ablation 4: handshake arity (PCMAC 3-way vs keeping the ACK) ==\n");
-    let mut three = base();
-    three.name = "pcmac-3way".into();
-    let mut four = base();
-    four.name = "pcmac-4way".into();
-    four.mac.pcmac.four_way_handshake = true;
-    let reports = run_parallel(vec![three, four], 0);
-    let mut t = Table::new(&[
-        "handshake",
-        "thpt kbps",
-        "delay ms",
-        "pdr %",
-        "ackT/O",
-        "implicit retx",
-    ]);
-    for (name, r) in ["RTS-CTS-DATA", "RTS-CTS-DATA-ACK"].iter().zip(&reports) {
-        t.row(&[
-            name.to_string(),
-            format!("{:.1}", r.throughput_kbps),
-            format!("{:.1}", r.mean_delay_ms),
-            format!("{:.1}", r.pdr() * 100.0),
-            format!("{}", r.mac.ack_timeouts),
-            format!("{}", r.mac.implicit_retx),
+        println!(
+            "== {} ({} points x {} seed(s), {:.0} s, {:.0} kbps offered) ==\n",
+            spec.name,
+            spec.point_count(),
+            spec.seeds.len(),
+            spec.duration_s.unwrap_or(spec.base.duration_s),
+            spec.base.traffic.offered_load_kbps,
+        );
+        let outcome = run_campaign(&spec, threads).unwrap_or_else(|e| {
+            fail(format!(
+                "{path} is invalid:\n  - {}",
+                e.problems.join("\n  - ")
+            ))
+        });
+        println!("{}", outcome.report.render_table());
+
+        // Per-run MAC counters behind each ablation's argument: control
+        // traffic, ACK timeouts, implicit retransmissions, decode errors.
+        let mut t = Table::new(&[
+            "point",
+            "seed",
+            "thpt kbps",
+            "delay ms",
+            "pdr %",
+            "ctrlDef",
+            "ctrlBcast",
+            "ackT/O",
+            "implRetx",
+            "rxErr",
         ]);
+        for (point, chunk) in outcome
+            .report
+            .points
+            .iter()
+            .zip(outcome.runs.chunks(spec.seeds.len().max(1)))
+        {
+            for (seed, r) in point.seeds.iter().zip(chunk) {
+                t.row(&[
+                    point.key.label(),
+                    format!("{seed}"),
+                    format!("{:.1}", r.throughput_kbps),
+                    format!("{:.1}", r.mean_delay_ms),
+                    format!("{:.1}", r.pdr() * 100.0),
+                    format!("{}", r.mac.ctrl_deferrals),
+                    format!("{}", r.mac.ctrl_broadcasts),
+                    format!("{}", r.mac.ack_timeouts),
+                    format!("{}", r.mac.implicit_retx),
+                    format!("{}", r.mac.rx_errors),
+                ]);
+            }
+        }
+        println!("{}", t.render());
+
+        let out = format!("CAMPAIGN_{}.json", sanitize(&spec.name));
+        std::fs::write(&out, outcome.report.to_json())
+            .unwrap_or_else(|e| fail(format!("cannot write {out}: {e}")));
+        eprintln!("wrote {out}\n");
     }
-    println!("{}", t.render());
 }

@@ -19,21 +19,15 @@
 //! ```
 
 use pcmac::{run_parallel, ScenarioConfig, ShadowingConfig, Variant};
+use pcmac_bench::flag_or;
 use pcmac_engine::Duration;
 use pcmac_stats::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let grab = |flag: &str, default: f64| -> f64 {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    };
-    let secs = grab("--secs", 60.0) as u64;
-    let load = grab("--load", 600.0);
-    let seed = grab("--seed", 1.0) as u64;
+    let secs: u64 = flag_or(&args, "--secs", 60);
+    let load: f64 = flag_or(&args, "--load", 600.0);
+    let seed: u64 = flag_or(&args, "--seed", 1);
 
     // ------------------------------------------------------------------
     println!("== Extension 1: node density (field fixed at 1000 m², load {load:.0} kbps) ==\n");

@@ -26,6 +26,16 @@ use pcmac::{RunReport, Variant};
 use pcmac_campaign::{run_campaign, AxesSpec, CampaignReport, CampaignSpec, ScenarioSpec};
 use pcmac_stats::{Series, Table};
 
+// Typed CLI flag parsing shared by every bench binary, re-exported
+// from `pcmac_campaign::cli` (the crate below both binary families) so
+// one implementation serves the whole workspace. The pre-redesign
+// binaries funnelled all flags through one `f64` grabber
+// (`grab("--seed", 1.0) as u64`), silently truncating fractional input
+// and any seed above 2⁵³.
+pub use pcmac_campaign::cli::{
+    flag_list_or, flag_opt, flag_or, flag_value, sanitize, try_flag, try_flag_list,
+};
+
 /// Sweep parameters shared by the figure binaries.
 #[derive(Debug, Clone)]
 pub struct Sweep {
@@ -53,31 +63,18 @@ impl Default for Sweep {
 impl Sweep {
     /// Parse the common CLI flags:
     /// `--full` (400 s), `--secs N`, `--seeds a,b,c`, `--loads x,y,z`,
-    /// `--threads N`.
+    /// `--threads N`. An explicit `--secs` wins over `--full` regardless
+    /// of flag order; malformed values exit with status 2 instead of
+    /// silently falling back to defaults.
     pub fn from_args(args: &[String]) -> Self {
         let mut sweep = Sweep::default();
-        let mut it = args.iter();
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--full" => sweep.secs = 400,
-                "--secs" => {
-                    sweep.secs = it.next().and_then(|v| v.parse().ok()).unwrap_or(sweep.secs)
-                }
-                "--seeds" => {
-                    if let Some(v) = it.next() {
-                        sweep.seeds = v.split(',').filter_map(|s| s.parse().ok()).collect();
-                    }
-                }
-                "--loads" => {
-                    if let Some(v) = it.next() {
-                        sweep.loads = v.split(',').filter_map(|s| s.parse().ok()).collect();
-                    }
-                }
-                "--threads" => sweep.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
-                _ => {}
-            }
+        if args.iter().any(|a| a == "--full") {
+            sweep.secs = 400;
         }
-        assert!(!sweep.loads.is_empty() && !sweep.seeds.is_empty());
+        sweep.secs = flag_or(args, "--secs", sweep.secs);
+        sweep.seeds = flag_list_or(args, "--seeds", sweep.seeds);
+        sweep.loads = flag_list_or(args, "--loads", sweep.loads);
+        sweep.threads = flag_or(args, "--threads", 0);
         sweep
     }
 
@@ -89,12 +86,13 @@ impl Sweep {
             base: ScenarioSpec::paper(),
             duration_s: Some(self.secs as f64),
             seeds: self.seeds.clone(),
-            axes: AxesSpec {
+            axes: Some(AxesSpec {
                 loads_kbps: Some(self.loads.clone()),
                 node_counts: None,
                 variants: Some(Variant::ALL.to_vec()),
                 power_level_sets_mw: None,
-            },
+            }),
+            sweep: None,
         }
     }
 

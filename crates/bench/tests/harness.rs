@@ -1,7 +1,7 @@
 //! Tests for the figure harness itself: CLI parsing, sweep plumbing and
 //! the shape validators.
 
-use pcmac_bench::{check_figure8_shape, check_figure9_shape, Sweep};
+use pcmac_bench::{check_figure8_shape, check_figure9_shape, try_flag, try_flag_list, Sweep};
 use pcmac_stats::Series;
 
 fn args(s: &str) -> Vec<String> {
@@ -37,6 +37,49 @@ fn full_flag_selects_400s() {
 fn unknown_flags_are_ignored() {
     let s = Sweep::from_args(&args("--json out.jsonl --secs 12"));
     assert_eq!(s.secs, 12);
+}
+
+#[test]
+fn typed_flags_parse_without_f64_truncation() {
+    // The old parser went through `f64` (`grab(...) as u64`): any seed
+    // above 2^53 silently lost bits. The typed path must be exact.
+    let big = u64::MAX - 1;
+    let a = args(&format!("--seed {big}"));
+    assert_eq!(try_flag::<u64>(&a, "--seed").unwrap(), Some(big));
+    assert!(big as f64 as u64 != big, "the old path really was lossy");
+
+    // Absent flags are None, not an error.
+    assert_eq!(try_flag::<u64>(&a, "--secs").unwrap(), None);
+}
+
+#[test]
+fn malformed_flag_values_are_errors_not_defaults() {
+    // `--secs 1.5` used to truncate to 1; now it must be rejected.
+    assert!(try_flag::<u64>(&args("--secs 1.5"), "--secs").is_err());
+    assert!(try_flag::<u64>(&args("--secs abc"), "--secs").is_err());
+    // A flag with no value following it is an error too.
+    assert!(try_flag::<u64>(&args("--secs"), "--secs").is_err());
+}
+
+#[test]
+fn flag_lists_reject_bad_elements_instead_of_dropping_them() {
+    // The old list parser used filter_map: `--loads 300,x,500` silently
+    // became [300, 500].
+    assert!(try_flag_list::<f64>(&args("--loads 300,x,500"), "--loads").is_err());
+    assert_eq!(
+        try_flag_list::<f64>(&args("--loads 300,500"), "--loads").unwrap(),
+        Some(vec![300.0, 500.0])
+    );
+    assert_eq!(
+        try_flag_list::<u64>(&args("--loads 1"), "--seeds").unwrap(),
+        None
+    );
+}
+
+#[test]
+fn explicit_secs_wins_over_full_in_any_order() {
+    assert_eq!(Sweep::from_args(&args("--full --secs 30")).secs, 30);
+    assert_eq!(Sweep::from_args(&args("--secs 30 --full")).secs, 30);
 }
 
 fn mk_series(name: &str, points: &[(f64, f64)]) -> Series {

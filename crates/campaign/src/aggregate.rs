@@ -112,6 +112,7 @@ impl CampaignReport {
             "load kbps",
             "nodes",
             "levels",
+            "knobs",
             "thpt kbps (±ci95)",
             "delay ms (±ci95)",
             "pdr %",
@@ -127,6 +128,7 @@ impl CampaignReport {
                     .as_ref()
                     .map(|l| format!("{}-level", l.len()))
                     .unwrap_or_else(|| "paper".into()),
+                p.key.patches_label(),
                 format!(
                     "{:.1} ± {:.1}",
                     p.throughput_kbps.mean, p.throughput_kbps.ci95

@@ -11,7 +11,7 @@
 use std::process::ExitCode;
 
 use pcmac::Simulator;
-use pcmac_campaign::{run_campaign, AxesSpec, CampaignSpec, ScenarioSpec};
+use pcmac_campaign::{cli, run_campaign, AxesSpec, Axis, CampaignSpec, ScenarioSpec};
 
 const USAGE: &str = "\
 usage: pcmac-campaign <command> [args]
@@ -29,13 +29,6 @@ commands:
   example
         print a starter campaign spec (pipe into a .json file to begin)";
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
 fn read_spec(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
@@ -48,20 +41,13 @@ fn load_campaign(path: &str) -> Result<CampaignSpec, String> {
     Ok(spec)
 }
 
-fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
-}
-
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or(USAGE)?;
     let spec = load_campaign(path)?;
-    let threads = flag_value(args, "--threads")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let out = flag_value(args, "--out")
-        .unwrap_or_else(|| format!("CAMPAIGN_{}.json", sanitize(&spec.name)));
+    let threads = cli::try_flag(args, "--threads")?.unwrap_or(0usize);
+    let out = cli::flag_value(args, "--out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("CAMPAIGN_{}.json", cli::sanitize(&spec.name)));
 
     eprintln!(
         "campaign `{}`: {} points x {} seeds = {} runs",
@@ -89,26 +75,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn cmd_expand(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or(USAGE)?;
     let spec = load_campaign(path)?;
-    let points = spec.expand().map_err(|e| e.to_string())?;
+    // The grid skeleton is all `expand` needs — no scenario is
+    // materialized just to print coordinates.
+    let grid = spec.grid().map_err(|e| e.to_string())?;
     println!(
         "campaign `{}`: {} points x {} seeds = {} runs",
         spec.name,
-        points.len(),
-        spec.seeds.len(),
-        spec.run_count()
+        grid.point_count(),
+        grid.seeds.len(),
+        grid.run_count()
     );
-    for p in &points {
+    for cell in &grid.cells {
         println!(
-            "  {:<14} load {:>6.0} kbps  {:>4} nodes  levels {:<7} seeds {:?}",
-            p.key.variant,
-            p.key.load_kbps,
-            p.key.node_count,
-            p.key
+            "  {:<14} load {:>6.0} kbps  {:>4} nodes  levels {:<7} knobs {:<24} seeds {:?}",
+            cell.key.variant,
+            cell.key.load_kbps,
+            cell.key.node_count,
+            cell.key
                 .power_levels_mw
                 .as_ref()
                 .map(|l| format!("{}-level", l.len()))
                 .unwrap_or_else(|| "paper".into()),
-            p.seeds,
+            cell.key.patches_label(),
+            grid.seeds,
         );
     }
     Ok(())
@@ -125,9 +114,7 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or(USAGE)?;
     let text = read_spec(path)?;
     let spec = ScenarioSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-    let seed = flag_value(args, "--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let seed = cli::try_flag(args, "--seed")?.unwrap_or(1u64);
     let cfg = spec
         .materialize(seed)
         .map_err(|e| format!("{path} is invalid:\n  - {}", e.problems.join("\n  - ")))?;
@@ -152,12 +139,18 @@ fn cmd_example() -> Result<(), String> {
         base: ScenarioSpec::paper(),
         duration_s: Some(60.0),
         seeds: vec![1, 2],
-        axes: AxesSpec {
+        axes: Some(AxesSpec {
             loads_kbps: Some(vec![300.0, 650.0, 1000.0]),
             node_counts: None,
             variants: Some(vec![pcmac::Variant::Basic, pcmac::Variant::Pcmac]),
             power_level_sets_mw: None,
-        },
+        }),
+        // A generic sweep axis: any dotted path on the spec surface
+        // (here the paper's 0.7 safety factor) multiplies the grid.
+        sweep: Some(vec![Axis::Patch {
+            path: "mac.pcmac.safety_factor".into(),
+            values: vec![serde::Value::F64(0.5), serde::Value::F64(0.7)],
+        }]),
     };
     println!("{}", spec.to_json());
     Ok(())

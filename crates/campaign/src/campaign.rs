@@ -1,19 +1,36 @@
-//! Campaign specifications: a base scenario spec expanded across
-//! parameter grids × seed lists into concrete runs.
+//! Campaign specifications: a base scenario spec expanded across named
+//! parameter axes × seed lists into concrete runs.
 //!
 //! A campaign is the unit the paper's evaluation is actually made of —
 //! Figures 8/9 are (variant × offered load × seed) grids, the power-level
-//! table is a (level-set) sweep, the density extension a (node count)
-//! sweep. [`CampaignSpec::expand`] produces one [`CampaignPoint`] per
-//! grid cell, each holding one materialized [`ScenarioConfig`] per seed.
+//! table is a (level-set) sweep, and the design ablations (safety factor,
+//! control-channel bandwidth, capture policy, handshake arity) are
+//! single-knob sweeps over the [`crate::spec::PATCH_PATHS`] surface.
+//!
+//! The sweep dimensions are [`Axis`] values: first-class axes for the
+//! common coordinates (offered load, node count, MAC variant, power-level
+//! set) plus the generic [`Axis::Patch`] — a dotted path into the
+//! scenario's parameter surface with a list of values. The historical
+//! fixed grid ([`AxesSpec`]) is kept as sugar that lowers onto axes, so
+//! existing spec files expand exactly as before.
+//!
+//! Expansion is lazy: [`CampaignSpec::grid`] builds only the per-point
+//! *specs* (cheap), and [`CampaignGrid::scenarios`] materializes each
+//! `(point × seed)` [`ScenarioConfig`] on demand as the parallel runner's
+//! bounded work channel drains — a 10⁴-run campaign never holds more than
+//! a few configs in memory. [`CampaignSpec::expand_vec`] keeps the eager
+//! form for the CLI's `expand` subcommand and for parity tests.
 
 use pcmac::{ScenarioConfig, Variant};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
-use crate::spec::{ScenarioSpec, SpecError};
+use crate::spec::{PlacementSpec, ScenarioSpec, SpecError};
 
-/// The sweep axes. Every `None` axis stays at the base spec's value;
-/// every `Some` axis multiplies the grid.
+/// The legacy fixed sweep grid. Every `None` axis stays at the base
+/// spec's value; every `Some` axis multiplies the grid. Kept as sugar:
+/// [`AxesSpec::lower`] turns it into the equivalent [`Axis`] list
+/// (preserving the historical nesting order: load outermost, then node
+/// count, then power-level set, then variant innermost).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AxesSpec {
     /// Aggregate offered loads (kbps).
@@ -26,6 +43,204 @@ pub struct AxesSpec {
     pub power_level_sets_mw: Option<Vec<Vec<f64>>>,
 }
 
+impl AxesSpec {
+    /// Lower the fixed grid onto the general axis list.
+    pub fn lower(&self) -> Vec<Axis> {
+        let mut axes = Vec::new();
+        if let Some(v) = &self.loads_kbps {
+            axes.push(Axis::Load { values: v.clone() });
+        }
+        if let Some(v) = &self.node_counts {
+            axes.push(Axis::Nodes { values: v.clone() });
+        }
+        if let Some(v) = &self.power_level_sets_mw {
+            axes.push(Axis::PowerLevels { sets_mw: v.clone() });
+        }
+        if let Some(v) = &self.variants {
+            axes.push(Axis::Variants { values: v.clone() });
+        }
+        axes
+    }
+}
+
+/// One sweep dimension of a campaign. The cross-product of every axis's
+/// values (first axis outermost) drives the expansion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Axis {
+    /// Aggregate offered load (kbps).
+    Load {
+        /// The load points.
+        values: Vec<f64>,
+    },
+    /// Node count (density sweeps).
+    Nodes {
+        /// The node counts.
+        values: Vec<usize>,
+    },
+    /// MAC variant under test.
+    Variants {
+        /// The protocols to compare.
+        values: Vec<Variant>,
+    },
+    /// Discrete transmit power-level set.
+    PowerLevels {
+        /// One level set (mW, strictly increasing) per axis value.
+        sets_mw: Vec<Vec<f64>>,
+    },
+    /// Generic typed patch: a dotted path into the scenario's parameter
+    /// surface (see [`crate::spec::PATCH_PATHS`]) and the values to sweep
+    /// it over, e.g. `{"path": "mac.pcmac.safety_factor",
+    /// "values": [0.5, 0.7, 0.9, 1.0]}`.
+    Patch {
+        /// Dotted parameter path.
+        path: String,
+        /// Raw JSON values, type-checked against the target field.
+        values: Vec<Value>,
+    },
+}
+
+impl Axis {
+    /// Number of values on this axis.
+    pub fn len(&self) -> usize {
+        match self {
+            Axis::Load { values } => values.len(),
+            Axis::Nodes { values } => values.len(),
+            Axis::Variants { values } => values.len(),
+            Axis::PowerLevels { sets_mw } => sets_mw.len(),
+            Axis::Patch { values, .. } => values.len(),
+        }
+    }
+
+    /// `true` when the axis has no values (always a spec defect).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical parameter path this axis sweeps — the identity
+    /// used to detect two axes fighting over one knob (a first-class
+    /// axis and the equivalent `Patch` path share it).
+    pub fn knob(&self) -> &str {
+        match self {
+            Axis::Load { .. } => "traffic.offered_load_kbps",
+            Axis::Nodes { .. } => "nodes.count",
+            Axis::Variants { .. } => "variant",
+            Axis::PowerLevels { .. } => "power_levels_mw",
+            Axis::Patch { path, .. } => path,
+        }
+    }
+
+    /// Display label: the axis kind, plus the path for patch axes.
+    pub fn label(&self) -> String {
+        match self {
+            Axis::Load { .. } => "Load".into(),
+            Axis::Nodes { .. } => "Nodes".into(),
+            Axis::Variants { .. } => "Variants".into(),
+            Axis::PowerLevels { .. } => "PowerLevels".into(),
+            Axis::Patch { path, .. } => format!("Patch `{path}`"),
+        }
+    }
+
+    fn validate(&self, base: &ScenarioSpec, base_ok: bool, problems: &mut Vec<String>) {
+        if self.is_empty() {
+            problems.push(format!("{} axis is empty", self.label()));
+            return;
+        }
+        match self {
+            Axis::Load { values } => {
+                for l in values {
+                    if !l.is_finite() || *l <= 0.0 {
+                        problems.push(format!("load {l} kbps must be positive and finite"));
+                    }
+                }
+            }
+            Axis::Nodes { values } => {
+                if values.iter().any(|c| *c < 2) {
+                    problems.push("node counts must be at least 2".into());
+                }
+                if matches!(
+                    base.nodes.placement,
+                    PlacementSpec::Density { .. } | PlacementSpec::Explicit { .. }
+                ) {
+                    problems.push(
+                        "Nodes axis conflicts with a placement that implies its own count".into(),
+                    );
+                }
+            }
+            Axis::Variants { .. } => {}
+            Axis::PowerLevels { sets_mw } => {
+                validate_level_sets(sets_mw, problems);
+            }
+            Axis::Patch { path, values } => {
+                // Type-check every value by applying it to a scratch copy
+                // of the base; when the base itself is valid, also catch
+                // semantically-bad values (negative safety factor, …)
+                // here rather than at expansion time.
+                for (i, v) in values.iter().enumerate() {
+                    let mut probe = base.clone();
+                    match probe.apply_patch(path, v) {
+                        Err(e) => {
+                            problems.extend(
+                                e.problems
+                                    .into_iter()
+                                    .map(|p| format!("axis `{path}` value {i}: {p}")),
+                            );
+                            // An unknown path fails identically for every
+                            // value; one report suffices.
+                            break;
+                        }
+                        Ok(()) => {
+                            if base_ok {
+                                if let Err(e) = probe.validate() {
+                                    problems.extend(
+                                        e.problems
+                                            .into_iter()
+                                            .map(|p| format!("axis `{path}` value {i}: {p}")),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Apply value `idx` of this axis to `spec`. Patch-axis coordinates
+    /// are also recorded in `patches` so the grid point's key names them.
+    fn apply(
+        &self,
+        idx: usize,
+        spec: &mut ScenarioSpec,
+        patches: &mut Vec<(String, Value)>,
+    ) -> Result<(), SpecError> {
+        match self {
+            Axis::Load { values } => spec.traffic.offered_load_kbps = values[idx],
+            Axis::Nodes { values } => spec.nodes.count = Some(values[idx]),
+            Axis::Variants { values } => spec.variant = values[idx],
+            Axis::PowerLevels { sets_mw } => spec.power_levels_mw = Some(sets_mw[idx].clone()),
+            Axis::Patch { path, values } => {
+                spec.apply_patch(path, &values[idx])?;
+                patches.push((path.clone(), values[idx].clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_level_sets(sets: &[Vec<f64>], problems: &mut Vec<String>) {
+    for (i, levels) in sets.iter().enumerate() {
+        if levels.is_empty() {
+            problems.push(format!("power level set {i} is empty"));
+        } else if levels.iter().any(|l| !l.is_finite() || *l <= 0.0) {
+            problems.push(format!(
+                "power level set {i} must be all-positive and finite (mW)"
+            ));
+        } else if levels.windows(2).any(|w| w[0] >= w[1]) {
+            problems.push(format!("power level set {i} must be strictly increasing"));
+        }
+    }
+}
+
 /// A declarative campaign: base spec × axes × seeds.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignSpec {
@@ -34,12 +249,18 @@ pub struct CampaignSpec {
     /// The scenario every grid point starts from.
     pub base: ScenarioSpec,
     /// Override the base spec's duration (s) for every run — shrinking a
-    /// published campaign for smoke tests without editing the base.
+    /// published campaign for smoke tests without editing the base. It
+    /// replaces the *base* duration before the axes apply, so an
+    /// explicit `duration_s` Patch axis still wins.
     pub duration_s: Option<f64>,
     /// Seeds run (and later averaged) per grid point.
     pub seeds: Vec<u64>,
-    /// Sweep axes.
-    pub axes: AxesSpec,
+    /// Legacy fixed sweep grid (sugar; lowered onto axes first).
+    pub axes: Option<AxesSpec>,
+    /// General sweep axes, appended after the lowered legacy grid. Each
+    /// axis multiplies the grid; [`Axis::Patch`] reaches any knob on the
+    /// [`crate::spec::PATCH_PATHS`] surface.
+    pub sweep: Option<Vec<Axis>>,
 }
 
 /// The coordinates of one grid point.
@@ -51,8 +272,45 @@ pub struct PointKey {
     pub load_kbps: f64,
     /// Node count.
     pub node_count: usize,
-    /// Power-level set (mW), when that axis is swept.
+    /// Power-level set (mW) of the point's spec, when it overrides the
+    /// paper's ten classes.
     pub power_levels_mw: Option<Vec<f64>>,
+    /// Generic patch-axis coordinates `(path, value)` in axis order;
+    /// `None` when the campaign sweeps no patch axes.
+    pub patches: Option<Vec<(String, Value)>>,
+}
+
+impl PointKey {
+    /// The swept patch knobs as `name=value` pairs (`-` when none) — the
+    /// column that distinguishes rows of a patch-axis campaign.
+    pub fn patches_label(&self) -> String {
+        match &self.patches {
+            None => "-".into(),
+            Some(ps) => ps
+                .iter()
+                .map(|(path, v)| {
+                    let knob = path.rsplit('.').next().unwrap_or(path);
+                    format!("{knob}={}", value_str(v))
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+        }
+    }
+
+    /// Human-readable point label: the protocol plus any swept knobs.
+    pub fn label(&self) -> String {
+        match &self.patches {
+            None => self.variant.clone(),
+            Some(_) => format!("{} {}", self.variant, self.patches_label()),
+        }
+    }
+}
+
+fn value_str(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => serde_json::to_string(other).unwrap_or_else(|_| format!("{other:?}")),
+    }
 }
 
 /// One grid point: its coordinates and one concrete scenario per seed.
@@ -66,14 +324,83 @@ pub struct CampaignPoint {
     pub scenarios: Vec<ScenarioConfig>,
 }
 
+/// One cell of an expanded grid: the point's coordinates and its fully
+/// patched (but not yet materialized) spec.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Grid coordinates.
+    pub key: PointKey,
+    /// The base spec with every axis value and the campaign duration
+    /// override applied. Validated at grid-build time.
+    pub spec: ScenarioSpec,
+}
+
+/// The expanded-but-unmaterialized form of a campaign: one [`GridCell`]
+/// per point. Holding specs instead of `(point × seed)` configs keeps
+/// memory O(points); [`CampaignGrid::scenarios`] materializes runs
+/// on demand.
+#[derive(Debug, Clone)]
+pub struct CampaignGrid {
+    /// Seeds run per cell.
+    pub seeds: Vec<u64>,
+    /// Grid cells in expansion order (first axis outermost).
+    pub cells: Vec<GridCell>,
+}
+
+impl CampaignGrid {
+    /// Number of grid points.
+    pub fn point_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total runs (points × seeds).
+    pub fn run_count(&self) -> usize {
+        self.cells.len() * self.seeds.len()
+    }
+
+    /// Lazily materialize every `(cell × seed)` scenario, point-major and
+    /// seed-minor — the stream [`pcmac::run_parallel_iter`] consumes.
+    ///
+    /// # Panics
+    /// Every cell spec was validated when the grid was built, so a
+    /// materialization failure here is a validator/materializer
+    /// disagreement — a bug, reported with the cell's full problem list.
+    pub fn scenarios(&self) -> impl Iterator<Item = ScenarioConfig> + '_ {
+        self.cells.iter().flat_map(move |cell| {
+            self.seeds.iter().map(move |&seed| {
+                cell.spec.materialize(seed).unwrap_or_else(|e| {
+                    panic!(
+                        "grid cell `{}` failed to materialize after validating: {e}",
+                        cell.key.label()
+                    )
+                })
+            })
+        })
+    }
+}
+
 impl CampaignSpec {
-    /// Check the campaign (base spec, seeds, axis values) with actionable
+    /// Every sweep dimension in expansion order: the lowered legacy grid
+    /// first, then the general `sweep` axes.
+    pub fn axes_list(&self) -> Vec<Axis> {
+        let mut axes = self.axes.as_ref().map(AxesSpec::lower).unwrap_or_default();
+        if let Some(sweep) = &self.sweep {
+            axes.extend(sweep.iter().cloned());
+        }
+        axes
+    }
+
+    /// Check the campaign (base spec, seeds, every axis) with actionable
     /// messages.
     pub fn validate(&self) -> Result<(), SpecError> {
         let mut problems = Vec::new();
-        if let Err(e) = self.base.validate() {
-            problems.extend(e.problems.into_iter().map(|p| format!("base: {p}")));
-        }
+        let base_ok = match self.base.validate() {
+            Ok(()) => true,
+            Err(e) => {
+                problems.extend(e.problems.into_iter().map(|p| format!("base: {p}")));
+                false
+            }
+        };
         if self.seeds.is_empty() {
             problems.push("campaign has no seeds".into());
         }
@@ -89,52 +416,72 @@ impl CampaignSpec {
                 ));
             }
         }
-        if let Some(loads) = &self.axes.loads_kbps {
-            if loads.is_empty() {
-                problems.push("loads_kbps axis is empty".into());
-            }
-            for l in loads {
-                if !l.is_finite() || *l <= 0.0 {
-                    problems.push(format!("load {l} kbps must be positive and finite"));
+        // Legacy-grid defects keep their historical messages.
+        if let Some(axes) = &self.axes {
+            if let Some(loads) = &axes.loads_kbps {
+                if loads.is_empty() {
+                    problems.push("loads_kbps axis is empty".into());
+                }
+                for l in loads {
+                    if !l.is_finite() || *l <= 0.0 {
+                        problems.push(format!("load {l} kbps must be positive and finite"));
+                    }
                 }
             }
-        }
-        if let Some(counts) = &self.axes.node_counts {
-            if counts.is_empty() {
-                problems.push("node_counts axis is empty".into());
-            }
-            if counts.iter().any(|c| *c < 2) {
-                problems.push("node counts must be at least 2".into());
-            }
-            if matches!(
-                self.base.nodes.placement,
-                crate::spec::PlacementSpec::Density { .. }
-                    | crate::spec::PlacementSpec::Explicit { .. }
-            ) {
-                problems.push(
-                    "node_counts axis conflicts with a placement that implies its own count".into(),
-                );
-            }
-        }
-        if let Some(vs) = &self.axes.variants {
-            if vs.is_empty() {
-                problems.push("variants axis is empty".into());
-            }
-        }
-        if let Some(sets) = &self.axes.power_level_sets_mw {
-            if sets.is_empty() {
-                problems.push("power_level_sets_mw axis is empty".into());
-            }
-            for (i, levels) in sets.iter().enumerate() {
-                if levels.is_empty() {
-                    problems.push(format!("power level set {i} is empty"));
-                } else if levels.iter().any(|l| !l.is_finite() || *l <= 0.0) {
-                    problems.push(format!(
-                        "power level set {i} must be all-positive and finite (mW)"
-                    ));
-                } else if levels.windows(2).any(|w| w[0] >= w[1]) {
-                    problems.push(format!("power level set {i} must be strictly increasing"));
+            if let Some(counts) = &axes.node_counts {
+                if counts.is_empty() {
+                    problems.push("node_counts axis is empty".into());
                 }
+                if counts.iter().any(|c| *c < 2) {
+                    problems.push("node counts must be at least 2".into());
+                }
+                if matches!(
+                    self.base.nodes.placement,
+                    PlacementSpec::Density { .. } | PlacementSpec::Explicit { .. }
+                ) {
+                    problems.push(
+                        "node_counts axis conflicts with a placement that implies its own count"
+                            .into(),
+                    );
+                }
+            }
+            if let Some(vs) = &axes.variants {
+                if vs.is_empty() {
+                    problems.push("variants axis is empty".into());
+                }
+            }
+            if let Some(sets) = &axes.power_level_sets_mw {
+                if sets.is_empty() {
+                    problems.push("power_level_sets_mw axis is empty".into());
+                }
+                validate_level_sets(sets, &mut problems);
+            }
+        }
+        if let Some(sweep) = &self.sweep {
+            for axis in sweep {
+                axis.validate(&self.base, base_ok, &mut problems);
+            }
+        }
+        // Two axes sweeping the same knob would produce duplicate points
+        // whose keys collide (the later axis value silently wins). The
+        // comparison is by *target knob*, not label, so a first-class
+        // axis and its Patch-path equivalent (e.g. `Load` and
+        // `traffic.offered_load_kbps`) collide too.
+        let axes = self.axes_list();
+        let mut seen: Vec<&str> = Vec::new();
+        for axis in &axes {
+            let knob = axis.knob();
+            if seen.contains(&knob) {
+                problems.push(format!(
+                    "axes {} sweep the same knob `{knob}`; merge their values into one axis",
+                    axes.iter()
+                        .filter(|a| a.knob() == knob)
+                        .map(Axis::label)
+                        .collect::<Vec<_>>()
+                        .join(" and ")
+                ));
+            } else {
+                seen.push(knob);
             }
         }
         if problems.is_empty() {
@@ -146,11 +493,7 @@ impl CampaignSpec {
 
     /// Number of grid points (before seeds).
     pub fn point_count(&self) -> usize {
-        let axis = |n: Option<usize>| n.unwrap_or(1).max(1);
-        axis(self.axes.loads_kbps.as_ref().map(Vec::len))
-            * axis(self.axes.node_counts.as_ref().map(Vec::len))
-            * axis(self.axes.variants.as_ref().map(Vec::len))
-            * axis(self.axes.power_level_sets_mw.as_ref().map(Vec::len))
+        self.axes_list().iter().map(|a| a.len().max(1)).product()
     }
 
     /// Total runs the campaign will execute.
@@ -158,65 +501,79 @@ impl CampaignSpec {
         self.point_count() * self.seeds.len()
     }
 
-    /// Expand the grid: for every (load × count × level-set × variant)
-    /// cell, materialize the base spec at each seed. Every materialized
-    /// scenario is validated; the first defective cell aborts the
-    /// expansion with its full problem list.
-    pub fn expand(&self) -> Result<Vec<CampaignPoint>, SpecError> {
+    /// Expand the axes into the grid skeleton: validate, take the
+    /// cross-product of every axis (first axis outermost), apply each
+    /// combination to a copy of the base spec, and validate every cell.
+    /// No scenario is materialized; use [`CampaignGrid::scenarios`] (lazy)
+    /// or [`CampaignSpec::expand_vec`] (eager).
+    pub fn grid(&self) -> Result<CampaignGrid, SpecError> {
         self.validate()?;
-        let one_load = [self.base.traffic.offered_load_kbps];
-        let loads = self.axes.loads_kbps.as_deref().unwrap_or(&one_load);
-        let base_count = self.base.node_count()?;
-        let one_count = [base_count];
-        let counts = self.axes.node_counts.as_deref().unwrap_or(&one_count);
-        let one_variant = [self.base.variant];
-        let variants = self.axes.variants.as_deref().unwrap_or(&one_variant);
-        // `None` for "whatever the base spec says" (usually the paper's
-        // ten classes).
-        let level_sets: Vec<Option<&Vec<f64>>> = match &self.axes.power_level_sets_mw {
-            Some(sets) => sets.iter().map(Some).collect(),
-            None => vec![None],
-        };
+        let axes = self.axes_list();
+        let lens: Vec<usize> = axes.iter().map(Axis::len).collect();
+        let total: usize = lens.iter().product();
 
-        let mut points = Vec::with_capacity(self.point_count());
-        for &load in loads {
-            for &count in counts {
-                for levels in &level_sets {
-                    for &variant in variants {
-                        let mut spec = self.base.clone();
-                        spec.traffic.offered_load_kbps = load;
-                        spec.variant = variant;
-                        if !matches!(
-                            spec.nodes.placement,
-                            crate::spec::PlacementSpec::Density { .. }
-                                | crate::spec::PlacementSpec::Explicit { .. }
-                        ) {
-                            spec.nodes.count = Some(count);
-                        }
-                        if let Some(levels) = levels {
-                            spec.power_levels_mw = Some((*levels).clone());
-                        }
-                        if let Some(d) = self.duration_s {
-                            spec.duration_s = d;
-                        }
-                        let scenarios: Vec<ScenarioConfig> = self
-                            .seeds
-                            .iter()
-                            .map(|&seed| spec.materialize(seed))
-                            .collect::<Result<_, _>>()?;
-                        points.push(CampaignPoint {
-                            key: PointKey {
-                                variant: variant.name().to_string(),
-                                load_kbps: load,
-                                node_count: count,
-                                power_levels_mw: levels.map(|l| (*l).clone()),
-                            },
-                            seeds: self.seeds.clone(),
-                            scenarios,
-                        });
-                    }
-                }
+        let mut cells = Vec::with_capacity(total);
+        let mut idx = vec![0usize; axes.len()];
+        for mut n in 0..total {
+            for (k, &len) in lens.iter().enumerate().rev() {
+                idx[k] = n % len;
+                n /= len;
             }
+            let mut spec = self.base.clone();
+            // The campaign-level duration override replaces the *base*
+            // duration, so it applies before the axes: an explicit
+            // `duration_s` Patch axis wins over it, keeping every
+            // point's key truthful about what actually ran.
+            if let Some(d) = self.duration_s {
+                spec.duration_s = d;
+            }
+            let mut patches = Vec::new();
+            for (axis, &i) in axes.iter().zip(&idx) {
+                axis.apply(i, &mut spec, &mut patches)?;
+            }
+            let node_count = spec.node_count()?;
+            let key = PointKey {
+                variant: spec.variant.name().to_string(),
+                load_kbps: spec.traffic.offered_load_kbps,
+                node_count,
+                power_levels_mw: spec.power_levels_mw.clone(),
+                patches: (!patches.is_empty()).then_some(patches),
+            };
+            if let Err(e) = spec.validate() {
+                return Err(SpecError {
+                    problems: e
+                        .problems
+                        .into_iter()
+                        .map(|p| format!("grid cell `{}`: {p}", key.label()))
+                        .collect(),
+                });
+            }
+            cells.push(GridCell { key, spec });
+        }
+        Ok(CampaignGrid {
+            seeds: self.seeds.clone(),
+            cells,
+        })
+    }
+
+    /// Eagerly materialize the whole grid: one [`CampaignPoint`] per
+    /// cell, holding one [`ScenarioConfig`] per seed. Convenient for the
+    /// CLI's `expand` subcommand and for parity tests; prefer
+    /// [`CampaignSpec::grid`] + [`CampaignGrid::scenarios`] for running.
+    pub fn expand_vec(&self) -> Result<Vec<CampaignPoint>, SpecError> {
+        let grid = self.grid()?;
+        let mut points = Vec::with_capacity(grid.cells.len());
+        for cell in &grid.cells {
+            let scenarios: Vec<ScenarioConfig> = grid
+                .seeds
+                .iter()
+                .map(|&seed| cell.spec.materialize(seed))
+                .collect::<Result<_, _>>()?;
+            points.push(CampaignPoint {
+                key: cell.key.clone(),
+                seeds: grid.seeds.clone(),
+                scenarios,
+            });
         }
         Ok(points)
     }

@@ -1,0 +1,130 @@
+//! Typed command-line flag parsing shared by every binary in the
+//! workspace (`pcmac-campaign` and the `pcmac-bench` figure/ablation
+//! drivers, which re-export these helpers).
+//!
+//! The pre-redesign binaries funnelled all flags through one `f64`
+//! grabber (`grab("--seed", 1.0) as u64`), silently truncating
+//! fractional input and any seed above 2⁵³, and list parsers dropped
+//! unparseable elements with `filter_map`. These helpers parse the
+//! target type directly and treat a present-but-malformed value as an
+//! error.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// The raw value following `--flag`, if the flag is present.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Typed parse of `--flag value`. `Ok(None)` when the flag is absent;
+/// `Err` naming the flag when its value is missing or malformed.
+pub fn try_flag<T: FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: Display,
+{
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let Some(v) = args.get(i + 1) else {
+        return Err(format!("{flag} expects a value"));
+    };
+    v.parse().map(Some).map_err(|e| format!("{flag} {v}: {e}"))
+}
+
+/// Typed parse of a comma-separated `--flag a,b,c` list. Rejects empty
+/// lists and unparseable elements instead of silently dropping them.
+pub fn try_flag_list<T: FromStr>(args: &[String], flag: &str) -> Result<Option<Vec<T>>, String>
+where
+    T::Err: Display,
+{
+    let Some(raw) = flag_value(args, flag) else {
+        if args.iter().any(|a| a == flag) {
+            return Err(format!("{flag} expects a comma-separated list"));
+        }
+        return Ok(None);
+    };
+    let items: Vec<T> = raw
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|e| format!("{flag} `{s}`: {e}")))
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err(format!("{flag} list is empty"));
+    }
+    Ok(Some(items))
+}
+
+/// Exit cleanly (status 2) with the parse error — the binaries' shared
+/// failure mode for malformed flags.
+fn exit_on_flag_error<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|msg| {
+        eprintln!("invalid command line: {msg}");
+        std::process::exit(2);
+    })
+}
+
+/// [`try_flag`] with a default, exiting (status 2) on malformed input.
+pub fn flag_or<T: FromStr>(args: &[String], flag: &str, default: T) -> T
+where
+    T::Err: Display,
+{
+    exit_on_flag_error(try_flag(args, flag)).unwrap_or(default)
+}
+
+/// [`try_flag`] as an optional override, exiting (status 2) on
+/// malformed input.
+pub fn flag_opt<T: FromStr>(args: &[String], flag: &str) -> Option<T>
+where
+    T::Err: Display,
+{
+    exit_on_flag_error(try_flag(args, flag))
+}
+
+/// [`try_flag_list`] with a default, exiting (status 2) on malformed
+/// input.
+pub fn flag_list_or<T: FromStr>(args: &[String], flag: &str, default: Vec<T>) -> Vec<T>
+where
+    T::Err: Display,
+{
+    exit_on_flag_error(try_flag_list(args, flag)).unwrap_or(default)
+}
+
+/// Campaign names as artifact-file stems: every character outside
+/// ASCII alphanumerics becomes `_`, so `CAMPAIGN_<sanitize(name)>.json`
+/// is always a safe path component.
+pub fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flag_is_none_not_error() {
+        assert_eq!(try_flag::<u64>(&args("--other 3"), "--seed").unwrap(), None);
+        assert_eq!(try_flag_list::<f64>(&args(""), "--loads").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_values_error() {
+        assert!(try_flag::<u64>(&args("--seed 1.5"), "--seed").is_err());
+        assert!(try_flag::<u64>(&args("--seed"), "--seed").is_err());
+        assert!(try_flag_list::<f64>(&args("--loads 1,x"), "--loads").is_err());
+    }
+
+    #[test]
+    fn sanitize_keeps_alphanumerics_only() {
+        assert_eq!(sanitize("ablation-safety/факт"), "ablation_safety_____");
+        assert_eq!(sanitize("fig8"), "fig8");
+    }
+}

@@ -6,38 +6,52 @@
 //! * [`ScenarioSpec`] — one JSON-loadable scenario: a placement from the
 //!   `pcmac-mobility` generator library (uniform, density, grid, chain,
 //!   ring, clustered hotspots, corridor, explicit points), optional
-//!   random-waypoint mobility, and a traffic block whose arrival process
-//!   can be any `pcmac-traffic` source (CBR, Poisson, on/off).
-//!   [`ScenarioSpec::materialize`] turns it into a seeded, validated
-//!   [`pcmac::ScenarioConfig`].
-//! * [`CampaignSpec`] — a base spec expanded across parameter grids
-//!   (offered load × node count × variant × power-level set) × a seed
-//!   list into concrete runs.
-//! * [`run_campaign`] — executes the expansion through the parallel
-//!   driver and collapses each grid point's seeds into mean / stddev /
-//!   95% confidence interval per metric ([`CampaignReport`], written as
-//!   the machine-readable `CAMPAIGN_*.json` artifact).
+//!   random-waypoint mobility, a traffic block whose arrival process
+//!   can be any `pcmac-traffic` source (CBR, Poisson, on/off), and
+//!   optional [`ProtocolSpec`] / [`RadioSpec`] / [`AodvSpec`] overlays
+//!   covering the full MAC / radio / routing parameter surface (the
+//!   PCMAC safety factor, control-channel rate, handshake arity, capture
+//!   policy, thresholds, AODV timers — everything defaults to the
+//!   paper's values). [`ScenarioSpec::materialize`] turns it into a
+//!   seeded, validated [`pcmac::ScenarioConfig`].
+//! * [`CampaignSpec`] — a base spec expanded across named sweep axes
+//!   ([`Axis`]): first-class load / node-count / variant / power-level
+//!   axes plus generic typed patches over dotted parameter paths
+//!   ([`spec::PATCH_PATHS`], e.g. `mac.pcmac.safety_factor`), times a
+//!   seed list. The historical fixed grid ([`AxesSpec`]) lowers onto
+//!   axes, so old spec files expand unchanged.
+//! * [`run_campaign`] — expands lazily ([`CampaignSpec::grid`] +
+//!   [`campaign::CampaignGrid::scenarios`] feed the parallel driver's
+//!   bounded work channel directly, so huge campaigns never hold the
+//!   whole expansion in memory) and collapses each grid point's seeds
+//!   into mean / stddev / 95% confidence interval per metric
+//!   ([`CampaignReport`], written as the machine-readable
+//!   `CAMPAIGN_*.json` artifact).
 //!
 //! The `pcmac-campaign` binary drives all of this from the command line:
 //!
 //! ```text
 //! pcmac-campaign run examples/paper_load_sweep.json --out CAMPAIGN.json
+//! pcmac-campaign run examples/ablation_safety_factor.json
 //! pcmac-campaign expand <spec.json>     # show the grid without running
 //! pcmac-campaign validate <spec.json>   # actionable errors, exit code
 //! pcmac-campaign scenario <spec.json>   # run a single ScenarioSpec
 //! pcmac-campaign example                # print a starter campaign spec
 //! ```
 //!
-//! Adding a new workload is now a JSON file, not a Rust constructor.
+//! Adding a new workload — or a new design ablation — is a JSON file,
+//! not a Rust constructor.
 
 pub mod aggregate;
 pub mod campaign;
+pub mod cli;
 pub mod runner;
 pub mod spec;
 
 pub use aggregate::{CampaignReport, MetricSummary, PointSummary};
-pub use campaign::{AxesSpec, CampaignPoint, CampaignSpec, PointKey};
+pub use campaign::{AxesSpec, Axis, CampaignGrid, CampaignPoint, CampaignSpec, GridCell, PointKey};
 pub use runner::{run_campaign, CampaignOutcome};
 pub use spec::{
-    MobilitySpec, NodesSpec, PlacementSpec, ScenarioSpec, SpecError, TrafficPattern, TrafficSpec,
+    AodvSpec, MobilitySpec, NodesSpec, PlacementSpec, ProtocolSpec, RadioSpec, ScenarioSpec,
+    SpecError, TrafficPattern, TrafficSpec, PATCH_PATHS,
 };

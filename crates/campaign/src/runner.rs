@@ -1,6 +1,6 @@
-//! The campaign runner: expand → run in parallel → aggregate.
+//! The campaign runner: expand lazily → run in parallel → aggregate.
 
-use pcmac::{run_parallel, RunReport};
+use pcmac::{run_parallel_iter, RunReport};
 
 use crate::aggregate::{CampaignReport, PointSummary};
 use crate::campaign::CampaignSpec;
@@ -19,28 +19,24 @@ pub struct CampaignOutcome {
     pub runs: Vec<RunReport>,
 }
 
-/// Expand `spec` into its full grid, execute every run through the
-/// parallel driver (`threads == 0` means one per core), and aggregate
-/// each point's seeds with mean / stddev / 95% CI per metric.
+/// Expand `spec` into its grid skeleton, stream each `(point × seed)`
+/// scenario into the parallel driver's bounded work channel as it is
+/// materialized (`threads == 0` means one per core) — runs start before
+/// the expansion finishes, and at most a handful of configs exist at any
+/// moment — then aggregate each point's seeds with mean / stddev / 95%
+/// CI per metric.
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignOutcome, SpecError> {
-    let mut points = spec.expand()?;
-    let per_point = spec.seeds.len();
+    let grid = spec.grid()?;
+    let per_point = grid.seeds.len();
+    let duration_s = grid.cells.first().map(|c| c.spec.duration_s).unwrap_or(0.0);
+    let runs = run_parallel_iter(grid.scenarios(), threads);
 
-    // Move, don't clone: a large campaign's expansion should exist once.
-    let scenarios: Vec<_> = points
-        .iter_mut()
-        .flat_map(|p| std::mem::take(&mut p.scenarios))
-        .collect();
-    let duration_s = scenarios
-        .first()
-        .map(|c| c.duration.as_secs_f64())
-        .unwrap_or(0.0);
-    let runs = run_parallel(scenarios, threads);
-
-    let summaries: Vec<PointSummary> = points
+    let seeds = grid.seeds;
+    let summaries: Vec<PointSummary> = grid
+        .cells
         .into_iter()
         .zip(runs.chunks(per_point))
-        .map(|(p, reports)| PointSummary::from_reports(p.key, p.seeds, reports))
+        .map(|(cell, reports)| PointSummary::from_reports(cell.key, seeds.clone(), reports))
         .collect();
 
     Ok(CampaignOutcome {
@@ -85,13 +81,17 @@ mod tests {
                 },
                 power_levels_mw: None,
                 shadowing: None,
+                protocol: None,
+                radio: None,
+                aodv: None,
             },
             duration_s: None,
             seeds: vec![1, 2],
-            axes: AxesSpec {
+            axes: Some(AxesSpec {
                 loads_kbps: Some(vec![50.0, 100.0]),
                 ..AxesSpec::default()
-            },
+            }),
+            sweep: None,
         }
     }
 
@@ -120,10 +120,33 @@ mod tests {
             speed_mps: 2.0,
             pause_s: 1.0,
         });
-        spec.axes.loads_kbps = None;
+        spec.axes = None;
         spec.seeds = vec![3];
         let outcome = run_campaign(&spec, 0).expect("mobile ring runs");
         assert_eq!(outcome.runs.len(), 1);
         assert!(outcome.runs[0].sent_packets > 0);
+    }
+
+    #[test]
+    fn patch_axis_campaign_runs_and_keys_each_point() {
+        use serde::Value;
+        let mut spec = tiny_campaign();
+        spec.base.variant = Variant::Pcmac;
+        spec.axes = None;
+        spec.seeds = vec![1];
+        spec.sweep = Some(vec![crate::Axis::Patch {
+            path: "mac.pcmac.safety_factor".into(),
+            values: vec![Value::F64(0.5), Value::F64(0.9)],
+        }]);
+        let outcome = run_campaign(&spec, 0).expect("patch sweep runs");
+        assert_eq!(outcome.runs.len(), 2);
+        assert_eq!(outcome.report.points.len(), 2);
+        let labels: Vec<String> = outcome
+            .report
+            .points
+            .iter()
+            .map(|p| p.key.patches_label())
+            .collect();
+        assert_eq!(labels, vec!["safety_factor=0.5", "safety_factor=0.9"]);
     }
 }

@@ -12,13 +12,22 @@
 //! `RandomPairs` path reproduces [`ScenarioConfig::paper`] bit for bit,
 //! so spec-driven sweeps extend the constructor-built figures instead of
 //! forking them.
+//!
+//! The *entire* [`ScenarioConfig`] surface is declarative: the optional
+//! [`ProtocolSpec`] / [`RadioSpec`] / [`AodvSpec`] sections overlay the
+//! MAC (including the PCMAC §III knobs: safety factor, capture ratio,
+//! control-channel rate, handshake arity), radio (thresholds, capture
+//! policy), and AODV parameters on top of the paper defaults. Campaign
+//! sweep axes reach every one of those knobs through
+//! [`ScenarioSpec::apply_patch`] and its dotted [`PATCH_PATHS`].
 
 use pcmac::{FlowShape, FlowSpec, NodeSetup, ScenarioConfig, ShadowingConfig, Variant};
+use pcmac_aodv::AodvConfig;
 use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
 use pcmac_mac::MacConfig;
 use pcmac_mobility::placement;
 use pcmac_phy::{CapturePolicy, PowerLevels, RadioConfig};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Everything wrong with a spec, found in one pass.
 #[derive(Debug, Clone)]
@@ -157,6 +166,274 @@ pub struct TrafficSpec {
     pub shape: FlowShape,
 }
 
+/// Overlay on the MAC configuration, covering the PCMAC §III knobs the
+/// paper's arguments are made of. Every field is optional; `None` keeps
+/// [`MacConfig::paper_default`], so existing spec files stay valid.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolSpec {
+    /// Redundancy coefficient on the advertised noise tolerance
+    /// (paper: 0.7).
+    pub safety_factor: Option<f64>,
+    /// Capture threshold η_cp used in the tolerance computation
+    /// (paper: 10).
+    pub capture_ratio: Option<f64>,
+    /// Power-control channel bandwidth in bit/s (paper: 500 000).
+    pub ctrl_rate_bps: Option<u64>,
+    /// Power-history entry lifetime in seconds (paper: 3).
+    pub history_expiry_s: Option<f64>,
+    /// Cap on implicit-ack retransmissions of one stored packet.
+    pub max_retx: Option<u8>,
+    /// Keep the ACK (four-way handshake) even under PCMAC — the
+    /// handshake-arity ablation. The paper's protocol uses `false`.
+    pub four_way_handshake: Option<bool>,
+    /// Interface queue capacity (ns-2: 50).
+    pub queue_capacity: Option<usize>,
+    /// dot11RTSThreshold in bytes (paper/ns-2: 0 — RTS for everything).
+    pub rts_threshold: Option<u32>,
+}
+
+impl ProtocolSpec {
+    pub(crate) fn apply(&self, mac: &mut MacConfig) {
+        if let Some(v) = self.safety_factor {
+            mac.pcmac.safety_factor = v;
+        }
+        if let Some(v) = self.capture_ratio {
+            mac.pcmac.capture_ratio = v;
+        }
+        if let Some(v) = self.ctrl_rate_bps {
+            mac.pcmac.ctrl_rate_bps = v;
+        }
+        if let Some(v) = self.history_expiry_s {
+            mac.pcmac.history_expiry = Duration::from_secs_f64(v);
+        }
+        if let Some(v) = self.max_retx {
+            mac.pcmac.max_retx = v;
+        }
+        if let Some(v) = self.four_way_handshake {
+            mac.pcmac.four_way_handshake = v;
+        }
+        if let Some(v) = self.queue_capacity {
+            mac.queue_capacity = v;
+        }
+        if let Some(v) = self.rts_threshold {
+            mac.rts_threshold = v;
+        }
+    }
+
+    fn validate(&self, problems: &mut Vec<String>) {
+        if let Some(v) = self.safety_factor {
+            if !v.is_finite() || v <= 0.0 {
+                problems.push(format!(
+                    "PCMAC safety factor {v} must be positive and finite"
+                ));
+            }
+        }
+        if let Some(v) = self.capture_ratio {
+            if v.is_nan() || v < 1.0 {
+                problems.push(format!("PCMAC capture ratio {v} must be at least 1"));
+            }
+        }
+        if self.ctrl_rate_bps == Some(0) {
+            problems.push("control channel rate is zero".into());
+        }
+        if let Some(v) = self.history_expiry_s {
+            if !v.is_finite() || v <= 0.0 {
+                problems.push(format!(
+                    "power history expiry {v} s must be positive and finite"
+                ));
+            }
+        }
+        if self.queue_capacity == Some(0) {
+            problems.push("interface queue capacity is zero".into());
+        }
+    }
+}
+
+/// Overlay on the radio configuration (thresholds and capture model).
+/// `None` keeps the ns-2 defaults with the paper's pairwise start-only
+/// capture policy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RadioSpec {
+    /// Decode threshold in mW (ns-2 `RXThresh`, 3.652e-7). Applied to
+    /// both the radio and the MAC's needed-power computation, which must
+    /// agree for power control to close the loop.
+    pub rx_thresh_mw: Option<f64>,
+    /// Carrier-sense threshold in mW (ns-2 `CSThresh`, 1.559e-8).
+    pub cs_thresh_mw: Option<f64>,
+    /// Linear SINR required to keep a locked frame (ns-2 `CPThresh`, 10).
+    pub capture_ratio: Option<f64>,
+    /// Receiver noise floor in mW (1e-9).
+    pub noise_floor_mw: Option<f64>,
+    /// Pairwise start-only (ns-2, the paper's model) vs cumulative-SINR
+    /// capture — the capture-policy ablation.
+    pub capture_policy: Option<CapturePolicy>,
+}
+
+impl RadioSpec {
+    pub(crate) fn apply(&self, radio: &mut RadioConfig, mac: &mut MacConfig) {
+        if let Some(v) = self.rx_thresh_mw {
+            radio.rx_thresh = Milliwatts(v);
+            mac.rx_thresh = Milliwatts(v);
+        }
+        if let Some(v) = self.cs_thresh_mw {
+            radio.cs_thresh = Milliwatts(v);
+        }
+        if let Some(v) = self.capture_ratio {
+            radio.capture_ratio = v;
+        }
+        if let Some(v) = self.noise_floor_mw {
+            radio.noise_floor = Milliwatts(v);
+        }
+        if let Some(v) = self.capture_policy {
+            radio.capture_policy = v;
+        }
+    }
+
+    fn validate(&self, problems: &mut Vec<String>) {
+        for (which, v) in [
+            ("decode threshold", self.rx_thresh_mw),
+            ("carrier-sense threshold", self.cs_thresh_mw),
+            ("noise floor", self.noise_floor_mw),
+        ] {
+            if let Some(v) = v {
+                if !v.is_finite() || v <= 0.0 {
+                    problems.push(format!("{which} {v} mW must be positive and finite"));
+                }
+            }
+        }
+        if let Some(v) = self.capture_ratio {
+            if v.is_nan() || v < 1.0 {
+                problems.push(format!("radio capture ratio {v} must be at least 1"));
+            }
+        }
+        // Effective values after the overlay: the decode threshold must
+        // stay above the noise floor or nothing could ever be received.
+        let defaults = RadioConfig::ns2_default();
+        let rx = self.rx_thresh_mw.unwrap_or(defaults.rx_thresh.value());
+        let noise = self.noise_floor_mw.unwrap_or(defaults.noise_floor.value());
+        if rx.is_finite() && noise.is_finite() && rx > 0.0 && noise > 0.0 && rx <= noise {
+            problems.push(format!(
+                "decode threshold {rx} mW must exceed the noise floor {noise} mW"
+            ));
+        }
+    }
+}
+
+/// Overlay on the AODV routing parameters. `None` keeps the CMU ns-2
+/// era defaults ([`AodvConfig::default`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AodvSpec {
+    /// Lifetime of an actively-used route in seconds (10).
+    pub active_route_timeout_s: Option<f64>,
+    /// Duplicate-flood suppression window in seconds (6).
+    pub rreq_cache_timeout_s: Option<f64>,
+    /// Wait for an RREP before retrying a discovery, in seconds (1).
+    pub rreq_wait_s: Option<f64>,
+    /// Discovery attempts before giving up (3).
+    pub rreq_retries: Option<u8>,
+    /// Send-buffer capacity in packets (64).
+    pub buffer_capacity: Option<usize>,
+    /// Maximum send-buffer wait in seconds (30).
+    pub buffer_timeout_s: Option<f64>,
+    /// TTL for flooded RREQs (32).
+    pub rreq_ttl: Option<u8>,
+}
+
+impl AodvSpec {
+    pub(crate) fn apply(&self, aodv: &mut AodvConfig) {
+        if let Some(v) = self.active_route_timeout_s {
+            aodv.active_route_timeout = Duration::from_secs_f64(v);
+        }
+        if let Some(v) = self.rreq_cache_timeout_s {
+            aodv.rreq_cache_timeout = Duration::from_secs_f64(v);
+        }
+        if let Some(v) = self.rreq_wait_s {
+            aodv.rreq_wait = Duration::from_secs_f64(v);
+        }
+        if let Some(v) = self.rreq_retries {
+            aodv.rreq_retries = v;
+        }
+        if let Some(v) = self.buffer_capacity {
+            aodv.buffer_capacity = v;
+        }
+        if let Some(v) = self.buffer_timeout_s {
+            aodv.buffer_timeout = Duration::from_secs_f64(v);
+        }
+        if let Some(v) = self.rreq_ttl {
+            aodv.rreq_ttl = v;
+        }
+    }
+
+    fn validate(&self, problems: &mut Vec<String>) {
+        for (which, v) in [
+            ("active route timeout", self.active_route_timeout_s),
+            ("RREQ cache timeout", self.rreq_cache_timeout_s),
+            ("RREQ wait", self.rreq_wait_s),
+            ("buffer timeout", self.buffer_timeout_s),
+        ] {
+            if let Some(v) = v {
+                if !v.is_finite() || v <= 0.0 {
+                    problems.push(format!("AODV {which} {v} s must be positive and finite"));
+                }
+            }
+        }
+        if self.rreq_retries == Some(0) {
+            problems.push("AODV needs at least one RREQ attempt".into());
+        }
+        if self.buffer_capacity == Some(0) {
+            problems.push("AODV send-buffer capacity is zero".into());
+        }
+        if self.rreq_ttl == Some(0) {
+            problems.push("AODV RREQ TTL is zero: floods would die at the source".into());
+        }
+    }
+}
+
+/// Every dotted path [`ScenarioSpec::apply_patch`] accepts — the
+/// sweepable parameter surface of a scenario. Paths mirror the
+/// materialized [`ScenarioConfig`] layout (`mac.pcmac.*`, `radio.*`,
+/// `aodv.*`) plus the spec's own top-level knobs.
+pub const PATCH_PATHS: &[&str] = &[
+    "duration_s",
+    "variant",
+    "field.width",
+    "field.height",
+    "nodes.count",
+    "nodes.mobility.speed_mps",
+    "nodes.mobility.pause_s",
+    "traffic.offered_load_kbps",
+    "traffic.bytes",
+    "power_levels_mw",
+    "shadowing.sigma_db",
+    "shadowing.symmetric",
+    "mac.pcmac.safety_factor",
+    "mac.pcmac.capture_ratio",
+    "mac.pcmac.ctrl_rate_bps",
+    "mac.pcmac.history_expiry_s",
+    "mac.pcmac.max_retx",
+    "mac.pcmac.four_way_handshake",
+    "mac.queue_capacity",
+    "mac.rts_threshold",
+    "radio.rx_thresh_mw",
+    "radio.cs_thresh_mw",
+    "radio.capture_ratio",
+    "radio.noise_floor_mw",
+    "radio.capture_policy",
+    "aodv.active_route_timeout_s",
+    "aodv.rreq_cache_timeout_s",
+    "aodv.rreq_wait_s",
+    "aodv.rreq_retries",
+    "aodv.buffer_capacity",
+    "aodv.buffer_timeout_s",
+    "aodv.rreq_ttl",
+];
+
+/// Deserialize one patch value as the target type, naming the path on
+/// mismatch.
+fn patch_value<T: Deserialize>(path: &str, v: &Value) -> Result<T, SpecError> {
+    T::from_value(v).map_err(|e| SpecError::one(format!("patch `{path}`: {e}")))
+}
+
 /// A declarative scenario: data, not code. Load from JSON, validate,
 /// then [`materialize`](ScenarioSpec::materialize) with a seed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -178,6 +455,14 @@ pub struct ScenarioSpec {
     pub power_levels_mw: Option<Vec<f64>>,
     /// Optional log-normal shadowing (robustness ablations).
     pub shadowing: Option<ShadowingConfig>,
+    /// MAC / PCMAC parameter overlay. `None` (or an omitted JSON field)
+    /// keeps [`MacConfig::paper_default`].
+    pub protocol: Option<ProtocolSpec>,
+    /// Radio threshold / capture-model overlay. `None` keeps the ns-2
+    /// defaults with the paper's start-only capture.
+    pub radio: Option<RadioSpec>,
+    /// AODV parameter overlay. `None` keeps [`AodvConfig::default`].
+    pub aodv: Option<AodvSpec>,
 }
 
 impl ScenarioSpec {
@@ -207,7 +492,128 @@ impl ScenarioSpec {
             },
             power_levels_mw: None,
             shadowing: None,
+            protocol: None,
+            radio: None,
+            aodv: None,
         }
+    }
+
+    /// Set one parameter by its dotted path (see [`PATCH_PATHS`]) — the
+    /// mechanism behind generic campaign sweep axes. The value is a raw
+    /// JSON value and is type-checked against the target field; unknown
+    /// paths and mismatched types fail with an actionable message.
+    pub fn apply_patch(&mut self, path: &str, value: &Value) -> Result<(), SpecError> {
+        match path {
+            "duration_s" => self.duration_s = patch_value(path, value)?,
+            "variant" => self.variant = patch_value(path, value)?,
+            "field.width" => self.field.0 = patch_value(path, value)?,
+            "field.height" => self.field.1 = patch_value(path, value)?,
+            "nodes.count" => self.nodes.count = Some(patch_value(path, value)?),
+            "nodes.mobility.speed_mps" => {
+                self.mobility_mut().speed_mps = patch_value(path, value)?;
+            }
+            "nodes.mobility.pause_s" => {
+                self.mobility_mut().pause_s = patch_value(path, value)?;
+            }
+            "traffic.offered_load_kbps" => {
+                self.traffic.offered_load_kbps = patch_value(path, value)?;
+            }
+            "traffic.bytes" => self.traffic.bytes = patch_value(path, value)?,
+            "power_levels_mw" => self.power_levels_mw = Some(patch_value(path, value)?),
+            "shadowing.sigma_db" => self.shadowing_mut().sigma_db = patch_value(path, value)?,
+            "shadowing.symmetric" => self.shadowing_mut().symmetric = patch_value(path, value)?,
+            "mac.pcmac.safety_factor" => {
+                self.protocol_mut().safety_factor = Some(patch_value(path, value)?);
+            }
+            "mac.pcmac.capture_ratio" => {
+                self.protocol_mut().capture_ratio = Some(patch_value(path, value)?);
+            }
+            "mac.pcmac.ctrl_rate_bps" => {
+                self.protocol_mut().ctrl_rate_bps = Some(patch_value(path, value)?);
+            }
+            "mac.pcmac.history_expiry_s" => {
+                self.protocol_mut().history_expiry_s = Some(patch_value(path, value)?);
+            }
+            "mac.pcmac.max_retx" => {
+                self.protocol_mut().max_retx = Some(patch_value(path, value)?);
+            }
+            "mac.pcmac.four_way_handshake" => {
+                self.protocol_mut().four_way_handshake = Some(patch_value(path, value)?);
+            }
+            "mac.queue_capacity" => {
+                self.protocol_mut().queue_capacity = Some(patch_value(path, value)?);
+            }
+            "mac.rts_threshold" => {
+                self.protocol_mut().rts_threshold = Some(patch_value(path, value)?);
+            }
+            "radio.rx_thresh_mw" => {
+                self.radio_mut().rx_thresh_mw = Some(patch_value(path, value)?);
+            }
+            "radio.cs_thresh_mw" => {
+                self.radio_mut().cs_thresh_mw = Some(patch_value(path, value)?);
+            }
+            "radio.capture_ratio" => {
+                self.radio_mut().capture_ratio = Some(patch_value(path, value)?);
+            }
+            "radio.noise_floor_mw" => {
+                self.radio_mut().noise_floor_mw = Some(patch_value(path, value)?);
+            }
+            "radio.capture_policy" => {
+                self.radio_mut().capture_policy = Some(patch_value(path, value)?);
+            }
+            "aodv.active_route_timeout_s" => {
+                self.aodv_mut().active_route_timeout_s = Some(patch_value(path, value)?);
+            }
+            "aodv.rreq_cache_timeout_s" => {
+                self.aodv_mut().rreq_cache_timeout_s = Some(patch_value(path, value)?);
+            }
+            "aodv.rreq_wait_s" => {
+                self.aodv_mut().rreq_wait_s = Some(patch_value(path, value)?);
+            }
+            "aodv.rreq_retries" => {
+                self.aodv_mut().rreq_retries = Some(patch_value(path, value)?);
+            }
+            "aodv.buffer_capacity" => {
+                self.aodv_mut().buffer_capacity = Some(patch_value(path, value)?);
+            }
+            "aodv.buffer_timeout_s" => {
+                self.aodv_mut().buffer_timeout_s = Some(patch_value(path, value)?);
+            }
+            "aodv.rreq_ttl" => self.aodv_mut().rreq_ttl = Some(patch_value(path, value)?),
+            unknown => {
+                return Err(SpecError::one(format!(
+                    "unknown patch path `{unknown}`; supported paths: {}",
+                    PATCH_PATHS.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn protocol_mut(&mut self) -> &mut ProtocolSpec {
+        self.protocol.get_or_insert_with(ProtocolSpec::default)
+    }
+
+    fn radio_mut(&mut self) -> &mut RadioSpec {
+        self.radio.get_or_insert_with(RadioSpec::default)
+    }
+
+    fn aodv_mut(&mut self) -> &mut AodvSpec {
+        self.aodv.get_or_insert_with(AodvSpec::default)
+    }
+
+    fn mobility_mut(&mut self) -> &mut MobilitySpec {
+        self.nodes.mobility.get_or_insert(MobilitySpec {
+            speed_mps: 0.0,
+            pause_s: 0.0,
+        })
+    }
+
+    fn shadowing_mut(&mut self) -> &mut ShadowingConfig {
+        self.shadowing.get_or_insert(ShadowingConfig {
+            sigma_db: 0.0,
+            symmetric: true,
+        })
     }
 
     /// The node count this spec materializes (resolving density- and
@@ -471,6 +877,15 @@ impl ScenarioSpec {
                 ));
             }
         }
+        if let Some(p) = &self.protocol {
+            p.validate(&mut problems);
+        }
+        if let Some(r) = &self.radio {
+            r.validate(&mut problems);
+        }
+        if let Some(a) = &self.aodv {
+            a.validate(&mut problems);
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -576,6 +991,23 @@ impl ScenarioSpec {
         if let Some(levels) = &self.power_levels_mw {
             mac.levels = PowerLevels::new(levels.iter().map(|&l| Milliwatts(l)).collect());
         }
+        // The paper's numbers come from ns2.1b8a, whose capture model is
+        // pairwise and start-only (see `ScenarioConfig::paper`); overlays
+        // then patch individual knobs on top of those defaults.
+        let mut radio = RadioConfig {
+            capture_policy: CapturePolicy::StartOnly,
+            ..RadioConfig::ns2_default()
+        };
+        let mut aodv = AodvConfig::default();
+        if let Some(p) = &self.protocol {
+            p.apply(&mut mac);
+        }
+        if let Some(r) = &self.radio {
+            r.apply(&mut radio, &mut mac);
+        }
+        if let Some(a) = &self.aodv {
+            a.apply(&mut aodv);
+        }
 
         let cfg = ScenarioConfig {
             name: format!(
@@ -590,14 +1022,9 @@ impl ScenarioSpec {
             field: self.field,
             nodes,
             flows,
-            // The paper's numbers come from ns2.1b8a, whose capture model
-            // is pairwise and start-only (see `ScenarioConfig::paper`).
-            radio: RadioConfig {
-                capture_policy: CapturePolicy::StartOnly,
-                ..RadioConfig::ns2_default()
-            },
+            radio,
             mac,
-            aodv: Default::default(),
+            aodv,
             interference_floor: Milliwatts(1.559e-10), // CSThresh / 100
             shadowing: self.shadowing,
             channel_index: Default::default(),

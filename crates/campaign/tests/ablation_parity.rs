@@ -1,0 +1,128 @@
+//! The ablation sweeps as data: the checked-in `examples/ablation_*.json`
+//! campaign specs must reproduce the sweeps the old hard-coded
+//! `ablations` binary built with Rust constructors — bit for bit, at the
+//! same seed. This is the same discipline the paper scenario itself
+//! follows (`ScenarioSpec::paper` vs `ScenarioConfig::paper`).
+
+use pcmac::{ScenarioConfig, Variant};
+use pcmac_campaign::{run_campaign, CampaignPoint, CampaignSpec};
+use pcmac_engine::Duration;
+use pcmac_phy::CapturePolicy;
+
+fn load(name: &str) -> CampaignSpec {
+    let path = format!("{}/../../examples/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).expect("ablation spec is checked in");
+    let spec = CampaignSpec::from_json(&text).expect("ablation spec parses");
+    spec.validate().expect("ablation spec is valid");
+    spec
+}
+
+/// Everything except the label must match: spec-built names carry the
+/// seed, constructor names do not.
+fn canon(mut cfg: ScenarioConfig) -> String {
+    cfg.name = String::new();
+    cfg.to_json()
+}
+
+/// The base every old ablation sweep patched: the paper's scenario at
+/// 800 kbps offered load, shrunk to 60 s.
+fn old_base(variant: Variant, seed: u64) -> ScenarioConfig {
+    ScenarioConfig::paper(variant, 800.0, seed).with_duration(Duration::from_secs(60))
+}
+
+fn expand(name: &str) -> Vec<CampaignPoint> {
+    load(name).expand_vec().expect("campaign expands")
+}
+
+#[test]
+fn safety_factor_campaign_matches_the_constructor_sweep() {
+    let points = expand("ablation_safety_factor");
+    let factors = [0.5, 0.7, 0.9, 1.0];
+    assert_eq!(points.len(), factors.len());
+    for (f, p) in factors.iter().zip(&points) {
+        assert_eq!(p.seeds, vec![1]);
+        for (&seed, cfg) in p.seeds.iter().zip(&p.scenarios) {
+            let mut want = old_base(Variant::Pcmac, seed);
+            want.mac.pcmac.safety_factor = *f;
+            assert_eq!(canon(cfg.clone()), canon(want), "factor {f}");
+        }
+    }
+}
+
+#[test]
+fn ctrl_bandwidth_campaign_matches_the_constructor_sweep() {
+    let points = expand("ablation_ctrl_bandwidth");
+    let rates = [100_000u64, 250_000, 500_000, 1_000_000];
+    assert_eq!(points.len(), rates.len());
+    for (bw, p) in rates.iter().zip(&points) {
+        for (&seed, cfg) in p.seeds.iter().zip(&p.scenarios) {
+            let mut want = old_base(Variant::Pcmac, seed);
+            want.mac.pcmac.ctrl_rate_bps = *bw;
+            assert_eq!(canon(cfg.clone()), canon(want), "rate {bw}");
+        }
+    }
+}
+
+#[test]
+fn capture_policy_campaign_matches_the_constructor_sweep() {
+    let points = expand("ablation_capture_policy");
+    // Old nesting: policy outermost, then the four variants.
+    assert_eq!(points.len(), 8);
+    let mut i = 0;
+    for policy in [CapturePolicy::StartOnly, CapturePolicy::Continuous] {
+        for v in Variant::ALL {
+            let p = &points[i];
+            assert_eq!(p.key.variant, v.name());
+            for (&seed, cfg) in p.seeds.iter().zip(&p.scenarios) {
+                let mut want = old_base(v, seed);
+                want.radio.capture_policy = policy;
+                assert_eq!(canon(cfg.clone()), canon(want), "{policy:?}/{}", v.name());
+            }
+            i += 1;
+        }
+    }
+}
+
+#[test]
+fn handshake_campaign_matches_the_constructor_sweep() {
+    let points = expand("ablation_handshake");
+    assert_eq!(points.len(), 2);
+    for (four_way, p) in [false, true].iter().zip(&points) {
+        for (&seed, cfg) in p.seeds.iter().zip(&p.scenarios) {
+            let mut want = old_base(Variant::Pcmac, seed);
+            want.mac.pcmac.four_way_handshake = *four_way;
+            assert_eq!(canon(cfg.clone()), canon(want), "four_way {four_way}");
+        }
+    }
+}
+
+/// Reduced-scale end-to-end run of a checked-in ablation campaign: the
+/// JSON path must execute, key every point by its swept knob, and
+/// aggregate finite metrics.
+#[test]
+fn reduced_safety_factor_campaign_runs_end_to_end() {
+    let mut spec = load("ablation_safety_factor");
+    spec.duration_s = Some(5.0);
+    let outcome = run_campaign(&spec, 0).expect("campaign runs");
+    assert_eq!(outcome.runs.len(), 4);
+    assert_eq!(outcome.report.points.len(), 4);
+    let labels: Vec<String> = outcome
+        .report
+        .points
+        .iter()
+        .map(|p| p.key.patches_label())
+        .collect();
+    assert_eq!(
+        labels,
+        vec![
+            "safety_factor=0.5",
+            "safety_factor=0.7",
+            "safety_factor=0.9",
+            "safety_factor=1.0"
+        ]
+    );
+    for p in &outcome.report.points {
+        assert!(p.throughput_kbps.mean > 0.0, "5 s at 800 kbps delivers");
+        assert!(p.mean_delay_ms.mean.is_finite());
+    }
+}

@@ -4,10 +4,12 @@
 
 use pcmac::{FlowShape, ScenarioConfig, ShadowingConfig, Variant};
 use pcmac_campaign::{
-    AxesSpec, CampaignSpec, MobilitySpec, NodesSpec, PlacementSpec, ScenarioSpec, TrafficPattern,
-    TrafficSpec,
+    AodvSpec, AxesSpec, Axis, CampaignSpec, MobilitySpec, NodesSpec, PlacementSpec, ProtocolSpec,
+    RadioSpec, ScenarioSpec, TrafficPattern, TrafficSpec,
 };
+use pcmac_phy::CapturePolicy;
 use proptest::prelude::*;
+use serde::Value;
 
 /// Build a scenario spec from fuzzed knobs, exercising every placement,
 /// pattern, and shape variant.
@@ -81,7 +83,47 @@ fn spec_from(
             sigma_db: 4.0,
             symmetric: true,
         }),
+        protocol: None,
+        radio: None,
+        aodv: None,
     }
+}
+
+/// Overlay sections built from fuzzed presence flags: each bit decides
+/// whether one optional knob is set.
+fn overlays_from(bits: u32) -> (ProtocolSpec, RadioSpec, AodvSpec) {
+    let on = |i: u32| bits & (1 << i) != 0;
+    let protocol = ProtocolSpec {
+        safety_factor: on(0).then_some(0.9),
+        capture_ratio: on(1).then_some(8.0),
+        ctrl_rate_bps: on(2).then_some(250_000),
+        history_expiry_s: on(3).then_some(2.5),
+        max_retx: on(4).then_some(6),
+        four_way_handshake: on(5).then_some(true),
+        queue_capacity: on(6).then_some(25),
+        rts_threshold: on(7).then_some(256),
+    };
+    let radio = RadioSpec {
+        rx_thresh_mw: on(8).then_some(4.0e-7),
+        cs_thresh_mw: on(9).then_some(2.0e-8),
+        capture_ratio: on(10).then_some(6.0),
+        noise_floor_mw: on(11).then_some(2.0e-9),
+        capture_policy: on(12).then_some(if on(13) {
+            CapturePolicy::Continuous
+        } else {
+            CapturePolicy::StartOnly
+        }),
+    };
+    let aodv = AodvSpec {
+        active_route_timeout_s: on(14).then_some(8.0),
+        rreq_cache_timeout_s: on(15).then_some(5.0),
+        rreq_wait_s: on(16).then_some(1.5),
+        rreq_retries: on(17).then_some(2),
+        buffer_capacity: on(18).then_some(32),
+        buffer_timeout_s: on(19).then_some(20.0),
+        rreq_ttl: on(20).then_some(16),
+    };
+    (protocol, radio, aodv)
 }
 
 proptest! {
@@ -124,7 +166,7 @@ proptest! {
             base,
             duration_s: Some(3.0),
             seeds,
-            axes: AxesSpec {
+            axes: Some(AxesSpec {
                 loads_kbps: Some(vec![100.0, 200.0]),
                 node_counts: counts_ok.then(|| vec![6, 10]),
                 variants: Some(vec![Variant::Basic, Variant::Pcmac]),
@@ -132,12 +174,98 @@ proptest! {
                     vec![281.83815],
                     vec![1.0, 15.0, 281.83815],
                 ]),
-            },
+            }),
+            sweep: None,
         };
         let json = spec.to_json();
         let back = CampaignSpec::from_json(&json).expect("reparses");
         prop_assert_eq!(&back, &spec);
         prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// The protocol/radio/AODV overlay sections round-trip stably for
+    /// every combination of present/absent knobs.
+    #[test]
+    fn overlay_specs_round_trip(bits in any::<u32>()) {
+        let (protocol, radio, aodv) = overlays_from(bits);
+        let mut spec = spec_from(0, 0, 0, 8, 200.0, false, false);
+        spec.protocol = Some(protocol);
+        spec.radio = Some(radio);
+        spec.aodv = Some(aodv);
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).expect("reparses");
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// Every `Axis` variant (including generic patches over raw JSON
+    /// values) round-trips stably inside a campaign's `sweep` list.
+    #[test]
+    fn sweep_axes_round_trip(kind in 0usize..6, seeds in proptest::collection::vec(0u64..100, 1..3)) {
+        let axis = match kind {
+            0 => Axis::Load { values: vec![100.0, 200.0] },
+            1 => Axis::Nodes { values: vec![6, 10] },
+            2 => Axis::Variants { values: vec![Variant::Basic, Variant::Pcmac] },
+            3 => Axis::PowerLevels { sets_mw: vec![vec![281.83815], vec![1.0, 281.83815]] },
+            4 => Axis::Patch {
+                path: "mac.pcmac.safety_factor".into(),
+                values: vec![Value::F64(0.5), Value::F64(0.7)],
+            },
+            _ => Axis::Patch {
+                path: "radio.capture_policy".into(),
+                values: vec![Value::Str("StartOnly".into()), Value::Str("Continuous".into())],
+            },
+        };
+        let spec = CampaignSpec {
+            name: "fuzz-sweep".into(),
+            base: spec_from(0, 0, 0, 8, 200.0, false, false),
+            duration_s: Some(3.0),
+            seeds,
+            axes: None,
+            sweep: Some(vec![axis]),
+        };
+        let json = spec.to_json();
+        let back = CampaignSpec::from_json(&json).expect("reparses");
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// Materialization honours every overlay knob: the resulting
+    /// `ScenarioConfig` carries exactly the overridden values.
+    #[test]
+    fn overlays_reach_the_materialized_config(bits in any::<u32>()) {
+        let (protocol, radio, aodv) = overlays_from(bits);
+        let mut spec = spec_from(0, 0, 0, 8, 200.0, false, false);
+        spec.protocol = Some(protocol.clone());
+        spec.radio = Some(radio.clone());
+        spec.aodv = Some(aodv.clone());
+        let cfg = spec.materialize(3).expect("overlayed spec materializes");
+        prop_assert_eq!(
+            cfg.mac.pcmac.safety_factor,
+            protocol.safety_factor.unwrap_or(0.7)
+        );
+        prop_assert_eq!(
+            cfg.mac.pcmac.ctrl_rate_bps,
+            protocol.ctrl_rate_bps.unwrap_or(500_000)
+        );
+        prop_assert_eq!(
+            cfg.mac.pcmac.four_way_handshake,
+            protocol.four_way_handshake.unwrap_or(false)
+        );
+        prop_assert_eq!(cfg.mac.queue_capacity, protocol.queue_capacity.unwrap_or(50));
+        prop_assert_eq!(
+            cfg.radio.rx_thresh.value(),
+            radio.rx_thresh_mw.unwrap_or(3.652e-7)
+        );
+        // The MAC's needed-power computation must track the radio's
+        // decode threshold.
+        prop_assert_eq!(cfg.mac.rx_thresh.value(), cfg.radio.rx_thresh.value());
+        prop_assert_eq!(
+            cfg.radio.capture_policy,
+            radio.capture_policy.unwrap_or(CapturePolicy::StartOnly)
+        );
+        prop_assert_eq!(cfg.aodv.rreq_retries, aodv.rreq_retries.unwrap_or(3));
+        prop_assert_eq!(cfg.aodv.buffer_capacity, aodv.buffer_capacity.unwrap_or(64));
     }
 
     /// ScenarioConfig (the materialized form) also round-trips stably —
@@ -156,6 +284,45 @@ proptest! {
         let back = ScenarioConfig::from_json(&json).expect("reparses");
         prop_assert_eq!(back.to_json(), json, "second serialization must match the first");
     }
+}
+
+#[test]
+fn pre_redesign_spec_json_still_parses() {
+    // A spec written before the protocol/radio/aodv sections and the
+    // `sweep` axis list existed must load with every overlay absent.
+    let json = r#"{
+      "name": "old",
+      "base": {
+        "name": "old-base",
+        "variant": "Basic",
+        "duration_s": 5.0,
+        "field": [1000.0, 1000.0],
+        "nodes": { "count": 6, "placement": "Uniform", "mobility": null },
+        "traffic": {
+          "pattern": { "RandomPairs": { "flows": 3 } },
+          "bytes": 512,
+          "offered_load_kbps": 200.0,
+          "shape": "Cbr"
+        },
+        "power_levels_mw": null,
+        "shadowing": null
+      },
+      "duration_s": null,
+      "seeds": [1],
+      "axes": {
+        "loads_kbps": [100.0, 200.0],
+        "node_counts": null,
+        "variants": null,
+        "power_level_sets_mw": null
+      }
+    }"#;
+    let spec = CampaignSpec::from_json(json).expect("old shape parses");
+    assert_eq!(spec.base.protocol, None);
+    assert_eq!(spec.base.radio, None);
+    assert_eq!(spec.base.aodv, None);
+    assert_eq!(spec.sweep, None);
+    spec.validate().expect("old shape is valid");
+    assert_eq!(spec.point_count(), 2);
 }
 
 #[test]

@@ -3,8 +3,10 @@
 
 use pcmac::{FlowShape, ScenarioConfig, Variant};
 use pcmac_campaign::{
-    AxesSpec, CampaignSpec, NodesSpec, PlacementSpec, ScenarioSpec, TrafficPattern, TrafficSpec,
+    AodvSpec, AxesSpec, Axis, CampaignSpec, NodesSpec, PlacementSpec, ProtocolSpec, RadioSpec,
+    ScenarioSpec, TrafficPattern, TrafficSpec, PATCH_PATHS,
 };
+use serde::Value;
 
 fn valid_spec() -> ScenarioSpec {
     ScenarioSpec {
@@ -25,6 +27,9 @@ fn valid_spec() -> ScenarioSpec {
         },
         power_levels_mw: None,
         shadowing: None,
+        protocol: None,
+        radio: None,
+        aodv: None,
     }
 }
 
@@ -139,7 +144,8 @@ fn over_shrunk_durations_are_rejected() {
         base: valid_spec(),
         duration_s: Some(1.2),
         seeds: vec![1],
-        axes: AxesSpec::default(),
+        axes: None,
+        sweep: None,
     };
     let err = c.validate().expect_err("override too short");
     assert!(
@@ -171,20 +177,232 @@ fn campaign_axis_defects_are_rejected() {
         base,
         duration_s: None,
         seeds: vec![],
-        axes: AxesSpec::default(),
+        axes: Some(AxesSpec::default()),
+        sweep: None,
     };
     let err = c.validate().expect_err("no seeds");
     assert!(err.problems.iter().any(|p| p.contains("no seeds")));
 
     c.seeds = vec![1];
-    c.axes.loads_kbps = Some(vec![]);
+    c.axes.as_mut().unwrap().loads_kbps = Some(vec![]);
     let err = c.validate().expect_err("empty axis");
     assert!(err.problems.iter().any(|p| p.contains("loads_kbps")));
 
-    c.axes.loads_kbps = Some(vec![100.0]);
-    c.axes.node_counts = Some(vec![1]);
+    c.axes.as_mut().unwrap().loads_kbps = Some(vec![100.0]);
+    c.axes.as_mut().unwrap().node_counts = Some(vec![1]);
     let err = c.validate().expect_err("count < 2");
     assert!(err.problems.iter().any(|p| p.contains("at least 2")));
+}
+
+fn sweep_campaign(axes: Vec<Axis>) -> CampaignSpec {
+    CampaignSpec {
+        name: "sweep".into(),
+        base: valid_spec(),
+        duration_s: None,
+        seeds: vec![1],
+        axes: None,
+        sweep: Some(axes),
+    }
+}
+
+#[test]
+fn sweep_axis_defects_are_rejected() {
+    // Empty axis.
+    let c = sweep_campaign(vec![Axis::Load { values: vec![] }]);
+    let err = c.validate().expect_err("empty axis");
+    assert!(err.problems.iter().any(|p| p.contains("axis is empty")));
+
+    // Unknown patch path, with the supported surface named.
+    let c = sweep_campaign(vec![Axis::Patch {
+        path: "mac.bogus_knob".into(),
+        values: vec![Value::F64(1.0)],
+    }]);
+    let err = c.validate().expect_err("unknown path");
+    assert!(
+        err.problems
+            .iter()
+            .any(|p| p.contains("unknown patch path") && p.contains("mac.pcmac.safety_factor")),
+        "{:?}",
+        err.problems
+    );
+
+    // Type mismatch: a string where a float belongs.
+    let c = sweep_campaign(vec![Axis::Patch {
+        path: "mac.pcmac.safety_factor".into(),
+        values: vec![Value::Str("high".into())],
+    }]);
+    let err = c.validate().expect_err("type mismatch");
+    assert!(
+        err.problems.iter().any(|p| p.contains("safety_factor")),
+        "{:?}",
+        err.problems
+    );
+
+    // Semantically-bad value: validation catches it before expansion.
+    let c = sweep_campaign(vec![Axis::Patch {
+        path: "mac.pcmac.safety_factor".into(),
+        values: vec![Value::F64(-0.5)],
+    }]);
+    let err = c.validate().expect_err("negative safety factor");
+    assert!(
+        err.problems
+            .iter()
+            .any(|p| p.contains("safety factor") && p.contains("positive")),
+        "{:?}",
+        err.problems
+    );
+
+    // Two axes sweeping the same knob.
+    let mut c = sweep_campaign(vec![Axis::Load {
+        values: vec![100.0],
+    }]);
+    c.axes = Some(AxesSpec {
+        loads_kbps: Some(vec![50.0]),
+        ..AxesSpec::default()
+    });
+    let err = c.validate().expect_err("duplicate axis");
+    assert!(
+        err.problems.iter().any(|p| p.contains("same knob")),
+        "{:?}",
+        err.problems
+    );
+
+    // A first-class axis and its Patch-path spelling collide too: the
+    // later axis would silently overwrite the earlier one per cell,
+    // leaving duplicate points whose keys lie about what ran.
+    let c = sweep_campaign(vec![
+        Axis::Load {
+            values: vec![100.0, 150.0],
+        },
+        Axis::Patch {
+            path: "traffic.offered_load_kbps".into(),
+            values: vec![Value::F64(120.0)],
+        },
+    ]);
+    let err = c.validate().expect_err("first-class vs patch duplicate");
+    assert!(
+        err.problems
+            .iter()
+            .any(|p| p.contains("same knob `traffic.offered_load_kbps`")),
+        "{:?}",
+        err.problems
+    );
+}
+
+#[test]
+fn duration_patch_axis_wins_over_the_campaign_override() {
+    // The campaign `duration_s` replaces the *base* duration; a sweep
+    // axis over `duration_s` must still take effect per cell (keys that
+    // say duration_s=20 must actually run 20 s).
+    let mut c = sweep_campaign(vec![Axis::Patch {
+        path: "duration_s".into(),
+        values: vec![Value::F64(20.0), Value::F64(30.0)],
+    }]);
+    c.duration_s = Some(10.0);
+    let grid = c.grid().expect("grid builds");
+    let durations: Vec<f64> = grid.cells.iter().map(|cell| cell.spec.duration_s).collect();
+    assert_eq!(durations, vec![20.0, 30.0]);
+    // Without the axis, the override applies as before.
+    c.sweep = None;
+    let grid = c.grid().expect("grid builds");
+    assert_eq!(grid.cells[0].spec.duration_s, 10.0);
+}
+
+#[test]
+fn every_documented_patch_path_applies() {
+    // `PATCH_PATHS` is the contract surface: each entry must accept a
+    // value of its documented type on the paper's base spec.
+    let samples: Vec<(&str, Value)> = vec![
+        ("duration_s", Value::F64(30.0)),
+        ("variant", Value::Str("Basic".into())),
+        ("field.width", Value::F64(800.0)),
+        ("field.height", Value::F64(800.0)),
+        ("nodes.count", Value::U64(20)),
+        ("nodes.mobility.speed_mps", Value::F64(5.0)),
+        ("nodes.mobility.pause_s", Value::F64(1.0)),
+        ("traffic.offered_load_kbps", Value::F64(400.0)),
+        ("traffic.bytes", Value::U64(256)),
+        (
+            "power_levels_mw",
+            Value::Seq(vec![Value::F64(1.0), Value::F64(281.83815)]),
+        ),
+        ("shadowing.sigma_db", Value::F64(4.0)),
+        ("shadowing.symmetric", Value::Bool(false)),
+        ("mac.pcmac.safety_factor", Value::F64(0.9)),
+        ("mac.pcmac.capture_ratio", Value::F64(8.0)),
+        ("mac.pcmac.ctrl_rate_bps", Value::U64(250_000)),
+        ("mac.pcmac.history_expiry_s", Value::F64(2.0)),
+        ("mac.pcmac.max_retx", Value::U64(6)),
+        ("mac.pcmac.four_way_handshake", Value::Bool(true)),
+        ("mac.queue_capacity", Value::U64(25)),
+        ("mac.rts_threshold", Value::U64(512)),
+        ("radio.rx_thresh_mw", Value::F64(4.0e-7)),
+        ("radio.cs_thresh_mw", Value::F64(2.0e-8)),
+        ("radio.capture_ratio", Value::F64(6.0)),
+        ("radio.noise_floor_mw", Value::F64(2.0e-9)),
+        ("radio.capture_policy", Value::Str("Continuous".into())),
+        ("aodv.active_route_timeout_s", Value::F64(8.0)),
+        ("aodv.rreq_cache_timeout_s", Value::F64(5.0)),
+        ("aodv.rreq_wait_s", Value::F64(1.5)),
+        ("aodv.rreq_retries", Value::U64(2)),
+        ("aodv.buffer_capacity", Value::U64(32)),
+        ("aodv.buffer_timeout_s", Value::F64(20.0)),
+        ("aodv.rreq_ttl", Value::U64(16)),
+    ];
+    let sampled: Vec<&str> = samples.iter().map(|(p, _)| *p).collect();
+    assert_eq!(sampled, PATCH_PATHS, "sample table must cover PATCH_PATHS");
+    let mut spec = ScenarioSpec::paper();
+    for (path, value) in &samples {
+        spec.apply_patch(path, value)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+    }
+    spec.validate().expect("fully patched spec stays valid");
+    spec.materialize(1).expect("and materializes");
+}
+
+#[test]
+fn overlay_defects_are_rejected() {
+    let mut s = valid_spec();
+    s.protocol = Some(ProtocolSpec {
+        safety_factor: Some(0.0),
+        ..ProtocolSpec::default()
+    });
+    assert_problem(&s, "safety factor");
+
+    let mut s = valid_spec();
+    s.protocol = Some(ProtocolSpec {
+        capture_ratio: Some(0.5),
+        ..ProtocolSpec::default()
+    });
+    assert_problem(&s, "at least 1");
+
+    let mut s = valid_spec();
+    s.protocol = Some(ProtocolSpec {
+        ctrl_rate_bps: Some(0),
+        ..ProtocolSpec::default()
+    });
+    assert_problem(&s, "control channel rate");
+
+    let mut s = valid_spec();
+    s.radio = Some(RadioSpec {
+        rx_thresh_mw: Some(1.0e-12), // below the 1e-9 default noise floor
+        ..RadioSpec::default()
+    });
+    assert_problem(&s, "noise floor");
+
+    let mut s = valid_spec();
+    s.radio = Some(RadioSpec {
+        cs_thresh_mw: Some(-1.0),
+        ..RadioSpec::default()
+    });
+    assert_problem(&s, "carrier-sense threshold");
+
+    let mut s = valid_spec();
+    s.aodv = Some(AodvSpec {
+        rreq_retries: Some(0),
+        ..AodvSpec::default()
+    });
+    assert_problem(&s, "RREQ attempt");
 }
 
 #[test]

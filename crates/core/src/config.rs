@@ -424,6 +424,53 @@ impl ScenarioConfig {
                 }
             }
         }
+        // --- protocol / radio parameter surface (spec-overlay knobs) ---
+        let pc = &self.mac.pcmac;
+        if !pc.safety_factor.is_finite() || pc.safety_factor <= 0.0 {
+            problems.push(format!(
+                "PCMAC safety factor {} must be positive and finite",
+                pc.safety_factor
+            ));
+        }
+        if pc.capture_ratio.is_nan() || pc.capture_ratio < 1.0 {
+            problems.push(format!(
+                "PCMAC capture ratio {} must be at least 1 (a weaker signal cannot capture)",
+                pc.capture_ratio
+            ));
+        }
+        if pc.ctrl_rate_bps == 0 {
+            problems
+                .push("control channel rate is zero: PCMAC broadcasts would never finish".into());
+        }
+        if self.mac.queue_capacity == 0 {
+            problems.push("interface queue capacity is zero: every packet would drop".into());
+        }
+        for (which, w) in [
+            ("MAC decode threshold", self.mac.rx_thresh),
+            ("radio decode threshold", self.radio.rx_thresh),
+            ("carrier-sense threshold", self.radio.cs_thresh),
+            ("noise floor", self.radio.noise_floor),
+        ] {
+            if !w.value().is_finite() || w.value() <= 0.0 {
+                problems.push(format!(
+                    "{which} {} mW must be positive and finite",
+                    w.value()
+                ));
+            }
+        }
+        if self.radio.rx_thresh.value() <= self.radio.noise_floor.value() {
+            problems.push(format!(
+                "decode threshold {} mW must exceed the noise floor {} mW — nothing could ever be decoded",
+                self.radio.rx_thresh.value(),
+                self.radio.noise_floor.value()
+            ));
+        }
+        if self.radio.capture_ratio.is_nan() || self.radio.capture_ratio < 1.0 {
+            problems.push(format!(
+                "radio capture ratio {} must be at least 1",
+                self.radio.capture_ratio
+            ));
+        }
         let floor = self.interference_floor.value();
         if floor.is_nan() || floor < 0.0 {
             problems.push(format!(
@@ -534,6 +581,38 @@ mod tests {
     fn from_json_rejects_garbage() {
         assert!(ScenarioConfig::from_json("{not json").is_err());
         assert!(ScenarioConfig::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn protocol_and_radio_defects_are_rejected() {
+        let base = || ScenarioConfig::paper(Variant::Pcmac, 500.0, 1);
+        let has = |cfg: ScenarioConfig, needle: &str| {
+            let err = cfg.validate().expect_err("must be rejected");
+            assert!(
+                err.problems.iter().any(|p| p.contains(needle)),
+                "expected problem containing {needle:?}, got {:?}",
+                err.problems
+            );
+        };
+        let mut c = base();
+        c.mac.pcmac.safety_factor = 0.0;
+        has(c, "safety factor");
+        let mut c = base();
+        c.mac.pcmac.capture_ratio = 0.5;
+        has(c, "capture ratio");
+        let mut c = base();
+        c.mac.pcmac.ctrl_rate_bps = 0;
+        has(c, "control channel rate");
+        let mut c = base();
+        c.radio.rx_thresh = Milliwatts(1e-12); // below the 1e-9 noise floor
+        has(c, "noise floor");
+        let mut c = base();
+        c.radio.capture_ratio = f64::NAN;
+        has(c, "radio capture ratio");
+        let mut c = base();
+        c.mac.queue_capacity = 0;
+        has(c, "queue capacity");
+        base().validate().expect("paper scenario stays valid");
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use config::{
 };
 pub use event::SimEvent;
 pub use report::RunReport;
-pub use runner::run_parallel;
+pub use runner::{run_parallel, run_parallel_iter};
 pub use sim::Simulator;
 pub use trace::{TraceFilter, TraceWriter};
 

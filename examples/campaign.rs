@@ -24,12 +24,17 @@ fn main() {
         base: ScenarioSpec::paper(),
         duration_s: Some(10.0),
         seeds: vec![1, 2],
-        axes: AxesSpec {
+        axes: Some(AxesSpec {
             loads_kbps: Some(vec![300.0, 650.0, 1000.0]),
             node_counts: None,
             variants: Some(vec![Variant::Basic, Variant::Pcmac]),
             power_level_sets_mw: None,
-        },
+        }),
+        // Arbitrary extra sweep dimensions go here: `sweep` axes reach
+        // every knob on the spec surface by dotted path, e.g.
+        // `Axis::Patch { path: "mac.pcmac.safety_factor", values: ... }`
+        // — see examples/ablation_*.json for complete ablation campaigns.
+        sweep: None,
     };
     println!(
         "campaign `{}`: {} points x {} seeds = {} runs",

@@ -1,8 +1,14 @@
-//! Offline shim for `crossbeam`: the `channel::unbounded` MPMC channel
-//! the experiment driver uses, built on `std::sync` primitives.
+//! Offline shim for `crossbeam`: the `channel::unbounded` and
+//! `channel::bounded` MPMC channels the experiment driver uses, built on
+//! `std::sync` primitives.
 
 pub mod channel {
-    //! Multi-producer multi-consumer unbounded channel.
+    //! Multi-producer multi-consumer channels.
+    //!
+    //! * [`unbounded`] — sends never block (the original shim surface).
+    //! * [`bounded`] — sends block while the queue holds `cap` items, so a
+    //!   producer feeding lazily-generated work (e.g. campaign expansion)
+    //!   never materializes more than `cap` items ahead of the consumers.
 
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
@@ -10,11 +16,16 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+        /// Wakes senders blocked on a full bounded queue.
+        space: Condvar,
+        /// `None` means unbounded.
+        cap: Option<usize>,
     }
 
     struct State<T> {
         items: VecDeque<T>,
         senders: usize,
+        receivers: usize,
     }
 
     /// Sending half. Cloneable; the channel closes when all senders drop.
@@ -33,20 +44,46 @@ pub mod channel {
 
     /// Create an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    /// Create a bounded MPMC channel: [`Sender::send`] blocks while `cap`
+    /// items are queued (and errors once every receiver has dropped).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(cap.max(1)))
+    }
+
+    fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
                 senders: 1,
+                receivers: 1,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
         });
         (Sender(shared.clone()), Receiver(shared))
     }
 
     impl<T> Sender<T> {
-        /// Enqueue a value; never blocks.
+        /// Enqueue a value. Unbounded channels never block; bounded
+        /// channels block while full and fail once all receivers dropped
+        /// (otherwise a full queue could never drain).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.0.queue.lock().unwrap();
+            if let Some(cap) = self.0.cap {
+                while st.items.len() >= cap {
+                    if st.receivers == 0 {
+                        return Err(SendError(value));
+                    }
+                    st = self.0.space.wait(st).unwrap();
+                }
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+            }
             st.items.push_back(value);
             drop(st);
             self.0.ready.notify_one();
@@ -79,6 +116,8 @@ pub mod channel {
             let mut st = self.0.queue.lock().unwrap();
             loop {
                 if let Some(v) = st.items.pop_front() {
+                    drop(st);
+                    self.0.space.notify_one();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -90,13 +129,31 @@ pub mod channel {
 
         /// Non-blocking receive: `None` when currently empty.
         pub fn try_recv(&self) -> Option<T> {
-            self.0.queue.lock().unwrap().items.pop_front()
+            let v = self.0.queue.lock().unwrap().items.pop_front();
+            if v.is_some() {
+                self.0.space.notify_one();
+            }
+            v
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap().receivers += 1;
             Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.queue.lock().unwrap();
+            st.receivers -= 1;
+            let last = st.receivers == 0;
+            drop(st);
+            if last {
+                // Unblock senders waiting on a full bounded queue.
+                self.0.space.notify_all();
+            }
         }
     }
 }
@@ -134,5 +191,42 @@ mod tests {
         let (tx, rx) = channel::unbounded::<u8>();
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_producer_never_runs_far_ahead() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (tx, rx) = channel::bounded::<usize>(2);
+        let in_flight = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let consumer_rx = rx.clone();
+            let in_flight = &in_flight;
+            let max_seen = &max_seen;
+            s.spawn(move || {
+                while consumer_rx.recv().is_ok() {
+                    let now = in_flight.fetch_sub(1, Ordering::SeqCst);
+                    max_seen.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                }
+            });
+            drop(rx);
+            for i in 0..200 {
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        });
+        // cap 2 in the queue, plus one item the producer counted before
+        // blocking in send, plus one the consumer popped but has not yet
+        // decremented — far below the 200 an unbounded channel would show.
+        assert!(max_seen.load(Ordering::SeqCst) <= 4);
+    }
+
+    #[test]
+    fn bounded_send_fails_without_receivers() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        tx.send(1).unwrap_err();
     }
 }

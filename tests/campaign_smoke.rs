@@ -18,16 +18,55 @@ fn example_spec() -> CampaignSpec {
 #[test]
 fn example_spec_meets_the_acceptance_shape() {
     let spec = example_spec();
-    let loads = spec.axes.loads_kbps.as_ref().expect("load axis");
+    let axes = spec.axes.as_ref().expect("legacy grid");
+    let loads = axes.loads_kbps.as_ref().expect("load axis");
     assert!(loads.len() >= 3, "acceptance: >= 3-point load sweep");
     assert!(spec.seeds.len() >= 2, "acceptance: >= 2 seeds");
-    let points = spec.expand().expect("expands");
+    let points = spec.expand_vec().expect("expands");
     assert_eq!(points.len(), spec.point_count());
     for p in &points {
         assert_eq!(p.scenarios.len(), spec.seeds.len());
         for cfg in &p.scenarios {
             cfg.validate().expect("every expanded scenario is valid");
         }
+    }
+}
+
+/// The pre-redesign spec files must keep expanding to the same configs:
+/// the legacy `axes` grid is sugar over the general axis list, not a
+/// second code path.
+#[test]
+fn legacy_grid_lowering_reproduces_the_old_expansion() {
+    let spec = example_spec();
+    let points = spec.expand_vec().expect("expands");
+    // Old nesting order: load outermost, variant innermost.
+    let loads = [300.0, 650.0, 1000.0];
+    let variants = ["Basic 802.11", "PCMAC"];
+    assert_eq!(points.len(), loads.len() * variants.len());
+    for (i, p) in points.iter().enumerate() {
+        assert_eq!(p.key.load_kbps, loads[i / variants.len()]);
+        assert_eq!(p.key.variant, variants[i % variants.len()]);
+        assert_eq!(p.key.patches, None, "no patch axes in the legacy grid");
+        for cfg in &p.scenarios {
+            assert!((cfg.offered_load_kbps() - p.key.load_kbps).abs() < 1e-9);
+        }
+    }
+}
+
+/// The other pre-redesign example must load and expand unchanged too:
+/// a base-only variant axis (null) means one point per load.
+#[test]
+fn hotspot_example_still_loads_and_expands() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/hotspot_poisson.json");
+    let text = std::fs::read_to_string(path).expect("example spec is checked in");
+    let spec = CampaignSpec::from_json(&text).expect("example spec parses");
+    spec.validate().expect("example spec is valid");
+    let points = spec.expand_vec().expect("expands");
+    assert_eq!(points.len(), 3, "3 loads x base variant");
+    for (p, load) in points.iter().zip([150.0, 300.0, 450.0]) {
+        assert_eq!(p.key.load_kbps, load);
+        assert_eq!(p.key.variant, "PCMAC");
+        assert_eq!(p.scenarios.len(), 3, "3 seeds");
     }
 }
 
