@@ -1,39 +1,64 @@
 //! Channel fan-out: spatial index vs brute-force scan.
 //!
 //! Runs the same static sparse-field scenario under
-//! `ChannelIndexMode::Grid` and `ChannelIndexMode::BruteForce` at
-//! N ∈ {50, 100, 200, 400} nodes, timing whole simulation runs (the
-//! channel fan-out dominates them: every transmission fans out to its
-//! audible neighbourhood). The field grows with N at constant density
-//! (one node per 250 m × 250 m on average) and the interference floor is
-//! ns-2's carrier-sense threshold, giving a 550 m reach at maximum
-//! power — sparse enough that a transmission's 3×3 cell block covers a
-//! small fraction of the field, which is exactly the regime the paper's
-//! large-network claims live in.
+//! `ChannelIndexMode::Grid` and `ChannelIndexMode::BruteForce`, timing
+//! whole simulation runs (the channel fan-out dominates them: every
+//! transmission fans out to its audible neighbourhood). Two things keep
+//! the rows comparable so the speedup column actually measures index
+//! scaling:
+//!
+//! * **Constant node density.** The field grows with N at one node per
+//!   250 m × 250 m (16 nodes/km², recorded per row as
+//!   `density_per_km2`), and the interference floor is ns-2's
+//!   carrier-sense threshold, giving a 550 m reach at maximum power —
+//!   a transmission's cell block covers a fixed *fraction* of the field
+//!   at every N, which is exactly the regime the paper's large-network
+//!   claims live in.
+//! * **Uniform per-row workload.** Every flow runs from a random source
+//!   to its *nearest neighbour* — single-hop traffic, N/10 flows — so
+//!   per-node offered load and route lengths are the same at every N.
+//!   (Random cross-field pairs, as this bench originally used, made
+//!   AODV route length a second variable: multi-hop discovery dominated
+//!   some rows and not others, which is why brute force at N=100 once
+//!   measured *slower* than at N=200.)
 //!
 //! Besides the usual criterion output, the comparison is written to
 //! `BENCH_channel.json` at the repository root, and the run **fails**
 //! if the indexed channel does not beat the brute-force scan at
-//! N ≥ 200 (the regression bar from the issue's acceptance criteria).
+//! N ≥ 200 (the regression bar from PR 1's acceptance criteria).
+//!
+//! With `PCMAC_BENCH_QUICK=1` (the CI perf-smoke step) the bench runs
+//! reduced sizes, asserts the indexed channel stays within a 10%
+//! tolerance band of brute force (≥ 0.9×) at the largest reduced size,
+//! and does **not** rewrite `BENCH_channel.json`.
 
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
-use pcmac::{ChannelIndexMode, FlowShape, FlowSpec, NodeSetup, ScenarioConfig, Simulator, Variant};
-use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
+use pcmac::{ChannelIndexMode, NodeSetup, ScenarioConfig, Simulator, Variant};
+use pcmac_bench::support::{
+    density_per_km2, field_side, nearest_neighbour_flows, quick_mode, scatter,
+};
+use pcmac_engine::{Duration, Milliwatts};
 
-/// Node counts under comparison.
+/// Node counts under comparison (full mode).
 const SIZES: [usize; 4] = [50, 100, 200, 400];
 
-/// Field side for a given node count: constant density, one node per
-/// 250 m × 250 m.
-fn field_side(n: usize) -> f64 {
-    (n as f64).sqrt() * 250.0
+/// Node counts in `PCMAC_BENCH_QUICK` mode.
+const QUICK_SIZES: [usize; 2] = [50, 100];
+
+fn sizes() -> &'static [usize] {
+    if quick_mode() {
+        &QUICK_SIZES
+    } else {
+        &SIZES
+    }
 }
 
 /// The benchmark scenario: N static nodes scattered uniformly, N/10
-/// saturating CBR flows between random pairs, 1 simulated second,
-/// basic 802.11 (every frame at maximum power — the heaviest fan-out).
+/// single-hop CBR flows (random source → nearest neighbour), 1 simulated
+/// second, basic 802.11 (every frame at maximum power — the heaviest
+/// fan-out).
 fn scenario(n: usize, mode: ChannelIndexMode) -> ScenarioConfig {
     let side = field_side(n);
     let duration = Duration::from_secs(1);
@@ -45,41 +70,24 @@ fn scenario(n: usize, mode: ChannelIndexMode) -> ScenarioConfig {
     // relative to the field — the regime a spatial index exists for.
     cfg.interference_floor = Milliwatts(1.559e-8);
     cfg.channel_index = mode;
-    let mut rng = RngStream::derive(7, "bench.channel.placement");
-    cfg.nodes = NodeSetup::Static(
-        (0..n)
-            .map(|_| Point::new(rng.uniform(0.0, side), rng.uniform(0.0, side)))
-            .collect(),
+    let pts = scatter(7, "bench.channel.placement", n, side);
+    cfg.flows = nearest_neighbour_flows(
+        7,
+        "bench.channel.flows",
+        &pts,
+        (n / 10).max(2) as u32,
+        80_000.0,
+        (50, 13),
+        duration,
     );
-    let mut rng = RngStream::derive(7, "bench.channel.flows");
-    cfg.flows = (0..(n / 10).max(2) as u32)
-        .map(|i| {
-            let src = rng.below(n as u64) as u32;
-            let dst = loop {
-                let d = rng.below(n as u64) as u32;
-                if d != src {
-                    break d;
-                }
-            };
-            FlowSpec {
-                flow: FlowId(i),
-                src: NodeId(src),
-                dst: NodeId(dst),
-                bytes: 512,
-                rate_bps: 80_000.0,
-                start: SimTime::ZERO + Duration::from_millis(50 + 13 * i as u64),
-                stop: SimTime::ZERO + duration,
-                shape: FlowShape::Cbr,
-            }
-        })
-        .collect();
+    cfg.nodes = NodeSetup::Static(pts);
     cfg
 }
 
 fn bench_channel(c: &mut Criterion) {
     let mut g = c.benchmark_group("channel");
     g.sample_size(10);
-    for &n in &SIZES {
+    for &n in sizes() {
         g.bench_function(format!("brute/{n}"), |b| {
             b.iter(|| {
                 let r = Simulator::new(scenario(n, ChannelIndexMode::BruteForce)).run();
@@ -105,7 +113,7 @@ criterion_group!(
 fn main() {
     channel();
 
-    // Fold the measurements into BENCH_channel.json at the repo root.
+    let quick = quick_mode();
     let measurements = criterion::take_measurements();
     let mean = |id: &str| {
         measurements
@@ -121,7 +129,7 @@ fn main() {
         "\n{:>6} {:>12} {:>12} {:>9}",
         "N", "brute", "grid", "speedup"
     );
-    for &n in &SIZES {
+    for &n in sizes() {
         let brute_ns = mean(&format!("channel/brute/{n}"));
         let grid_ns = mean(&format!("channel/grid/{n}"));
         let speedup = brute_ns / grid_ns;
@@ -130,7 +138,16 @@ fn main() {
             brute_ns / 1e6,
             grid_ns / 1e6
         );
-        if n >= 200 && speedup <= 1.0 {
+        if quick {
+            // Perf smoke: a 10% tolerance band at reduced N absorbs CI
+            // noise while still catching an index that stopped working.
+            if n == *sizes().last().unwrap() && speedup < 0.9 {
+                failures.push(format!(
+                    "perf smoke: indexed channel fell below 0.9x of brute force at N={n} \
+                     (got {speedup:.2}x)"
+                ));
+            }
+        } else if n >= 200 && speedup <= 1.0 {
             failures.push(format!(
                 "indexed channel must beat brute force at N={n} (got {speedup:.2}x)"
             ));
@@ -141,28 +158,37 @@ fn main() {
                 "field_m".into(),
                 serde_json::Value::F64(field_side(n).round()),
             ),
+            (
+                "density_per_km2".into(),
+                serde_json::Value::F64(density_per_km2(n)),
+            ),
             ("brute_ns".into(), serde_json::Value::F64(brute_ns)),
             ("grid_ns".into(), serde_json::Value::F64(grid_ns)),
             ("speedup".into(), serde_json::Value::F64(speedup)),
         ]));
     }
 
-    let doc = serde_json::Value::Map(vec![
-        ("bench".into(), serde_json::Value::Str("channel".into())),
-        (
-            "description".into(),
-            serde_json::Value::Str(
-                "whole-run wall time, static sparse field (1 node / 250m x 250m, \
-                 floor = CSThresh), brute-force O(N) channel vs uniform-grid index"
-                    .into(),
+    if quick {
+        println!("\nquick mode: BENCH_channel.json left untouched");
+    } else {
+        let doc = serde_json::Value::Map(vec![
+            ("bench".into(), serde_json::Value::Str("channel".into())),
+            (
+                "description".into(),
+                serde_json::Value::Str(
+                    "whole-run wall time, static field at constant density (16 nodes/km2, \
+                     floor = CSThresh, single-hop nearest-neighbour flows), brute-force O(N) \
+                     channel vs uniform-grid index"
+                        .into(),
+                ),
             ),
-        ),
-        ("results".into(), serde_json::Value::Seq(rows)),
-    ]);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_channel.json");
-    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
-        .expect("write BENCH_channel.json");
-    println!("\nwrote {path}");
+            ("results".into(), serde_json::Value::Seq(rows)),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_channel.json");
+        std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+            .expect("write BENCH_channel.json");
+        println!("\nwrote {path}");
+    }
 
     if !failures.is_empty() {
         for f in &failures {

@@ -1,0 +1,280 @@
+//! The mobile hot path: lazy vs eager refresh × sparse vs dense cache.
+//!
+//! PR 1 made the *static* channel O(local); this bench measures what PR 4
+//! made O(local) for *mobile* scenarios — the two knobs it added:
+//!
+//! * `MobilityRefreshMode`: **eager** re-samples every waypoint model on
+//!   each new timestamp (O(N) per event); **lazy** keeps per-node refresh
+//!   deadlines in a min-heap and re-samples only due nodes plus the
+//!   transmission's actual candidates (O(local)).
+//! * `GainCacheMode`: **dense** is the N² precomputed table — unavailable
+//!   under mobility, where it degrades to live evaluation (exactly the
+//!   pre-PR-4 hot path); **sparse** is the block-sparse cache keyed by
+//!   occupied grid-cell pairs, invalidated per node on movement, and the
+//!   first cache mobile scenarios can use at all.
+//!
+//! Scenarios hold node density constant (one node per 250 m × 250 m,
+//! 16 nodes/km², recorded as `density_per_km2`) with a **fixed** traffic
+//! workload (16 single-hop nearest-neighbour CBR flows) at every N, so
+//! the per-event *protocol* work is constant across rows and the timing
+//! differences isolate the channel-maintenance cost — which is the point:
+//! eager refresh scales with N while lazy scales with the neighbourhood,
+//! so the lazy/eager margin must *grow* with N. Placements are identical
+//! between the static and waypoint rows (waypoint rows move at 10 m/s
+//! with 500 ms pauses).
+//!
+//! Results go to `BENCH_mobility.json` at the repository root. The run
+//! **fails** unless, on waypoint scenarios, lazy+sparse beats eager+dense
+//! at every N, by ≥ 2× at N = 4000, with the margin growing from the
+//! smallest to the largest N (the PR 4 acceptance bar).
+//!
+//! With `PCMAC_BENCH_QUICK=1` (the CI perf-smoke step) the bench runs
+//! reduced sizes, asserts lazy+sparse stays within a 10% tolerance band
+//! of eager+dense (≥ 0.9×), and does **not** rewrite
+//! `BENCH_mobility.json`.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use pcmac::{GainCacheMode, MobilityRefreshMode, NodeSetup, ScenarioConfig, Simulator, Variant};
+use pcmac_bench::support::{
+    density_per_km2, field_side, nearest_neighbour_flows, quick_mode, scatter,
+};
+use pcmac_engine::{Duration, Milliwatts};
+
+/// Node counts under comparison (full mode).
+const SIZES: [usize; 3] = [200, 1000, 4000];
+
+/// Node counts in `PCMAC_BENCH_QUICK` mode.
+const QUICK_SIZES: [usize; 2] = [100, 300];
+
+/// The four (refresh, cache) corners, with their row keys.
+const COMBOS: [(&str, MobilityRefreshMode, GainCacheMode); 4] = [
+    (
+        "eager_dense",
+        MobilityRefreshMode::Eager,
+        GainCacheMode::Dense,
+    ),
+    (
+        "lazy_dense",
+        MobilityRefreshMode::Lazy,
+        GainCacheMode::Dense,
+    ),
+    (
+        "eager_sparse",
+        MobilityRefreshMode::Eager,
+        GainCacheMode::Sparse,
+    ),
+    (
+        "lazy_sparse",
+        MobilityRefreshMode::Lazy,
+        GainCacheMode::Sparse,
+    ),
+];
+
+fn sizes() -> &'static [usize] {
+    if quick_mode() {
+        &QUICK_SIZES
+    } else {
+        &SIZES
+    }
+}
+
+/// N nodes at constant density, fixed 16-flow single-hop workload,
+/// static or random-waypoint, with the given refresh/cache knobs.
+fn scenario(
+    n: usize,
+    mobile: bool,
+    refresh: MobilityRefreshMode,
+    cache: GainCacheMode,
+) -> ScenarioConfig {
+    let side = field_side(n);
+    let duration = Duration::from_millis(500);
+    let mut cfg = ScenarioConfig::two_nodes(Variant::Basic, 100.0, 1000.0, 1);
+    cfg.name = format!("mobility-bench-{n}");
+    cfg.field = (side, side);
+    cfg.duration = duration;
+    // CSThresh floor: 550 m reach — local reception, the indexed regime.
+    cfg.interference_floor = Milliwatts(1.559e-8);
+    cfg.mobility_refresh = Some(refresh);
+    cfg.gain_cache = Some(cache);
+    let pts = scatter(11, "bench.mobility.placement", n, side);
+    cfg.flows = nearest_neighbour_flows(
+        11,
+        "bench.mobility.flows",
+        &pts,
+        16,
+        40_000.0,
+        (20, 11),
+        duration,
+    );
+    cfg.nodes = if mobile {
+        NodeSetup::WaypointFrom {
+            starts: pts,
+            speed: 10.0,
+            pause: Duration::from_millis(500),
+        }
+    } else {
+        NodeSetup::Static(pts)
+    };
+    cfg
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mobility");
+    for &n in sizes() {
+        // Whole runs get slow at the top size; fewer samples there.
+        g.sample_size(match n {
+            0..=300 => 10,
+            301..=1500 => 5,
+            _ => 3,
+        });
+        for mobile in [false, true] {
+            let kind = if mobile { "waypoint" } else { "static" };
+            for (key, refresh, cache) in COMBOS {
+                g.bench_function(format!("{kind}/{key}/{n}"), |b| {
+                    b.iter(|| {
+                        let r = Simulator::new(scenario(n, mobile, refresh, cache)).run();
+                        black_box(r.events)
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = mobility;
+    config = Criterion::default();
+    targets = bench_mobility
+);
+
+fn main() {
+    mobility();
+
+    let quick = quick_mode();
+    let measurements = criterion::take_measurements();
+    let mean = |id: &str| {
+        measurements
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.mean_ns)
+            .expect("benchmark ran")
+    };
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    let mut waypoint_speedups: Vec<(usize, f64)> = Vec::new();
+    println!(
+        "\n{:>6} {:>9} {:>13} {:>13} {:>13} {:>13} {:>9}",
+        "N", "mobility", "eager+dense", "lazy+dense", "eager+sparse", "lazy+sparse", "speedup"
+    );
+    for &n in sizes() {
+        for mobile in [false, true] {
+            let kind = if mobile { "waypoint" } else { "static" };
+            let ns: Vec<f64> = COMBOS
+                .iter()
+                .map(|(key, ..)| mean(&format!("mobility/{kind}/{key}/{n}")))
+                .collect();
+            // Headline: the full PR 4 path vs the full pre-PR 4 path.
+            let speedup = ns[0] / ns[3];
+            println!(
+                "{n:>6} {kind:>9} {:>11.2}ms {:>11.2}ms {:>11.2}ms {:>11.2}ms {speedup:>8.2}x",
+                ns[0] / 1e6,
+                ns[1] / 1e6,
+                ns[2] / 1e6,
+                ns[3] / 1e6
+            );
+            if mobile {
+                waypoint_speedups.push((n, speedup));
+            }
+            let mut row = vec![
+                ("n".into(), serde_json::Value::U64(n as u64)),
+                ("mobility".into(), serde_json::Value::Str(kind.into())),
+                (
+                    "field_m".into(),
+                    serde_json::Value::F64(field_side(n).round()),
+                ),
+                (
+                    "density_per_km2".into(),
+                    serde_json::Value::F64(density_per_km2(n)),
+                ),
+            ];
+            for ((key, ..), v) in COMBOS.iter().zip(&ns) {
+                row.push((format!("{key}_ns"), serde_json::Value::F64(*v)));
+            }
+            row.push((
+                "speedup_lazy_sparse_vs_eager_dense".into(),
+                serde_json::Value::F64(speedup),
+            ));
+            rows.push(serde_json::Value::Map(row));
+        }
+    }
+
+    if quick {
+        // Perf smoke: lazy must stay within a 10% tolerance band of
+        // eager at the largest reduced size (smaller sizes run too fast
+        // for a stable ratio under CI noise).
+        if let Some(&(n, speedup)) = waypoint_speedups.last() {
+            if speedup < 0.9 {
+                failures.push(format!(
+                    "perf smoke: lazy+sparse fell below 0.9x of eager+dense on waypoint \
+                     N={n} (got {speedup:.2}x)"
+                ));
+            }
+        }
+        println!("\nquick mode: BENCH_mobility.json left untouched");
+    } else {
+        // The PR 4 acceptance bar.
+        for &(n, speedup) in &waypoint_speedups {
+            if speedup <= 1.0 {
+                failures.push(format!(
+                    "lazy+sparse must beat eager+dense on waypoint scenarios at N={n} \
+                     (got {speedup:.2}x)"
+                ));
+            }
+            if n == 4000 && speedup < 2.0 {
+                failures.push(format!(
+                    "lazy+sparse must beat eager+dense by >= 2x at N=4000 (got {speedup:.2}x)"
+                ));
+            }
+        }
+        let (first, last) = (
+            waypoint_speedups.first().expect("sizes non-empty"),
+            waypoint_speedups.last().expect("sizes non-empty"),
+        );
+        if last.1 <= first.1 {
+            failures.push(format!(
+                "the lazy/eager margin must grow with N (N={} gave {:.2}x, N={} gave {:.2}x)",
+                first.0, first.1, last.0, last.1
+            ));
+        }
+
+        let doc = serde_json::Value::Map(vec![
+            ("bench".into(), serde_json::Value::Str("mobility".into())),
+            (
+                "description".into(),
+                serde_json::Value::Str(
+                    "whole-run wall time at constant density (16 nodes/km2, floor = CSThresh, \
+                     fixed 16-flow single-hop workload, waypoint 10 m/s / 500 ms pause): \
+                     eager vs lazy mobility refresh x dense vs block-sparse gain cache; \
+                     speedup = eager+dense / lazy+sparse"
+                        .into(),
+                ),
+            ),
+            ("results".into(), serde_json::Value::Seq(rows)),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mobility.json");
+        std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+            .expect("write BENCH_mobility.json");
+        println!("\nwrote {path}");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

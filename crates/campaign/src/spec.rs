@@ -1028,6 +1028,8 @@ impl ScenarioSpec {
             interference_floor: Milliwatts(1.559e-10), // CSThresh / 100
             shadowing: self.shadowing,
             channel_index: Default::default(),
+            mobility_refresh: None,
+            gain_cache: None,
         };
         cfg.validate()?;
         Ok(cfg)

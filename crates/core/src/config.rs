@@ -93,6 +93,46 @@ pub enum ChannelIndexMode {
     BruteForce,
 }
 
+/// When cached node positions (and the spatial index) are brought up to
+/// the current instant under mobility.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MobilityRefreshMode {
+    /// Deadline-driven: the spatial index tolerates a per-node drift pad,
+    /// so a node is re-sampled only when its [`stale_after`] deadline
+    /// fires or it turns up as a transmission candidate — O(local) per
+    /// event instead of O(N) per new timestamp. Produces bit-identical
+    /// runs to [`MobilityRefreshMode::Eager`]. The default.
+    ///
+    /// [`stale_after`]: pcmac_mobility::RandomWaypoint::stale_after
+    #[default]
+    Lazy,
+    /// Re-sample every node whenever the clock advances — the O(N)
+    /// reference implementation, kept for equivalence tests and
+    /// benchmarks.
+    Eager,
+}
+
+/// Which pairwise gain cache the channel uses (effective only with
+/// [`ChannelIndexMode::Grid`]; the brute-force reference always
+/// evaluates the propagation model live).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GainCacheMode {
+    /// Dense precomputed table for small fully-static scenarios,
+    /// block-sparse cache everywhere else. The default.
+    #[default]
+    Auto,
+    /// The O(N²)-memory precomputed table (static scenarios up to the
+    /// node guard; silently falls back to live evaluation beyond it or
+    /// under mobility).
+    Dense,
+    /// The block-sparse cache keyed by occupied grid-cell pairs,
+    /// invalidated per node on movement — works for mobile and 10⁴-node
+    /// scenarios.
+    Sparse,
+    /// No cache: evaluate the propagation model on every lookup.
+    Off,
+}
+
 /// Log-normal shadowing on top of the two-ray model (robustness
 /// experiments; the paper's channel has none).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -134,6 +174,12 @@ pub struct ScenarioConfig {
     pub shadowing: Option<ShadowingConfig>,
     /// Candidate-receiver lookup strategy (spatial index vs full scan).
     pub channel_index: ChannelIndexMode,
+    /// Mobility refresh strategy (`None` = the default, lazy). Kept
+    /// optional so scenario JSON predating the knob parses unchanged.
+    pub mobility_refresh: Option<MobilityRefreshMode>,
+    /// Gain cache selection (`None` = the default, auto). Kept optional
+    /// so scenario JSON predating the knob parses unchanged.
+    pub gain_cache: Option<GainCacheMode>,
 }
 
 /// Emission start of flow `i`: 1 s warm-up plus 137 ms per flow, so
@@ -252,6 +298,8 @@ impl ScenarioConfig {
             interference_floor: Milliwatts(1.559e-10), // CSThresh / 100
             shadowing: None,
             channel_index: ChannelIndexMode::default(),
+            mobility_refresh: None,
+            gain_cache: None,
         }
     }
 
@@ -285,6 +333,8 @@ impl ScenarioConfig {
             interference_floor: Milliwatts(1.559e-10),
             shadowing: None,
             channel_index: ChannelIndexMode::default(),
+            mobility_refresh: None,
+            gain_cache: None,
         }
     }
 
@@ -328,6 +378,8 @@ impl ScenarioConfig {
             interference_floor: Milliwatts(1.559e-10),
             shadowing: None,
             channel_index: ChannelIndexMode::default(),
+            mobility_refresh: None,
+            gain_cache: None,
         }
     }
 
@@ -350,6 +402,16 @@ impl ScenarioConfig {
     /// Aggregate offered application load in kbit/s.
     pub fn offered_load_kbps(&self) -> f64 {
         self.flows.iter().map(|f| f.rate_bps).sum::<f64>() / 1000.0
+    }
+
+    /// Effective mobility refresh strategy (the default when unset).
+    pub fn mobility_refresh_mode(&self) -> MobilityRefreshMode {
+        self.mobility_refresh.unwrap_or_default()
+    }
+
+    /// Effective gain cache selection (the default when unset).
+    pub fn gain_cache_mode(&self) -> GainCacheMode {
+        self.gain_cache.unwrap_or_default()
     }
 
     /// Check the scenario for defects that would otherwise surface as
@@ -575,6 +637,28 @@ mod tests {
         let rb = Simulator::new(b.with_duration(short)).run();
         assert_eq!(ra.delivered_packets, rb.delivered_packets);
         assert_eq!(ra.events, rb.events);
+    }
+
+    #[test]
+    fn pre_knob_json_still_parses() {
+        // Scenario JSON written before the refresh/cache knobs existed
+        // has neither key; both must come back as `None` (the defaults).
+        let a = ScenarioConfig::paper(Variant::Pcmac, 500.0, 3);
+        let v: serde_json::Value = serde_json::from_str(&a.to_json()).unwrap();
+        let stripped = match v {
+            serde_json::Value::Map(m) => serde_json::Value::Map(
+                m.into_iter()
+                    .filter(|(k, _)| k != "mobility_refresh" && k != "gain_cache")
+                    .collect(),
+            ),
+            _ => unreachable!("configs serialize to maps"),
+        };
+        let b = ScenarioConfig::from_json(&serde_json::to_string(&stripped).unwrap())
+            .expect("pre-knob JSON parses");
+        assert_eq!(b.mobility_refresh, None);
+        assert_eq!(b.gain_cache, None);
+        assert_eq!(b.mobility_refresh_mode(), MobilityRefreshMode::Lazy);
+        assert_eq!(b.gain_cache_mode(), GainCacheMode::Auto);
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub mod sim;
 pub mod trace;
 
 pub use config::{
-    flow_start, random_flow_pairs, ChannelIndexMode, FlowShape, FlowSpec, InvalidScenario,
-    NodeSetup, ScenarioConfig, ShadowingConfig,
+    flow_start, random_flow_pairs, ChannelIndexMode, FlowShape, FlowSpec, GainCacheMode,
+    InvalidScenario, MobilityRefreshMode, NodeSetup, ScenarioConfig, ShadowingConfig,
 };
 pub use event::SimEvent;
 pub use report::RunReport;

@@ -19,12 +19,31 @@
 //! arrival sequence). Candidate lists are sorted by node id, so the
 //! event schedule is independent of the index's internal bucket order.
 //!
-//! Propagation is dispatched statically through [`PropagationModel`];
-//! fully static scenarios additionally precompute every pairwise gain in
-//! a [`GainCache`] so the per-receiver work degenerates to a table
-//! lookup. Event dispatch draws its scratch buffers from per-type pools
-//! on the simulator, so the steady state allocates nothing.
+//! # Mobility refresh: lazy by default
+//!
+//! Under [`MobilityRefreshMode::Lazy`] the index tolerates a per-node
+//! drift *pad* (a fraction of a grid cell): each node carries a refresh
+//! deadline — the instant its position could first drift past the pad,
+//! from [`Mobility::stale_after`] — kept in a min-heap, and advancing
+//! the clock re-samples only nodes whose deadlines have passed, O(moved)
+//! instead of O(N). Queries inflate their radius by the pad, so the
+//! ≤ pad-stale index still yields a superset of every true receiver;
+//! the transmitter and each candidate are then re-sampled *exactly* at
+//! the current instant before any gain or delay is computed. Physics
+//! therefore always runs on exact positions and a lazy run is
+//! bit-identical to an eager one — only the number of waypoint
+//! evaluations changes.
+//!
+//! Propagation is dispatched statically through [`PropagationModel`].
+//! Pairwise gains replay from a cache per [`GainCacheMode`]: a dense
+//! precomputed [`GainCache`] for small fully-static scenarios, or the
+//! block-sparse movement-invalidated [`SparseGainCache`] everywhere
+//! else (mobile scenarios and networks past the dense guard). Event
+//! dispatch draws its scratch buffers from per-type pools on the
+//! simulator, so the steady state allocates nothing.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use pcmac_engine::{
@@ -34,9 +53,11 @@ use pcmac_mac::{CtrlFrame, Frame, MacAction};
 use pcmac_mobility::{placement, Mobility, RandomWaypoint};
 use pcmac_phy::energy::RadioMode;
 use pcmac_phy::radio::RadioEvent;
-use pcmac_phy::{GainCache, PropagationModel, Shadowed, TwoRayGround};
+use pcmac_phy::{GainCache, PropagationModel, Shadowed, SparseGainCache, TwoRayGround};
 
-use crate::config::{ChannelIndexMode, NodeSetup, ScenarioConfig};
+use crate::config::{
+    ChannelIndexMode, GainCacheMode, MobilityRefreshMode, NodeSetup, ScenarioConfig,
+};
 use crate::event::SimEvent;
 use crate::node::{Node, TrafficSource};
 use crate::report::RunReport;
@@ -49,10 +70,34 @@ const C: f64 = 299_792_458.0;
 /// never drop a receiver the exact power test would keep.
 const RADIUS_SLACK: f64 = 1.0 + 1e-9;
 
-/// Gain caches are quadratic in node count; beyond this many nodes the
-/// table would dominate memory for little win and the simulator falls
-/// back to live (still statically-dispatched) gain evaluation.
+/// *Dense* gain caches are quadratic in node count; beyond this many
+/// nodes the table would dominate memory for little win and dense
+/// requests fall back to live evaluation (the block-sparse cache has no
+/// such guard — its memory follows the touched local pairs).
 const GAIN_CACHE_MAX_NODES: usize = 2048;
+
+/// Lazy-refresh drift pad, as a fraction of a grid cell: a node's
+/// indexed position may go stale by up to this much before its refresh
+/// deadline fires. Larger pads mean rarer deadline refreshes but
+/// slightly fatter candidate rings (queries inflate by the pad).
+const REFRESH_PAD_CELL_FRACTION: f64 = 0.125;
+
+/// Query-side inflation over the drift pad, absorbing floating-point
+/// error at the drift boundary so a node sampled exactly at its
+/// deadline can never be missed.
+const REFRESH_PAD_SLACK: f64 = 1.01;
+
+/// How the channel replays pairwise gains (resolved from
+/// [`GainCacheMode`] against the scenario's actual shape).
+#[derive(Debug)]
+enum GainCacheState {
+    /// Evaluate the propagation model per lookup.
+    Live,
+    /// Precomputed N×N table (fully static scenarios).
+    Dense(GainCache),
+    /// Block-sparse movement-invalidated cache.
+    Sparse(SparseGainCache),
+}
 
 /// A free list of scratch buffers: `take` hands out an empty vector
 /// (reusing a previously returned allocation when one exists), `put`
@@ -92,11 +137,23 @@ pub struct Simulator {
     any_mobile: bool,
     propagation: PropagationModel,
     /// Spatial index over `positions` (kept in sync by
-    /// [`Simulator::refresh_positions`]).
+    /// [`Simulator::refresh_positions`]; under lazy refresh its entries
+    /// may trail true positions by up to `pad_m`).
     grid: UniformGrid,
-    /// Pairwise gain table (static scenarios only).
-    gain_cache: Option<GainCache>,
+    /// Pairwise gain replay strategy.
+    gain_cache: GainCacheState,
     use_grid: bool,
+    /// `true` when positions refresh lazily (mobile scenarios only).
+    lazy_refresh: bool,
+    /// Metres of drift the index tolerates before a deadline refresh.
+    pad_m: f64,
+    /// Last instant each node was sampled *exactly* (lazy mode).
+    sampled_at: Vec<SimTime>,
+    /// Active refresh deadline per node (lazy + grid mode).
+    deadline: Vec<SimTime>,
+    /// Min-heap of `(deadline, node)` refresh entries; an entry earlier
+    /// than its node's recorded deadline is superseded and re-arms.
+    refresh_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
     next_key: u64,
     sent_packets: u64,
     // Scratch-buffer pools for allocation-free dispatch.
@@ -207,20 +264,58 @@ impl Simulator {
         };
         let grid = UniformGrid::new(cfg.field.0, cfg.field.1, cell, &positions);
 
-        // The gain cache belongs to the indexed channel: the brute-force
+        // Gain caches belong to the indexed channel: the brute-force
         // mode is the O(N)-scan-with-live-propagation reference the
         // indexed channel is benchmarked against (cache-vs-live equality
         // is covered by the phy gain-cache tests, so equivalence between
         // the modes is unaffected).
         let use_grid = cfg.channel_index == ChannelIndexMode::Grid;
-        let gain_cache = if use_grid && !any_mobile && n <= GAIN_CACHE_MAX_NODES {
-            Some(GainCache::build(&propagation, &positions))
-        } else {
-            None
+        let dense_ok = use_grid && !any_mobile && n <= GAIN_CACHE_MAX_NODES;
+        let build_sparse = || {
+            let mut c = SparseGainCache::new(n);
+            for i in 0..n as u32 {
+                c.set_cell(i, grid.node_cell(i));
+            }
+            GainCacheState::Sparse(c)
         };
+        let gain_cache = match cfg.gain_cache_mode() {
+            GainCacheMode::Auto if dense_ok => {
+                GainCacheState::Dense(GainCache::build(&propagation, &positions))
+            }
+            GainCacheMode::Auto | GainCacheMode::Sparse if use_grid => build_sparse(),
+            GainCacheMode::Dense if dense_ok => {
+                GainCacheState::Dense(GainCache::build(&propagation, &positions))
+            }
+            _ => GainCacheState::Live,
+        };
+
+        // Lazy refresh: seed every mobile node's first deadline from its
+        // start position (positions are exact at t = 0). Without the
+        // grid there is nothing to keep fresh lazily — the brute-force
+        // scan visits all N nodes per transmission regardless — so that
+        // combination falls back to the eager rescan.
+        let lazy_refresh =
+            any_mobile && use_grid && cfg.mobility_refresh_mode() == MobilityRefreshMode::Lazy;
+        let pad_m = grid.cell_size() * REFRESH_PAD_CELL_FRACTION;
+        let mut sampled_at = Vec::new();
+        let mut deadline = Vec::new();
+        let mut refresh_heap = BinaryHeap::new();
+        if lazy_refresh {
+            sampled_at = vec![SimTime::ZERO; n];
+            deadline = vec![SimTime::MAX; n];
+            for (i, node) in nodes.iter().enumerate() {
+                let d = node.mobility.stale_after(SimTime::ZERO, pad_m);
+                deadline[i] = d;
+                if d != SimTime::MAX {
+                    refresh_heap.push(Reverse((d, i as u32)));
+                }
+            }
+        }
 
         Simulator {
             use_grid,
+            lazy_refresh,
+            pad_m,
             cfg,
             queue,
             nodes,
@@ -230,6 +325,9 @@ impl Simulator {
             propagation,
             grid,
             gain_cache,
+            sampled_at,
+            deadline,
+            refresh_heap,
             next_key: 0,
             sent_packets: 0,
             rad_pool: BufPool::default(),
@@ -520,21 +618,33 @@ impl Simulator {
 
     /// Bring `positions` (and the spatial index) up to `now`.
     ///
-    /// The timestamp is recorded on **every** call, so repeated
-    /// transmissions at the same instant — common when several nodes
-    /// react to the same timer tick — skip the full O(N) mobility rescan
-    /// entirely, and static scenarios never pay it at all.
+    /// Eager mode rescans every node on each new timestamp (recording
+    /// the timestamp so repeated transmissions at the same instant —
+    /// common when several nodes react to the same timer tick — skip the
+    /// rescan). Lazy mode instead pops due refresh deadlines, touching
+    /// only nodes whose indexed position could have drifted past the
+    /// pad; exact sampling of the nodes that actually matter happens
+    /// per-candidate in [`Simulator::collect_receivers`]. Static
+    /// scenarios never pay anything.
     fn refresh_positions(&mut self, now: SimTime) {
+        if !self.any_mobile {
+            return;
+        }
+        if self.lazy_refresh {
+            self.process_refresh_deadlines(now);
+            return;
+        }
         if self.positions_at == Some(now) {
             return;
         }
-        if self.any_mobile {
-            for (i, node) in self.nodes.iter_mut().enumerate() {
-                let p = node.mobility.position(now);
-                if p != self.positions[i] {
-                    self.positions[i] = p;
-                    if self.use_grid {
-                        self.grid.update(i as u32, p);
+        for i in 0..self.nodes.len() {
+            let p = self.nodes[i].mobility.position(now);
+            if p != self.positions[i] {
+                self.positions[i] = p;
+                if self.use_grid {
+                    self.grid.update(i as u32, p);
+                    if let GainCacheState::Sparse(c) = &mut self.gain_cache {
+                        c.note_move(i as u32, self.grid.node_cell(i as u32));
                     }
                 }
             }
@@ -542,18 +652,87 @@ impl Simulator {
         self.positions_at = Some(now);
     }
 
+    /// Pop every refresh deadline at or before `now`, re-sampling those
+    /// nodes so no indexed position is stale by more than `pad_m`. Each
+    /// pop either re-arms a superseded entry (an on-demand exact sample
+    /// pushed the node's deadline later) or refreshes the node and
+    /// schedules its next deadline, so the heap holds one live chain per
+    /// mobile node — O(moved · log N) per timestamp, not O(N).
+    fn process_refresh_deadlines(&mut self, now: SimTime) {
+        while let Some(&Reverse((t, node))) = self.refresh_heap.peek() {
+            if t > now {
+                break;
+            }
+            self.refresh_heap.pop();
+            let i = node as usize;
+            if t < self.deadline[i] {
+                self.refresh_heap.push(Reverse((self.deadline[i], node)));
+                continue;
+            }
+            self.sample_exact(i, now);
+            // `sample_exact` advanced the deadline past `now` whenever the
+            // waypoint model allows; the +1 ns floor keeps degenerate
+            // horizons (pad/speed rounding to zero) from re-firing at the
+            // same instant forever.
+            let d = self.deadline[i].max(now + Duration::from_nanos(1));
+            self.deadline[i] = d;
+            self.refresh_heap.push(Reverse((d, node)));
+        }
+    }
+
+    /// Sample node `i`'s exact position at `now` (at most once per
+    /// instant), propagating any movement into the spatial index and the
+    /// sparse gain cache, and extending the node's refresh deadline —
+    /// freshly sampled nodes cannot drift past the pad for another
+    /// `pad_m / speed`.
+    fn sample_exact(&mut self, i: usize, now: SimTime) {
+        if self.sampled_at[i] == now {
+            return;
+        }
+        self.sampled_at[i] = now;
+        let p = self.nodes[i].mobility.position(now);
+        if p != self.positions[i] {
+            self.positions[i] = p;
+            self.grid.update(i as u32, p);
+            if let GainCacheState::Sparse(c) = &mut self.gain_cache {
+                c.note_move(i as u32, self.grid.node_cell(i as u32));
+            }
+        }
+        let d = self.nodes[i].mobility.stale_after(now, self.pad_m);
+        if d > self.deadline[i] {
+            self.deadline[i] = d;
+        }
+    }
+
     /// Fill `self.candidates` with every node (other than `i`, sorted by
     /// id) that could receive a transmission from `i` at `power` above
-    /// the interference floor.
+    /// the interference floor. Under lazy refresh the index query is
+    /// padded by the staleness allowance and the transmitter plus every
+    /// returned candidate are re-sampled exactly at `now`, so the
+    /// subsequent gain/delay computations see true positions and the
+    /// scheduled arrivals match the eager path bit for bit.
     fn collect_receivers(&mut self, i: usize, power: Milliwatts, now: SimTime) {
         self.refresh_positions(now);
+        if self.lazy_refresh {
+            self.sample_exact(i, now);
+        }
         self.candidates.clear();
         if self.use_grid {
-            let radius = cull_radius(&self.propagation, power, self.cfg.interference_floor);
-            self.grid
-                .query_circle(self.positions[i], radius, &mut self.candidates);
-            if let Ok(at) = self.candidates.binary_search(&(i as u32)) {
-                self.candidates.remove(at);
+            let mut radius = cull_radius(&self.propagation, power, self.cfg.interference_floor);
+            if self.lazy_refresh {
+                radius += self.pad_m * REFRESH_PAD_SLACK;
+            }
+            self.grid.query_circle(
+                self.positions[i],
+                radius,
+                Some(i as u32),
+                &mut self.candidates,
+            );
+            if self.lazy_refresh {
+                for c in 0..self.candidates.len() {
+                    let j = self.candidates[c] as usize;
+                    self.sample_exact(j, now);
+                }
             }
         } else {
             self.candidates
@@ -561,12 +740,19 @@ impl Simulator {
         }
     }
 
-    /// Gain from node `i` to node `j` (table lookup when static).
+    /// Gain from node `i` to node `j`: replayed from the dense table
+    /// (static) or the block-sparse cache (generation-checked), else
+    /// evaluated live. All three paths return bit-identical values.
     #[inline]
-    fn link_gain(&self, i: usize, j: usize) -> f64 {
-        match &self.gain_cache {
-            Some(cache) => cache.gain(i, j),
-            None => self.propagation.gain(self.positions[i], self.positions[j]),
+    fn link_gain(&mut self, i: usize, j: usize) -> f64 {
+        match &mut self.gain_cache {
+            GainCacheState::Dense(cache) => cache.gain(i, j),
+            GainCacheState::Sparse(cache) => {
+                let prop = &self.propagation;
+                let pos = &self.positions;
+                cache.gain_with(i as u32, j as u32, || prop.gain(pos[i], pos[j]))
+            }
+            GainCacheState::Live => self.propagation.gain(self.positions[i], self.positions[j]),
         }
     }
 

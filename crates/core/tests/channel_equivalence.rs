@@ -13,8 +13,8 @@
 //! shadowing.
 
 use pcmac::{
-    ChannelIndexMode, FlowShape, FlowSpec, NodeSetup, RunReport, ScenarioConfig, ShadowingConfig,
-    Simulator, Variant,
+    ChannelIndexMode, FlowShape, FlowSpec, GainCacheMode, MobilityRefreshMode, NodeSetup,
+    RunReport, ScenarioConfig, ShadowingConfig, Simulator, Variant,
 };
 use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
 use proptest::prelude::*;
@@ -189,8 +189,166 @@ fn grid_matches_brute_force_with_disabled_floor() {
     assert_equivalent(cfg);
 }
 
+/// Pin the indexed channel's refresh and cache strategies.
+fn with_modes(
+    mut cfg: ScenarioConfig,
+    refresh: MobilityRefreshMode,
+    cache: GainCacheMode,
+) -> ScenarioConfig {
+    cfg.channel_index = ChannelIndexMode::Grid;
+    cfg.mobility_refresh = Some(refresh);
+    cfg.gain_cache = Some(cache);
+    cfg
+}
+
+/// The PR 4 acceptance bar: lazy refresh + block-sparse cache versus
+/// eager refresh + dense cache (which falls back to live evaluation
+/// under mobility, exactly the pre-lazy hot path) — bit-identical
+/// reports on mobile scenarios across seeds.
+#[test]
+fn lazy_sparse_matches_eager_dense_under_mobility() {
+    for seed in [2u64, 19, 31, 47] {
+        let cfg = random_scenario(
+            Variant::ALL[seed as usize % 4],
+            seed,
+            18,
+            1600.0,
+            Milliwatts(1.559e-10),
+            true,
+            None,
+        );
+        let lazy = Simulator::new(with_modes(
+            cfg.clone(),
+            MobilityRefreshMode::Lazy,
+            GainCacheMode::Sparse,
+        ))
+        .run();
+        let eager = Simulator::new(with_modes(
+            cfg,
+            MobilityRefreshMode::Eager,
+            GainCacheMode::Dense,
+        ))
+        .run();
+        assert!(lazy.events > 0, "degenerate run is a vacuous comparison");
+        assert_eq!(
+            fingerprint(&lazy),
+            fingerprint(&eager),
+            "lazy/sparse and eager/dense diverged (seed {seed})"
+        );
+    }
+}
+
+/// Same bar under shadowing, where gains are direction-dependent and
+/// the sparse cache must key ordered pairs.
+#[test]
+fn lazy_sparse_matches_eager_dense_under_mobility_with_shadowing() {
+    for (seed, symmetric) in [(13u64, true), (29, false)] {
+        let cfg = random_scenario(
+            Variant::Pcmac,
+            seed,
+            14,
+            1500.0,
+            Milliwatts(1.559e-10),
+            true,
+            Some(ShadowingConfig {
+                sigma_db: 5.0,
+                symmetric,
+            }),
+        );
+        let lazy = Simulator::new(with_modes(
+            cfg.clone(),
+            MobilityRefreshMode::Lazy,
+            GainCacheMode::Sparse,
+        ))
+        .run();
+        let eager = Simulator::new(with_modes(
+            cfg,
+            MobilityRefreshMode::Eager,
+            GainCacheMode::Dense,
+        ))
+        .run();
+        assert_eq!(fingerprint(&lazy), fingerprint(&eager), "seed {seed}");
+    }
+}
+
+/// Static scenarios: the block-sparse cache (lazy fill) must replay the
+/// dense precomputed table bit for bit.
+#[test]
+fn sparse_cache_matches_dense_cache_when_static() {
+    for seed in [4u64, 21] {
+        let cfg = random_scenario(
+            Variant::Pcmac,
+            seed,
+            20,
+            1200.0,
+            Milliwatts(1.559e-10),
+            false,
+            None,
+        );
+        let sparse = Simulator::new(with_modes(
+            cfg.clone(),
+            MobilityRefreshMode::Lazy,
+            GainCacheMode::Sparse,
+        ))
+        .run();
+        let dense = Simulator::new(with_modes(
+            cfg,
+            MobilityRefreshMode::Eager,
+            GainCacheMode::Dense,
+        ))
+        .run();
+        assert_eq!(fingerprint(&sparse), fingerprint(&dense), "seed {seed}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fuzzed refresh × cache matrix: any combination of mobility
+    /// refresh strategy and gain cache must reproduce the brute-force
+    /// eager live-evaluation reference bit for bit — mobile or static,
+    /// any variant, any floor.
+    #[test]
+    fn refresh_and_cache_modes_never_change_results(
+        seed in 0u64..10_000,
+        n in 8usize..24,
+        side in 600.0f64..3000.0,
+        floor_exp in 0u32..4,
+        variant_idx in 0usize..4,
+        mobile in any::<bool>(),
+        refresh_lazy in any::<bool>(),
+        cache_idx in 0usize..4,
+    ) {
+        let floor = Milliwatts(1.559e-10 * 10f64.powi(floor_exp as i32));
+        let cfg = random_scenario(
+            Variant::ALL[variant_idx],
+            seed,
+            n,
+            side,
+            floor,
+            mobile,
+            None,
+        );
+        let refresh = if refresh_lazy { MobilityRefreshMode::Lazy } else { MobilityRefreshMode::Eager };
+        let cache = [
+            GainCacheMode::Auto,
+            GainCacheMode::Dense,
+            GainCacheMode::Sparse,
+            GainCacheMode::Off,
+        ][cache_idx];
+        let indexed = Simulator::new(with_modes(cfg.clone(), refresh, cache)).run();
+        let mut reference = cfg;
+        reference.channel_index = ChannelIndexMode::BruteForce;
+        reference.mobility_refresh = Some(MobilityRefreshMode::Eager);
+        reference.gain_cache = Some(GainCacheMode::Off);
+        let reference = Simulator::new(reference).run();
+        prop_assert_eq!(
+            fingerprint(&indexed),
+            fingerprint(&reference),
+            "diverged: seed {} n {} side {} mobile {} refresh {:?} cache {:?}",
+            seed, n, side, mobile, refresh, cache
+        );
+    }
 
     /// Fuzzed equivalence: random seed, node count, field size, floor
     /// scaling, variant, and mobility flag.

@@ -89,6 +89,14 @@ impl UniformGrid {
         (cy * self.nx + cx) as u32
     }
 
+    /// The cell id currently holding `node` — a stable key for
+    /// cell-keyed caches layered on top of the grid (ids are row-major
+    /// and dense in `0..nx*ny`).
+    #[inline]
+    pub fn node_cell(&self, node: u32) -> u32 {
+        self.node_cell[node as usize]
+    }
+
     /// Drop all state and re-bucket `positions` (reuses allocations).
     pub fn rebuild(&mut self, positions: &[Point]) {
         for b in &mut self.buckets {
@@ -125,21 +133,30 @@ impl UniformGrid {
 
     /// Append to `out` every node whose position can lie within `radius`
     /// of `center` — a superset of the exact disc, limited to the cells
-    /// intersecting its bounding box. `out` is sorted ascending before
-    /// returning and is **not** cleared first.
-    pub fn query_circle(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+    /// intersecting its bounding box. `exclude` drops one node (typically
+    /// the querying transmitter) during bucket iteration, so callers
+    /// never pay a post-hoc search-and-remove over the result. `out` is
+    /// sorted ascending before returning and is **not** cleared first.
+    pub fn query_circle(
+        &self,
+        center: Point,
+        radius: f64,
+        exclude: Option<u32>,
+        out: &mut Vec<u32>,
+    ) {
         debug_assert!(radius >= 0.0);
         let lo_x = (((center.x - radius) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
         let hi_x = (((center.x + radius) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
         let lo_y = (((center.y - radius) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
         let hi_y = (((center.y + radius) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
         let r_sq = radius * radius;
+        let skip = exclude.unwrap_or(u32::MAX);
         for cy in lo_y..=hi_y {
             for cx in lo_x..=hi_x {
                 for &n in &self.buckets[cy * self.nx + cx] {
                     // Exact distance pre-cull: cheap, and keeps candidate
                     // sets tight for the caller's per-node work.
-                    if self.positions[n as usize].distance_sq(center) <= r_sq {
+                    if n != skip && self.positions[n as usize].distance_sq(center) <= r_sq {
                         out.push(n);
                     }
                 }
@@ -178,7 +195,7 @@ mod tests {
         for (i, &c) in pts.iter().enumerate().step_by(17) {
             for radius in [0.0, 35.0, 120.0, 333.3, 1500.0] {
                 let mut got = Vec::new();
-                grid.query_circle(c, radius, &mut got);
+                grid.query_circle(c, radius, None, &mut got);
                 assert_eq!(got, brute(&pts, c, radius), "center {i} radius {radius}");
             }
         }
@@ -195,7 +212,7 @@ mod tests {
             pts[node] = m;
             grid.update(node as u32, m);
             let mut got = Vec::new();
-            grid.query_circle(m, 130.0, &mut got);
+            grid.query_circle(m, 130.0, None, &mut got);
             assert_eq!(got, brute(&pts, m, 130.0), "after move {step}");
         }
     }
@@ -209,7 +226,7 @@ mod tests {
         ];
         let grid = UniformGrid::new(1000.0, 1000.0, 100.0, &pts);
         let mut got = Vec::new();
-        grid.query_circle(Point::new(500.0, 500.0), 5000.0, &mut got);
+        grid.query_circle(Point::new(500.0, 500.0), 5000.0, None, &mut got);
         assert_eq!(got, vec![0, 1, 2]);
     }
 
@@ -220,7 +237,7 @@ mod tests {
         // 128×128 cap ⇒ cell ≥ ~7.8 m.
         assert!(grid.cell_size() >= 1000.0 / 128.0 - 1e-9);
         let mut got = Vec::new();
-        grid.query_circle(Point::new(0.0, 0.0), 2000.0, &mut got);
+        grid.query_circle(Point::new(0.0, 0.0), 2000.0, None, &mut got);
         assert_eq!(got.len(), 20);
     }
 
@@ -233,9 +250,35 @@ mod tests {
             grid.update(i as u32, pts[i]);
         }
         let mut got = Vec::new();
-        grid.query_circle(Point::new(150.0, 150.0), 200.0, &mut got);
+        grid.query_circle(Point::new(150.0, 150.0), 200.0, None, &mut got);
         let mut sorted = got.clone();
         sorted.sort_unstable();
         assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn exclude_drops_exactly_one_node() {
+        let pts = scatter(150, 800.0, 800.0, 5);
+        let grid = UniformGrid::new(800.0, 800.0, 90.0, &pts);
+        for (i, &c) in pts.iter().enumerate().step_by(13) {
+            let mut all = Vec::new();
+            grid.query_circle(c, 250.0, None, &mut all);
+            let mut without = Vec::new();
+            grid.query_circle(c, 250.0, Some(i as u32), &mut without);
+            let expect: Vec<u32> = all.iter().copied().filter(|&n| n != i as u32).collect();
+            assert_eq!(without, expect, "center {i}");
+        }
+    }
+
+    #[test]
+    fn node_cell_tracks_updates() {
+        let pts = scatter(30, 600.0, 600.0, 9);
+        let mut grid = UniformGrid::new(600.0, 600.0, 100.0, &pts);
+        for (i, &p) in pts.iter().enumerate() {
+            assert_eq!(grid.node_cell(i as u32), grid.cell_of(p));
+        }
+        let dest = Point::new(599.0, 1.0);
+        grid.update(4, dest);
+        assert_eq!(grid.node_cell(4), grid.cell_of(dest));
     }
 }

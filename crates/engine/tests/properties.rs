@@ -149,8 +149,30 @@ mod grid_properties {
             let pts = points(&coords);
             let grid = UniformGrid::new(2000.0, 2000.0, cell, &pts);
             let mut got = Vec::new();
-            grid.query_circle(Point::new(cx, cy), radius, &mut got);
+            grid.query_circle(Point::new(cx, cy), radius, None, &mut got);
             prop_assert_eq!(got, brute(&pts, Point::new(cx, cy), radius));
+        }
+
+        /// `exclude` removes exactly that node from the result and
+        /// nothing else, whether or not it lies inside the disc.
+        #[test]
+        fn exclusion_is_surgical(
+            coords in proptest::collection::vec((0.0f64..2000.0, 0.0f64..2000.0), 1..80),
+            cell in 10.0f64..800.0,
+            which in 0usize..80,
+            radius in 0.0f64..2500.0,
+        ) {
+            let pts = points(&coords);
+            let grid = UniformGrid::new(2000.0, 2000.0, cell, &pts);
+            let ex = (which % pts.len()) as u32;
+            let center = pts[ex as usize];
+            let mut got = Vec::new();
+            grid.query_circle(center, radius, Some(ex), &mut got);
+            let expect: Vec<u32> = brute(&pts, center, radius)
+                .into_iter()
+                .filter(|&n| n != ex)
+                .collect();
+            prop_assert_eq!(got, expect);
         }
 
         /// Incremental updates preserve query exactness: after an
@@ -171,7 +193,7 @@ mod grid_properties {
                 grid.update(node as u32, pts[node]);
                 let center = pts[node];
                 let mut got = Vec::new();
-                grid.query_circle(center, radius, &mut got);
+                grid.query_circle(center, radius, None, &mut got);
                 prop_assert_eq!(got, brute(&pts, center, radius));
             }
         }

@@ -44,6 +44,14 @@ impl Mobility {
     pub fn is_mobile(&self) -> bool {
         matches!(self, Mobility::Waypoint(_))
     }
+
+    /// See [`RandomWaypoint::stale_after`]; static nodes never go stale.
+    pub fn stale_after(&self, now: SimTime, pad: f64) -> SimTime {
+        match self {
+            Mobility::Static(_) => SimTime::MAX,
+            Mobility::Waypoint(w) => w.stale_after(now, pad),
+        }
+    }
 }
 
 /// The random waypoint model.
@@ -112,6 +120,32 @@ impl RandomWaypoint {
         }
         let t = now.saturating_since(self.leg_start).as_secs_f64() / leg;
         self.from.lerp(self.to, t)
+    }
+
+    /// The earliest instant at which this node's position *could* have
+    /// drifted `pad` metres away from where it stands at `now` — the
+    /// node's refresh deadline for a spatial index that tolerates `pad`
+    /// metres of staleness. Until the returned instant (exclusive), the
+    /// position at any queried time is guaranteed within `pad` of the
+    /// position at `now`.
+    ///
+    /// The bound is `now + pad/speed` (speed is an upper bound on
+    /// displacement rate) and is valid for any leg state; when the model
+    /// has been advanced to `now` (i.e. right after `position(now)`) and
+    /// the node is pausing at a waypoint, the horizon extends to
+    /// `pause_end + pad/speed` since no movement happens before the
+    /// pause ends. The drift interval rounds *down* to whole
+    /// nanoseconds, so the guarantee is never overestimated.
+    pub fn stale_after(&self, now: SimTime, pad: f64) -> SimTime {
+        debug_assert!(pad > 0.0 && pad.is_finite());
+        let drift_ns = (pad / self.speed * 1e9).floor().clamp(0.0, u64::MAX as f64) as u64;
+        let base = if now >= self.leg_end && now < self.pause_end {
+            // Pausing at the waypoint: guaranteed still until pause_end.
+            self.pause_end
+        } else {
+            now
+        };
+        SimTime::from_nanos(base.as_nanos().saturating_add(drift_ns))
     }
 
     fn advance_leg(&mut self) {
@@ -205,6 +239,42 @@ mod tests {
             let ta = t(i as f64 * 0.9);
             assert_eq!(a.position(ta), b.position(ta));
         }
+    }
+
+    #[test]
+    fn static_nodes_never_go_stale() {
+        let m = Mobility::Static(Point::new(1.0, 2.0));
+        assert_eq!(m.stale_after(t(5.0), 10.0), SimTime::MAX);
+    }
+
+    #[test]
+    fn stale_horizon_is_at_least_pad_over_speed() {
+        let mut w = RandomWaypoint::paper_default(Point::new(500.0, 500.0), rng(8));
+        for i in 0..200 {
+            let now = t(i as f64 * 1.7);
+            let _ = w.position(now);
+            let h = w.stale_after(now, 12.0);
+            // 3 m/s ⇒ 12 m of drift takes at least 4 s.
+            assert!(h >= now + Duration::from_secs(4), "step {i}");
+        }
+    }
+
+    #[test]
+    fn stale_horizon_extends_through_pauses() {
+        let mut w = RandomWaypoint::new(
+            Point::new(0.0, 0.0),
+            100.0,
+            100.0,
+            10.0,
+            Duration::from_secs(3),
+            rng(9),
+        );
+        let leg_end = w.leg_end;
+        let _ = w.position(leg_end);
+        // Mid-pause: the node cannot drift before pause_end, so the
+        // horizon covers the remaining pause plus pad/speed.
+        let h = w.stale_after(leg_end, 5.0);
+        assert_eq!(h, w.pause_end + Duration::from_millis(500));
     }
 
     #[test]

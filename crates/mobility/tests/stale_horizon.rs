@@ -1,0 +1,88 @@
+//! Refresh-deadline correctness for the lazy mobility scheme.
+//!
+//! The simulator's lazy position refresh (core `Simulator`) leaves a
+//! node's indexed position untouched until the deadline returned by
+//! [`RandomWaypoint::stale_after`], relying on this contract: **queried
+//! at any `t < stale_after(t0, pad)`, the node has moved less than
+//! `pad` metres since `t0`**. These property tests check the contract
+//! over random waypoint traces — random fields, speeds, pauses, query
+//! offsets, and pad sizes — including instants straddling waypoint
+//! pauses and leg changes, where the horizon logic has its branches.
+
+use pcmac_engine::{Duration, Point, RngStream, SimTime};
+use pcmac_mobility::RandomWaypoint;
+use proptest::prelude::*;
+
+fn walker(seed: u64, side: f64, speed: f64, pause_ms: u64) -> RandomWaypoint {
+    let rng = RngStream::derive_sub(seed, "stale-horizon", 0);
+    let start = Point::new(side * 0.37, side * 0.81);
+    RandomWaypoint::new(
+        start,
+        side,
+        side,
+        speed,
+        Duration::from_millis(pause_ms),
+        rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sample the trace at `t0`, take the horizon, then probe a dense
+    /// ladder of instants strictly before it: every probed position must
+    /// lie within `pad` of the `t0` position.
+    #[test]
+    fn position_drifts_less_than_pad_before_the_horizon(
+        seed in 0u64..10_000,
+        side in 200.0f64..3000.0,
+        speed in 0.5f64..40.0,
+        pause_ms in 0u64..5_000,
+        t0_s in 0.0f64..600.0,
+        pad in 0.5f64..200.0,
+    ) {
+        let mut w = walker(seed, side, speed, pause_ms);
+        let t0 = SimTime::from_secs_f64(t0_s);
+        let p0 = w.position(t0);
+        let horizon = w.stale_after(t0, pad);
+        prop_assert!(horizon > t0, "horizon must lie strictly in the future");
+
+        // Probe instants spanning [t0, horizon), non-decreasing as the
+        // model requires, including the last representable nanosecond.
+        let span = horizon.as_nanos() - t0.as_nanos();
+        for k in 0..=32u64 {
+            let off = span / 33 * k;
+            let t = SimTime::from_nanos(t0.as_nanos() + off.min(span - 1));
+            let p = w.position(t);
+            let drift = p0.distance(p);
+            prop_assert!(
+                drift <= pad,
+                "drift {drift} m exceeds pad {pad} m at t={t:?} (t0={t0:?}, horizon={horizon:?})"
+            );
+        }
+    }
+
+    /// The horizon computed *without* advancing the model first (the
+    /// conservative branch) is still safe: probing from an independent
+    /// clone shows sub-pad drift.
+    #[test]
+    fn horizon_is_safe_even_without_advancing(
+        seed in 0u64..10_000,
+        speed in 1.0f64..30.0,
+        t0_s in 0.0f64..300.0,
+        pad in 1.0f64..100.0,
+    ) {
+        let fresh = walker(seed, 1000.0, speed, 1500);
+        let t0 = SimTime::from_secs_f64(t0_s);
+        // `fresh` was never advanced to t0: stale_after must fall back to
+        // the universal `now + pad/speed` bound.
+        let horizon = fresh.stale_after(t0, pad);
+        prop_assert!(horizon >= t0 + Duration::from_secs_f64(pad / speed * 0.99));
+
+        let mut probe = fresh.clone();
+        let p0 = probe.position(t0);
+        let last = SimTime::from_nanos(horizon.as_nanos() - 1);
+        let p1 = probe.position(last.max(t0));
+        prop_assert!(p0.distance(p1) <= pad);
+    }
+}
