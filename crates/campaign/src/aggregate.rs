@@ -78,6 +78,34 @@ impl PointSummary {
     }
 }
 
+/// Why one `(point × seed)` run produced no report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The cell's spec failed to materialize for this seed.
+    Invalid,
+    /// The simulator (or injected run function) panicked.
+    Panicked,
+    /// The run exceeded the campaign watchdog's wall-clock budget and
+    /// was abandoned.
+    TimedOut,
+}
+
+/// A structured record of one failed `(point × seed)` run. The runner
+/// records these instead of aborting the sweep; a resumed campaign
+/// re-executes every point that has one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointFailure {
+    /// Coordinates of the failing grid point.
+    pub key: PointKey,
+    /// The seed that failed (`None` when the failure predates seeding).
+    pub seed: Option<u64>,
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable detail (panic message, validation problems, or
+    /// the watchdog budget that was exceeded).
+    pub error: String,
+}
+
 /// The machine-readable outcome of a whole campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -91,6 +119,14 @@ pub struct CampaignReport {
     pub wall_s: f64,
     /// One aggregated summary per grid point, in expansion order.
     pub points: Vec<PointSummary>,
+    /// `Some(false)` while the runner is still persisting points
+    /// incrementally (an interrupted artifact resumes from here),
+    /// `Some(true)` once every point ran cleanly. `None` in artifacts
+    /// predating the resilient runner — treated as complete.
+    pub complete: Option<bool>,
+    /// Structured failures (panics, watchdog timeouts, invalid points).
+    /// `None`/empty when the whole grid ran cleanly.
+    pub failures: Option<Vec<PointFailure>>,
 }
 
 impl CampaignReport {

@@ -11,19 +11,30 @@
 use std::process::ExitCode;
 
 use pcmac::Simulator;
-use pcmac_campaign::{cli, run_campaign, AxesSpec, Axis, CampaignSpec, ScenarioSpec};
+use pcmac_campaign::{
+    cli, run_campaign_with, AxesSpec, Axis, CampaignSpec, RunOptions, ScenarioSpec,
+};
 
 const USAGE: &str = "\
 usage: pcmac-campaign <command> [args]
 
 commands:
-  run <campaign.json> [--threads N] [--out FILE]
+  run <campaign.json> [--threads N] [--out FILE] [--timeout SECS]
+                      [--duration SECS] [--fresh]
         expand the campaign, run every point x seed in parallel, print the
-        aggregated table and write CAMPAIGN_<name>.json (or FILE)
+        aggregated table and write CAMPAIGN_<name>.json (or FILE). The
+        artifact is persisted after every finished point; rerunning with
+        the same output path resumes an interrupted campaign (--fresh
+        recomputes from scratch). --timeout abandons runs that exceed the
+        wall-clock budget; --duration overrides the simulated seconds per
+        run (smoke-shrinking a published campaign). Panicking, hanging,
+        and invalid points are recorded as structured failures (exit 1)
+        without aborting the sweep.
   expand <campaign.json>
         print the grid a campaign expands to, without running it
   validate <campaign.json>
-        check the spec; exit 0 when clean, 1 with one problem per line
+        check the spec and every expanded grid cell; exit 0 when clean,
+        1 with the full aggregated defect list, one problem per line
   scenario <scenario.json> [--seed S]
         materialize and run a single ScenarioSpec (default seed 1)
   example
@@ -43,11 +54,23 @@ fn load_campaign(path: &str) -> Result<CampaignSpec, String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or(USAGE)?;
-    let spec = load_campaign(path)?;
+    let text = read_spec(path)?;
+    let mut spec = CampaignSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(d) = cli::try_flag::<f64>(args, "--duration")? {
+        spec.duration_s = Some(d);
+    }
+    spec.validate()
+        .map_err(|e| format!("{path} is invalid:\n  - {}", e.problems.join("\n  - ")))?;
     let threads = cli::try_flag(args, "--threads")?.unwrap_or(0usize);
+    let timeout = cli::try_flag::<f64>(args, "--timeout")?.map(std::time::Duration::from_secs_f64);
     let out = cli::flag_value(args, "--out")
         .map(str::to_string)
         .unwrap_or_else(|| format!("CAMPAIGN_{}.json", cli::sanitize(&spec.name)));
+    let fresh = args.iter().any(|a| a == "--fresh");
+    let resume = !fresh && std::path::Path::new(&out).exists();
+    if resume {
+        eprintln!("{out} exists: resuming if it is a partial artifact (--fresh recomputes)");
+    }
 
     eprintln!(
         "campaign `{}`: {} points x {} seeds = {} runs",
@@ -56,7 +79,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         spec.seeds.len(),
         spec.run_count()
     );
-    let outcome = run_campaign(&spec, threads).map_err(|e| e.to_string())?;
+    let opts = RunOptions {
+        threads,
+        timeout,
+        out: Some(out.clone().into()),
+        resume,
+    };
+    let outcome = run_campaign_with(&spec, opts, |cfg| Simulator::new(cfg).run())
+        .map_err(|e| e.to_string())?;
 
     println!(
         "campaign `{}` — {} runs, {:.0} s each, {:.1} s CPU total\n",
@@ -66,9 +96,26 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         outcome.report.wall_s
     );
     println!("{}", outcome.report.render_table());
-
-    std::fs::write(&out, outcome.report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("wrote {out}");
+
+    if let Some(failures) = &outcome.report.failures {
+        eprintln!("\n{} run(s) failed:", failures.len());
+        for f in failures {
+            eprintln!(
+                "  [{:?}] {} seed {}: {}",
+                f.kind,
+                f.key.label(),
+                f.seed.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+                f.error
+            );
+        }
+        return Err(format!(
+            "campaign `{}` finished with {} failed run(s); rerunning with the same \
+             --out resumes and retries only the failed points",
+            spec.name,
+            failures.len()
+        ));
+    }
     Ok(())
 }
 
@@ -105,8 +152,17 @@ fn cmd_expand(args: &[String]) -> Result<(), String> {
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or(USAGE)?;
-    load_campaign(path)?;
-    println!("{path}: OK");
+    let text = read_spec(path)?;
+    let spec = CampaignSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Expanding the grid validates the campaign *and* every grid cell,
+    // aggregating the defects of all of them into one list.
+    spec.grid()
+        .map_err(|e| format!("{path} is invalid:\n  - {}", e.problems.join("\n  - ")))?;
+    println!(
+        "{path}: OK ({} points x {} seeds)",
+        spec.point_count(),
+        spec.seeds.len()
+    );
     Ok(())
 }
 

@@ -359,20 +359,22 @@ impl CampaignGrid {
     }
 
     /// Lazily materialize every `(cell × seed)` scenario, point-major and
-    /// seed-minor — the stream [`pcmac::run_parallel_iter`] consumes.
+    /// seed-minor — the stream the campaign runner consumes.
     ///
-    /// # Panics
     /// Every cell spec was validated when the grid was built, so a
     /// materialization failure here is a validator/materializer
-    /// disagreement — a bug, reported with the cell's full problem list.
-    pub fn scenarios(&self) -> impl Iterator<Item = ScenarioConfig> + '_ {
+    /// disagreement. It used to panic; now it propagates as an `Err`
+    /// naming the cell and seed, which the runner records as a failed
+    /// point instead of aborting the whole sweep.
+    pub fn scenarios(&self) -> impl Iterator<Item = Result<ScenarioConfig, SpecError>> + '_ {
         self.cells.iter().flat_map(move |cell| {
             self.seeds.iter().map(move |&seed| {
-                cell.spec.materialize(seed).unwrap_or_else(|e| {
-                    panic!(
-                        "grid cell `{}` failed to materialize after validating: {e}",
-                        cell.key.label()
-                    )
+                cell.spec.materialize(seed).map_err(|e| SpecError {
+                    problems: e
+                        .problems
+                        .into_iter()
+                        .map(|p| format!("grid cell `{}` seed {seed}: {p}", cell.key.label()))
+                        .collect(),
                 })
             })
         })
@@ -514,6 +516,11 @@ impl CampaignSpec {
 
         let mut cells = Vec::with_capacity(total);
         let mut idx = vec![0usize; axes.len()];
+        // Defective cells don't abort the expansion: every cell is
+        // checked and the full defect list comes back in one error, so
+        // `validate`/`run` report everything wrong with a campaign at
+        // once instead of one cell per invocation.
+        let mut problems = Vec::new();
         for mut n in 0..total {
             for (k, &len) in lens.iter().enumerate().rev() {
                 idx[k] = n % len;
@@ -528,10 +535,19 @@ impl CampaignSpec {
                 spec.duration_s = d;
             }
             let mut patches = Vec::new();
+            let mut cell_problems = Vec::new();
             for (axis, &i) in axes.iter().zip(&idx) {
-                axis.apply(i, &mut spec, &mut patches)?;
+                if let Err(e) = axis.apply(i, &mut spec, &mut patches) {
+                    cell_problems.extend(e.problems);
+                }
             }
-            let node_count = spec.node_count()?;
+            let node_count = match spec.node_count() {
+                Ok(c) => c,
+                Err(e) => {
+                    cell_problems.extend(e.problems);
+                    0
+                }
+            };
             let key = PointKey {
                 variant: spec.variant.name().to_string(),
                 load_kbps: spec.traffic.offered_load_kbps,
@@ -540,15 +556,24 @@ impl CampaignSpec {
                 patches: (!patches.is_empty()).then_some(patches),
             };
             if let Err(e) = spec.validate() {
-                return Err(SpecError {
-                    problems: e
-                        .problems
-                        .into_iter()
-                        .map(|p| format!("grid cell `{}`: {p}", key.label()))
-                        .collect(),
-                });
+                cell_problems.extend(e.problems);
             }
-            cells.push(GridCell { key, spec });
+            if cell_problems.is_empty() {
+                cells.push(GridCell { key, spec });
+            } else {
+                // `node_count()` runs again inside `validate`, so the
+                // same defect can surface twice; report each once.
+                let label = key.label();
+                for p in cell_problems {
+                    let msg = format!("grid cell `{label}`: {p}");
+                    if !problems.contains(&msg) {
+                        problems.push(msg);
+                    }
+                }
+            }
+        }
+        if !problems.is_empty() {
+            return Err(SpecError { problems });
         }
         Ok(CampaignGrid {
             seeds: self.seeds.clone(),

@@ -48,9 +48,9 @@ pub mod cli;
 pub mod runner;
 pub mod spec;
 
-pub use aggregate::{CampaignReport, MetricSummary, PointSummary};
+pub use aggregate::{CampaignReport, FailureKind, MetricSummary, PointFailure, PointSummary};
 pub use campaign::{AxesSpec, Axis, CampaignGrid, CampaignPoint, CampaignSpec, GridCell, PointKey};
-pub use runner::{run_campaign, CampaignOutcome};
+pub use runner::{run_campaign, run_campaign_with, CampaignOutcome, RunOptions};
 pub use spec::{
     AodvSpec, MobilitySpec, NodesSpec, PlacementSpec, ProtocolSpec, RadioSpec, ScenarioSpec,
     SpecError, TrafficPattern, TrafficSpec, PATCH_PATHS,

@@ -1,9 +1,25 @@
 //! The campaign runner: expand lazily → run in parallel → aggregate.
+//!
+//! The runner is crash-proof: each `(point × seed)` run executes on its
+//! own worker under `catch_unwind` with an optional wall-clock watchdog,
+//! so a panicking or hanging point becomes a structured
+//! [`PointFailure`] in the report instead of taking the whole sweep
+//! down. When an output path is given, the aggregated artifact is
+//! rewritten (atomically, tmp + rename) after every finished point with
+//! `complete: Some(false)`; an interrupted campaign resumes from that
+//! partial artifact, skipping every point that already ran cleanly.
 
-use pcmac::{run_parallel_iter, RunReport};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crate::aggregate::{CampaignReport, PointSummary};
-use crate::campaign::CampaignSpec;
+use pcmac::{RunReport, Simulator};
+
+use crate::aggregate::{CampaignReport, FailureKind, PointFailure, PointSummary};
+use crate::campaign::{CampaignGrid, CampaignSpec};
 use crate::spec::SpecError;
 
 /// Everything a campaign produced: the aggregated report (the
@@ -14,41 +30,362 @@ use crate::spec::SpecError;
 pub struct CampaignOutcome {
     /// Per-point aggregation.
     pub report: CampaignReport,
-    /// Raw reports, point-major and seed-minor, matching the expansion
-    /// order of [`CampaignSpec::expand`].
+    /// Raw reports of the runs *this invocation executed*, point-major
+    /// and seed-minor in expansion order. Failed runs leave no entry,
+    /// and on resume the previously-finished points are represented
+    /// only by their summaries in `report`.
     pub runs: Vec<RunReport>,
 }
 
-/// Expand `spec` into its grid skeleton, stream each `(point × seed)`
-/// scenario into the parallel driver's bounded work channel as it is
-/// materialized (`threads == 0` means one per core) — runs start before
-/// the expansion finishes, and at most a handful of configs exist at any
-/// moment — then aggregate each point's seeds with mean / stddev / 95%
-/// CI per metric.
-pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignOutcome, SpecError> {
-    let grid = spec.grid()?;
-    let per_point = grid.seeds.len();
-    let duration_s = grid.cells.first().map(|c| c.spec.duration_s).unwrap_or(0.0);
-    let runs = run_parallel_iter(grid.scenarios(), threads);
+/// How [`run_campaign_with`] executes a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker parallelism; `0` means one per available core.
+    pub threads: usize,
+    /// Per-run wall-clock budget. A run that exceeds it is abandoned
+    /// and recorded as [`FailureKind::TimedOut`]. `None` disables the
+    /// watchdog.
+    pub timeout: Option<Duration>,
+    /// Where to persist the aggregated report incrementally. `None`
+    /// skips persistence (the caller writes the final report itself).
+    pub out: Option<PathBuf>,
+    /// Resume from a partial artifact at `out`: points whose key
+    /// matches a summary in the existing report are skipped; points
+    /// with recorded failures (or no summary) re-run.
+    pub resume: bool,
+}
 
-    let seeds = grid.seeds;
-    let summaries: Vec<PointSummary> = grid
+fn worker_count(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+}
+
+/// Expand `spec` and run every `(point × seed)` with the stock
+/// simulator — no watchdog, no persistence. Thin wrapper over
+/// [`run_campaign_with`] kept for the figure/ablation drivers.
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignOutcome, SpecError> {
+    run_campaign_with(
+        spec,
+        RunOptions {
+            threads,
+            ..RunOptions::default()
+        },
+        |cfg| Simulator::new(cfg).run(),
+    )
+}
+
+/// One `(cell × seed)` job.
+#[derive(Clone, Copy)]
+struct Job {
+    cell: usize,
+    seed: u64,
+}
+
+/// Per-cell accumulation while the sweep drains.
+#[derive(Default)]
+struct CellProgress {
+    /// Successful reports, tagged with their job index for final
+    /// ordering.
+    ok: Vec<(usize, RunReport)>,
+    /// Failures of this cell's seeds.
+    failed: Vec<PointFailure>,
+    resolved: usize,
+}
+
+/// Bookkeeping shared by the dispatch loop and the incremental
+/// persistence path.
+struct SweepState<'a> {
+    grid: &'a CampaignGrid,
+    campaign: String,
+    /// Finished summaries by cell index (resumed points pre-filled).
+    done: Vec<Option<PointSummary>>,
+    progress: HashMap<usize, CellProgress>,
+    wall_s: f64,
+}
+
+impl SweepState<'_> {
+    fn record_failure(&mut self, job: Job, kind: FailureKind, error: String) {
+        let p = self.progress.entry(job.cell).or_default();
+        p.failed.push(PointFailure {
+            key: self.grid.cells[job.cell].key.clone(),
+            seed: Some(job.seed),
+            kind,
+            error,
+        });
+        p.resolved += 1;
+    }
+
+    fn record_success(&mut self, job: Job, id: usize, report: RunReport) {
+        self.wall_s += report.wall_s;
+        let p = self.progress.entry(job.cell).or_default();
+        p.ok.push((id, report));
+        p.resolved += 1;
+    }
+
+    /// All failures recorded so far, cell-major / seed-minor.
+    fn failures(&self) -> Vec<PointFailure> {
+        let mut by_cell: Vec<(usize, &CellProgress)> =
+            self.progress.iter().map(|(&i, p)| (i, p)).collect();
+        by_cell.sort_unstable_by_key(|&(i, _)| i);
+        by_cell
+            .into_iter()
+            .flat_map(|(_, p)| p.failed.iter().cloned())
+            .collect()
+    }
+
+    fn report(&self, complete: bool) -> CampaignReport {
+        let points: Vec<PointSummary> = self.done.iter().flatten().cloned().collect();
+        let failures = self.failures();
+        CampaignReport {
+            campaign: self.campaign.clone(),
+            runs: points.iter().map(|s| s.seeds.len()).sum(),
+            duration_s: self
+                .grid
+                .cells
+                .first()
+                .map(|c| c.spec.duration_s)
+                .unwrap_or(0.0),
+            wall_s: self.wall_s,
+            points,
+            complete: Some(complete),
+            failures: (!failures.is_empty()).then_some(failures),
+        }
+    }
+
+    /// When every seed of `cell` has resolved, collapse the clean cell
+    /// into its summary and (with an output path set) persist the
+    /// partial report so an interrupted campaign can resume from it.
+    fn finish_cell_if_done(&mut self, cell: usize, out: Option<&Path>) {
+        let Some(p) = self.progress.get(&cell) else {
+            return;
+        };
+        if p.resolved < self.grid.seeds.len() {
+            return;
+        }
+        if p.failed.is_empty() {
+            let reports: Vec<RunReport> = p.ok.iter().map(|(_, r)| r.clone()).collect();
+            self.done[cell] = Some(PointSummary::from_reports(
+                self.grid.cells[cell].key.clone(),
+                self.grid.seeds.clone(),
+                &reports,
+            ));
+        }
+        if let Some(path) = out {
+            // Persistence is best-effort mid-run: a full disk surfaces
+            // at the final write, which does propagate the error.
+            let _ = write_atomic(path, &self.report(false).to_json());
+        }
+    }
+}
+
+/// Expand `spec` into its grid skeleton and run every `(point × seed)`
+/// through `run` (`threads == 0` means one per core), isolating each
+/// run so one bad point cannot abort the sweep:
+///
+/// * a panic inside `run` is caught and recorded as
+///   [`FailureKind::Panicked`];
+/// * a run outliving [`RunOptions::timeout`] is abandoned (its thread
+///   keeps spinning but its late result is discarded) and recorded as
+///   [`FailureKind::TimedOut`];
+/// * a spec that fails to materialize is recorded as
+///   [`FailureKind::Invalid`].
+///
+/// Each point's seeds are aggregated with mean / stddev / 95% CI per
+/// metric; with [`RunOptions::out`] set, the partial report is
+/// persisted after every finished point so an interrupted campaign
+/// resumes ([`RunOptions::resume`]) without recomputing clean points.
+pub fn run_campaign_with<F>(
+    spec: &CampaignSpec,
+    opts: RunOptions,
+    run: F,
+) -> Result<CampaignOutcome, SpecError>
+where
+    F: Fn(pcmac::ScenarioConfig) -> RunReport + Send + Sync + 'static,
+{
+    let grid = spec.grid()?;
+    let mut state = SweepState {
+        grid: &grid,
+        campaign: spec.name.clone(),
+        done: vec![None; grid.cells.len()],
+        progress: HashMap::new(),
+        wall_s: 0.0,
+    };
+
+    // Resume: lift finished points (and the wall-clock already spent)
+    // out of a partial artifact; anything failed or missing re-runs.
+    if let (Some(path), true) = (&opts.out, opts.resume) {
+        if let Some(report) = load_partial(path, &spec.name) {
+            state.wall_s = report.wall_s;
+            for summary in report.points {
+                if let Some(i) = grid.cells.iter().position(|c| c.key == summary.key) {
+                    state.done[i] = Some(summary);
+                }
+            }
+        }
+    }
+
+    let jobs: Vec<Job> = grid
         .cells
-        .into_iter()
-        .zip(runs.chunks(per_point))
-        .map(|(cell, reports)| PointSummary::from_reports(cell.key, seeds.clone(), reports))
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| state.done[i].is_none())
+        .flat_map(|(i, _)| grid.seeds.iter().map(move |&seed| Job { cell: i, seed }))
         .collect();
 
-    Ok(CampaignOutcome {
-        report: CampaignReport {
-            campaign: spec.name.clone(),
-            runs: runs.len(),
-            duration_s,
-            wall_s: runs.iter().map(|r| r.wall_s).sum(),
-            points: summaries,
-        },
-        runs,
-    })
+    let run = Arc::new(run);
+    let threads = worker_count(opts.threads).max(1);
+    let out = opts.out.as_deref();
+
+    let (result_tx, result_rx) = mpsc::channel::<(usize, std::thread::Result<RunReport>)>();
+    // Jobs whose watchdog fired; late results from their (still
+    // running, but abandoned) threads are discarded on arrival.
+    let mut abandoned: Vec<usize> = Vec::new();
+    // (job index, watchdog deadline) of every dispatched, unresolved run.
+    let mut in_flight: Vec<(usize, Option<Instant>)> = Vec::new();
+    let mut next_job = 0usize;
+    let mut resolved_jobs = 0usize;
+
+    while resolved_jobs < jobs.len() {
+        // Keep the worker budget full. Materialization failures resolve
+        // immediately (no thread) as Invalid.
+        while in_flight.len() < threads && next_job < jobs.len() {
+            let id = next_job;
+            next_job += 1;
+            let job = jobs[id];
+            match grid.cells[job.cell].spec.materialize(job.seed) {
+                Err(e) => {
+                    state.record_failure(job, FailureKind::Invalid, e.problems.join("; "));
+                    resolved_jobs += 1;
+                    state.finish_cell_if_done(job.cell, out);
+                }
+                Ok(cfg) => {
+                    let tx = result_tx.clone();
+                    let run = Arc::clone(&run);
+                    std::thread::spawn(move || {
+                        let report = catch_unwind(AssertUnwindSafe(|| run(cfg)));
+                        // The receiver outlives us unless we were
+                        // abandoned; either way a failed send is fine.
+                        let _ = tx.send((id, report));
+                    });
+                    in_flight.push((id, opts.timeout.map(|t| Instant::now() + t)));
+                }
+            }
+        }
+        if in_flight.is_empty() {
+            continue; // every dispatched job resolved synchronously
+        }
+
+        let next_deadline = in_flight.iter().filter_map(|&(_, d)| d).min();
+        let received = match next_deadline {
+            None => result_rx.recv().ok(),
+            Some(deadline) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match result_rx.recv_timeout(wait) {
+                    Ok(r) => Some(r),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        unreachable!("runner holds a live sender")
+                    }
+                }
+            }
+        };
+
+        match received {
+            Some((id, result)) => {
+                if let Some(pos) = abandoned.iter().position(|&a| a == id) {
+                    abandoned.swap_remove(pos); // late result of a timed-out run
+                    continue;
+                }
+                let Some(pos) = in_flight.iter().position(|&(j, _)| j == id) else {
+                    continue;
+                };
+                in_flight.swap_remove(pos);
+                let job = jobs[id];
+                match result {
+                    Ok(report) => state.record_success(job, id, report),
+                    Err(payload) => state.record_failure(
+                        job,
+                        FailureKind::Panicked,
+                        panic_message(payload.as_ref()),
+                    ),
+                }
+                resolved_jobs += 1;
+                state.finish_cell_if_done(job.cell, out);
+            }
+            None => {
+                // Watchdog: abandon every run past its deadline. The
+                // hung thread is left behind (there is no portable way
+                // to kill it); its eventual result is ignored.
+                let now = Instant::now();
+                let mut expired = Vec::new();
+                in_flight.retain(|&(id, deadline)| {
+                    let hung = deadline.is_some_and(|d| d <= now);
+                    if hung {
+                        expired.push(id);
+                    }
+                    !hung
+                });
+                for id in expired {
+                    abandoned.push(id);
+                    state.record_failure(
+                        jobs[id],
+                        FailureKind::TimedOut,
+                        format!(
+                            "exceeded the {:.1} s wall-clock budget",
+                            opts.timeout.map(|t| t.as_secs_f64()).unwrap_or(0.0)
+                        ),
+                    );
+                    resolved_jobs += 1;
+                    state.finish_cell_if_done(jobs[id].cell, out);
+                }
+            }
+        }
+    }
+
+    let report = state.report(state.failures().is_empty());
+    if let Some(path) = out {
+        write_atomic(path, &report.to_json()).map_err(SpecError::one)?;
+    }
+
+    // Raw reports of this invocation, point-major / seed-minor.
+    let mut runs_tagged: Vec<(usize, RunReport)> =
+        state.progress.into_values().flat_map(|p| p.ok).collect();
+    runs_tagged.sort_unstable_by_key(|&(id, _)| id);
+    let runs = runs_tagged.into_iter().map(|(_, r)| r).collect();
+
+    Ok(CampaignOutcome { report, runs })
+}
+
+/// A run panicked; pull the human-readable message out of the payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "run panicked (non-string payload)".to_string()
+    }
+}
+
+/// Parse a resumable partial artifact: it must exist, parse, belong to
+/// this campaign, and be explicitly incomplete.
+fn load_partial(path: &Path, campaign: &str) -> Option<CampaignReport> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let report = CampaignReport::from_json(&text).ok()?;
+    (report.campaign == campaign && report.complete == Some(false)).then_some(report)
+}
+
+/// Crash-consistent write: the artifact is either the old version or
+/// the new one, never a torn half.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
 }
 
 #[cfg(test)]
@@ -84,6 +421,7 @@ mod tests {
                 protocol: None,
                 radio: None,
                 aodv: None,
+                faults: None,
             },
             duration_s: None,
             seeds: vec![1, 2],
@@ -102,6 +440,8 @@ mod tests {
         let outcome = run_campaign(&spec, 0).expect("runs");
         assert_eq!(outcome.runs.len(), 4);
         assert_eq!(outcome.report.points.len(), 2);
+        assert_eq!(outcome.report.complete, Some(true));
+        assert!(outcome.report.failures.is_none());
         for p in &outcome.report.points {
             assert_eq!(p.seeds, vec![1, 2]);
             assert!(p.throughput_kbps.mean > 0.0, "static ring delivers");

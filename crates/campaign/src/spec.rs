@@ -21,7 +21,10 @@
 //! sweep axes reach every one of those knobs through
 //! [`ScenarioSpec::apply_patch`] and its dotted [`PATCH_PATHS`].
 
-use pcmac::{FlowShape, FlowSpec, NodeSetup, ScenarioConfig, ShadowingConfig, Variant};
+use pcmac::{
+    ChurnConfig, FaultConfig, FlowShape, FlowSpec, NodeSetup, ScenarioConfig, ShadowingConfig,
+    Variant,
+};
 use pcmac_aodv::AodvConfig;
 use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
 use pcmac_mac::MacConfig;
@@ -406,6 +409,14 @@ pub const PATCH_PATHS: &[&str] = &[
     "power_levels_mw",
     "shadowing.sigma_db",
     "shadowing.symmetric",
+    "faults.crashes",
+    "faults.churn.mean_uptime_s",
+    "faults.churn.mean_downtime_s",
+    "faults.churn.start_s",
+    "faults.churn.stop_s",
+    "faults.expire_routes",
+    "faults.impairments",
+    "faults.energy_budget_mj",
     "mac.pcmac.safety_factor",
     "mac.pcmac.capture_ratio",
     "mac.pcmac.ctrl_rate_bps",
@@ -463,6 +474,10 @@ pub struct ScenarioSpec {
     pub radio: Option<RadioSpec>,
     /// AODV parameter overlay. `None` keeps [`AodvConfig::default`].
     pub aodv: Option<AodvSpec>,
+    /// Deterministic fault plan — scheduled crashes, seeded churn,
+    /// channel impairment bursts, energy budgets. `None` (or an omitted
+    /// JSON field) runs the network healthy.
+    pub faults: Option<FaultConfig>,
 }
 
 impl ScenarioSpec {
@@ -495,6 +510,7 @@ impl ScenarioSpec {
             protocol: None,
             radio: None,
             aodv: None,
+            faults: None,
         }
     }
 
@@ -522,6 +538,28 @@ impl ScenarioSpec {
             "power_levels_mw" => self.power_levels_mw = Some(patch_value(path, value)?),
             "shadowing.sigma_db" => self.shadowing_mut().sigma_db = patch_value(path, value)?,
             "shadowing.symmetric" => self.shadowing_mut().symmetric = patch_value(path, value)?,
+            "faults.crashes" => self.faults_mut().crashes = Some(patch_value(path, value)?),
+            "faults.churn.mean_uptime_s" => {
+                self.churn_mut().mean_uptime_s = patch_value(path, value)?;
+            }
+            "faults.churn.mean_downtime_s" => {
+                self.churn_mut().mean_downtime_s = patch_value(path, value)?;
+            }
+            "faults.churn.start_s" => {
+                self.churn_mut().start_s = Some(patch_value(path, value)?);
+            }
+            "faults.churn.stop_s" => {
+                self.churn_mut().stop_s = Some(patch_value(path, value)?);
+            }
+            "faults.expire_routes" => {
+                self.faults_mut().expire_routes = Some(patch_value(path, value)?);
+            }
+            "faults.impairments" => {
+                self.faults_mut().impairments = Some(patch_value(path, value)?);
+            }
+            "faults.energy_budget_mj" => {
+                self.faults_mut().energy_budget_mj = Some(patch_value(path, value)?);
+            }
             "mac.pcmac.safety_factor" => {
                 self.protocol_mut().safety_factor = Some(patch_value(path, value)?);
             }
@@ -613,6 +651,19 @@ impl ScenarioSpec {
         self.shadowing.get_or_insert(ShadowingConfig {
             sigma_db: 0.0,
             symmetric: true,
+        })
+    }
+
+    fn faults_mut(&mut self) -> &mut FaultConfig {
+        self.faults.get_or_insert_with(FaultConfig::default)
+    }
+
+    fn churn_mut(&mut self) -> &mut ChurnConfig {
+        self.faults_mut().churn.get_or_insert(ChurnConfig {
+            mean_uptime_s: 60.0,
+            mean_downtime_s: 10.0,
+            start_s: None,
+            stop_s: None,
         })
     }
 
@@ -886,6 +937,9 @@ impl ScenarioSpec {
         if let Some(a) = &self.aodv {
             a.validate(&mut problems);
         }
+        if let Some(fc) = &self.faults {
+            fc.collect_problems(count, self.duration_s, &mut problems);
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -1030,6 +1084,7 @@ impl ScenarioSpec {
             channel_index: Default::default(),
             mobility_refresh: None,
             gain_cache: None,
+            faults: self.faults.clone(),
         };
         cfg.validate()?;
         Ok(cfg)

@@ -2,7 +2,10 @@
 //! must be a fixed point, so spec files survive load/save cycles and the
 //! `CAMPAIGN_*.json` artifacts are reparseable.
 
-use pcmac::{FlowShape, ScenarioConfig, ShadowingConfig, Variant};
+use pcmac::{
+    ChurnConfig, CrashWindow, FaultConfig, FlowShape, ImpairmentBurst, ScenarioConfig,
+    ShadowingConfig, Variant,
+};
 use pcmac_campaign::{
     AodvSpec, AxesSpec, Axis, CampaignSpec, MobilitySpec, NodesSpec, PlacementSpec, ProtocolSpec,
     RadioSpec, ScenarioSpec, TrafficPattern, TrafficSpec,
@@ -86,6 +89,7 @@ fn spec_from(
         protocol: None,
         radio: None,
         aodv: None,
+        faults: None,
     }
 }
 
@@ -126,8 +130,102 @@ fn overlays_from(bits: u32) -> (ProtocolSpec, RadioSpec, AodvSpec) {
     (protocol, radio, aodv)
 }
 
+/// A fault plan built from fuzzed presence flags, mirroring
+/// [`overlays_from`]: each bit decides whether one optional fault
+/// mechanism is present.
+fn faults_from(bits: u32) -> FaultConfig {
+    let on = |i: u32| bits & (1 << i) != 0;
+    FaultConfig {
+        crashes: on(0).then(|| {
+            vec![
+                CrashWindow {
+                    node: 0,
+                    at_s: 1.0,
+                    recover_s: on(1).then_some(2.0),
+                },
+                CrashWindow {
+                    node: 2,
+                    at_s: 1.5,
+                    recover_s: None,
+                },
+            ]
+        }),
+        churn: on(2).then(|| ChurnConfig {
+            mean_uptime_s: 3.0,
+            mean_downtime_s: 0.5,
+            start_s: on(3).then_some(0.5),
+            stop_s: on(4).then_some(4.0),
+        }),
+        expire_routes: on(5).then_some(on(6)),
+        impairments: on(7).then(|| {
+            vec![ImpairmentBurst {
+                start_s: 1.0,
+                stop_s: 2.0,
+                extra_loss_db: 10.0,
+                noise_mult: on(8).then_some(3.0),
+            }]
+        }),
+        energy_budget_mj: on(9).then_some(500.0),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// FaultConfig round-trips stably on the spec for every combination
+    /// of present/absent fault mechanisms, and reaches the materialized
+    /// `ScenarioConfig` verbatim.
+    #[test]
+    fn fault_config_round_trips_and_materializes(bits in any::<u32>()) {
+        let mut spec = spec_from(0, 0, 0, 8, 200.0, false, false);
+        let faults = faults_from(bits);
+        spec.faults = Some(faults.clone());
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).expect("reparses");
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.to_json(), json, "second serialization must match the first");
+        let cfg = spec.materialize(3).expect("faulted spec materializes");
+        prop_assert_eq!(cfg.faults.as_ref(), Some(&faults));
+    }
+
+    /// The dotted fault patch paths build the same plan as setting the
+    /// struct directly: a JSON campaign axis can express any fault knob.
+    #[test]
+    fn fault_patch_paths_reach_the_spec(
+        uptime in 1.0f64..60.0,
+        downtime in 0.1f64..10.0,
+        budget in 1.0f64..10_000.0,
+        expire in any::<bool>(),
+    ) {
+        let mut patched = spec_from(0, 0, 0, 8, 200.0, false, false);
+        patched
+            .apply_patch("faults.churn.mean_uptime_s", &Value::F64(uptime))
+            .expect("path applies");
+        patched
+            .apply_patch("faults.churn.mean_downtime_s", &Value::F64(downtime))
+            .expect("path applies");
+        patched
+            .apply_patch("faults.energy_budget_mj", &Value::F64(budget))
+            .expect("path applies");
+        patched
+            .apply_patch("faults.expire_routes", &Value::Bool(expire))
+            .expect("path applies");
+
+        let mut direct = spec_from(0, 0, 0, 8, 200.0, false, false);
+        direct.faults = Some(FaultConfig {
+            churn: Some(ChurnConfig {
+                mean_uptime_s: uptime,
+                mean_downtime_s: downtime,
+                start_s: None,
+                stop_s: None,
+            }),
+            expire_routes: Some(expire),
+            energy_budget_mj: Some(budget),
+            ..FaultConfig::default()
+        });
+        prop_assert_eq!(&patched, &direct);
+        prop_assert_eq!(patched.to_json(), direct.to_json());
+    }
 
     /// ScenarioSpec: JSON → struct → JSON is a fixed point, and the
     /// reparsed struct is equal to the original.

@@ -30,6 +30,7 @@ fn valid_spec() -> ScenarioSpec {
         protocol: None,
         radio: None,
         aodv: None,
+        faults: None,
     }
 }
 
@@ -328,6 +329,29 @@ fn every_documented_patch_path_applies() {
         ),
         ("shadowing.sigma_db", Value::F64(4.0)),
         ("shadowing.symmetric", Value::Bool(false)),
+        (
+            "faults.crashes",
+            Value::Seq(vec![Value::Map(vec![
+                ("node".into(), Value::U64(3)),
+                ("at_s".into(), Value::F64(10.0)),
+                ("recover_s".into(), Value::F64(20.0)),
+            ])]),
+        ),
+        ("faults.churn.mean_uptime_s", Value::F64(20.0)),
+        ("faults.churn.mean_downtime_s", Value::F64(5.0)),
+        ("faults.churn.start_s", Value::F64(5.0)),
+        ("faults.churn.stop_s", Value::F64(25.0)),
+        ("faults.expire_routes", Value::Bool(true)),
+        (
+            "faults.impairments",
+            Value::Seq(vec![Value::Map(vec![
+                ("start_s".into(), Value::F64(12.0)),
+                ("stop_s".into(), Value::F64(18.0)),
+                ("extra_loss_db".into(), Value::F64(6.0)),
+                ("noise_mult".into(), Value::F64(2.0)),
+            ])]),
+        ),
+        ("faults.energy_budget_mj", Value::F64(5000.0)),
         ("mac.pcmac.safety_factor", Value::F64(0.9)),
         ("mac.pcmac.capture_ratio", Value::F64(8.0)),
         ("mac.pcmac.ctrl_rate_bps", Value::U64(250_000)),

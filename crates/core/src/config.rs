@@ -6,6 +6,8 @@ use pcmac_mac::{MacConfig, Variant};
 use pcmac_phy::radio::RadioConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultConfig;
+
 /// How traffic of one flow is shaped.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FlowShape {
@@ -180,6 +182,10 @@ pub struct ScenarioConfig {
     /// Gain cache selection (`None` = the default, auto). Kept optional
     /// so scenario JSON predating the knob parses unchanged.
     pub gain_cache: Option<GainCacheMode>,
+    /// Deterministic fault plan (`None` = healthy network). Kept
+    /// optional so scenario JSON predating the fault layer parses
+    /// unchanged.
+    pub faults: Option<FaultConfig>,
 }
 
 /// Emission start of flow `i`: 1 s warm-up plus 137 ms per flow, so
@@ -300,6 +306,7 @@ impl ScenarioConfig {
             channel_index: ChannelIndexMode::default(),
             mobility_refresh: None,
             gain_cache: None,
+            faults: None,
         }
     }
 
@@ -335,6 +342,7 @@ impl ScenarioConfig {
             channel_index: ChannelIndexMode::default(),
             mobility_refresh: None,
             gain_cache: None,
+            faults: None,
         }
     }
 
@@ -380,6 +388,7 @@ impl ScenarioConfig {
             channel_index: ChannelIndexMode::default(),
             mobility_refresh: None,
             gain_cache: None,
+            faults: None,
         }
     }
 
@@ -548,6 +557,9 @@ impl ScenarioConfig {
                 ));
             }
         }
+        if let Some(fc) = &self.faults {
+            fc.collect_problems(count, self.duration.as_secs_f64(), &mut problems);
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -641,14 +653,15 @@ mod tests {
 
     #[test]
     fn pre_knob_json_still_parses() {
-        // Scenario JSON written before the refresh/cache knobs existed
-        // has neither key; both must come back as `None` (the defaults).
+        // Scenario JSON written before the refresh/cache knobs and the
+        // fault layer existed has none of the keys; all must come back
+        // as `None` (the defaults).
         let a = ScenarioConfig::paper(Variant::Pcmac, 500.0, 3);
         let v: serde_json::Value = serde_json::from_str(&a.to_json()).unwrap();
         let stripped = match v {
             serde_json::Value::Map(m) => serde_json::Value::Map(
                 m.into_iter()
-                    .filter(|(k, _)| k != "mobility_refresh" && k != "gain_cache")
+                    .filter(|(k, _)| k != "mobility_refresh" && k != "gain_cache" && k != "faults")
                     .collect(),
             ),
             _ => unreachable!("configs serialize to maps"),
@@ -657,8 +670,26 @@ mod tests {
             .expect("pre-knob JSON parses");
         assert_eq!(b.mobility_refresh, None);
         assert_eq!(b.gain_cache, None);
+        assert_eq!(b.faults, None);
         assert_eq!(b.mobility_refresh_mode(), MobilityRefreshMode::Lazy);
         assert_eq!(b.gain_cache_mode(), GainCacheMode::Auto);
+    }
+
+    #[test]
+    fn fault_plan_defects_are_collected_by_validate() {
+        let mut c = ScenarioConfig::paper(Variant::Pcmac, 500.0, 1);
+        c.faults = Some(crate::fault::FaultConfig {
+            crashes: Some(vec![crate::fault::CrashWindow {
+                node: 500,
+                at_s: 1.0,
+                recover_s: None,
+            }]),
+            energy_budget_mj: Some(-1.0),
+            ..Default::default()
+        });
+        let err = c.validate().expect_err("bad fault plan must be rejected");
+        assert!(err.problems.iter().any(|p| p.contains("out of range")));
+        assert!(err.problems.iter().any(|p| p.contains("energy budget")));
     }
 
     #[test]

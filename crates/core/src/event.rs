@@ -85,4 +85,27 @@ pub enum SimEvent {
         /// Index into the node's source list.
         source: usize,
     },
+    /// A fault takes `node` down: the node stops transmitting,
+    /// receiving, and forwarding until a matching [`SimEvent::NodeUp`]
+    /// (if any) brings it back.
+    NodeDown {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// A previously crashed node recovers.
+    NodeUp {
+        /// The recovering node.
+        node: NodeId,
+    },
+    /// Channel impairment burst `index` (into the fault plan's burst
+    /// list) becomes active.
+    ImpairmentStart {
+        /// Burst index.
+        index: usize,
+    },
+    /// Channel impairment burst `index` ends.
+    ImpairmentEnd {
+        /// Burst index.
+        index: usize,
+    },
 }

@@ -52,6 +52,7 @@
 
 pub mod config;
 pub mod event;
+pub mod fault;
 pub mod node;
 pub mod report;
 pub mod runner;
@@ -63,7 +64,8 @@ pub use config::{
     InvalidScenario, MobilityRefreshMode, NodeSetup, ScenarioConfig, ShadowingConfig,
 };
 pub use event::SimEvent;
-pub use report::RunReport;
+pub use fault::{ChurnConfig, CrashWindow, FaultConfig, ImpairmentBurst};
+pub use report::{LatencySummary, ResilienceReport, RunReport};
 pub use runner::{run_parallel, run_parallel_iter};
 pub use sim::Simulator;
 pub use trace::{TraceFilter, TraceWriter};

@@ -58,6 +58,98 @@ impl FlowReport {
     }
 }
 
+/// Summary statistics over a latency sample (route-repair times).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency (seconds).
+    pub mean_s: f64,
+    /// 95th-percentile latency (seconds).
+    pub p95_s: f64,
+    /// Worst latency (seconds).
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarise a latency sample; `None` when it is empty. The sample
+    /// is sorted internally, so call order does not matter.
+    pub fn from_samples(samples: &[f64]) -> Option<LatencySummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let p95 = sorted[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+        Some(LatencySummary {
+            count: n as u64,
+            mean_s: sorted.iter().sum::<f64>() / n as f64,
+            p95_s: p95,
+            max_s: sorted[n - 1],
+        })
+    }
+}
+
+/// How the network behaved around the fault window. Present on a
+/// [`RunReport`] exactly when the scenario carried a fault plan; every
+/// field is derived from the deterministic event stream, so it takes
+/// part in the bit-identity proof obligation.
+///
+/// The *fault window* is `[window_start_s, window_end_s)`: from the
+/// first scheduled fault activation to the last deactivation (a
+/// permanent crash or an exhausted energy budget extends the window to
+/// the end of the run). "Before"/"during"/"after" classify application
+/// packets by *emission* time; a packet is counted as delivered in the
+/// phase it was sent in, so each phase's delivery ratio measures the
+/// fate of the traffic offered in that phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// First fault activation (seconds; `None` when an energy-budget-only
+    /// plan never killed a node).
+    pub window_start_s: Option<f64>,
+    /// Last fault deactivation (seconds).
+    pub window_end_s: Option<f64>,
+    /// Application packets emitted before the fault window.
+    pub sent_before: u64,
+    /// Application packets emitted during the fault window.
+    pub sent_during: u64,
+    /// Application packets emitted after the fault window.
+    pub sent_after: u64,
+    /// Delivered packets that were emitted before the window.
+    pub delivered_before: u64,
+    /// Delivered packets that were emitted during the window.
+    pub delivered_during: u64,
+    /// Delivered packets that were emitted after the window.
+    pub delivered_after: u64,
+    /// Delivery ratio of pre-window traffic.
+    pub pdr_before: f64,
+    /// Delivery ratio of in-window traffic.
+    pub pdr_during: f64,
+    /// Delivery ratio of post-window traffic.
+    pub pdr_after: f64,
+    /// Node-down transitions applied (scheduled, churn, and energy).
+    pub crashes: u64,
+    /// Node-up transitions applied.
+    pub recoveries: u64,
+    /// Nodes that exhausted their energy budget.
+    pub energy_deaths: u64,
+    /// Nodes still down when the run ended.
+    pub dead_nodes_end: u64,
+    /// Route repairs started (first link failure per (node, destination)).
+    pub repairs_started: u64,
+    /// Route repairs that completed (data flowed to that destination again).
+    pub repairs_completed: u64,
+    /// Distribution of completed repair latencies.
+    pub repair_latency: Option<LatencySummary>,
+    /// Seconds from the fault-window end to the first delivery after it
+    /// (`None` if the window reaches the end of the run or nothing was
+    /// delivered afterwards).
+    pub reconverged_after_s: Option<f64>,
+    /// Per-node remaining energy budget (mJ), when a budget was set.
+    pub residual_energy_mj: Option<Vec<f64>>,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -101,6 +193,10 @@ pub struct RunReport {
     pub wall_s: f64,
     /// Per-flow breakdown (fairness analysis).
     pub flows: Vec<FlowReport>,
+    /// Resilience metrics (`Some` exactly when the scenario carried a
+    /// fault plan). Kept optional so report JSON predating the fault
+    /// layer parses unchanged.
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl RunReport {
@@ -137,6 +233,7 @@ impl RunReport {
         sent_packets: u64,
         events: u64,
         wall_s: f64,
+        resilience: Option<ResilienceReport>,
     ) -> RunReport {
         let mut delivered = 0u64;
         let mut bytes = 0u64;
@@ -243,6 +340,7 @@ impl RunReport {
             events,
             wall_s,
             flows,
+            resilience,
         }
     }
 
@@ -287,6 +385,7 @@ mod tests {
             events: 0,
             wall_s: 0.0,
             flows: Vec::new(),
+            resilience: None,
         };
         assert_eq!(r.pdr(), 0.0);
         assert!(r.summary().contains("Basic 802.11"));
@@ -323,6 +422,7 @@ mod tests {
             events: 0,
             wall_s: 0.0,
             flows: vec![mk_flow(0, 50), mk_flow(1, 50)],
+            resilience: None,
         };
         assert!(
             (r.jain_fairness() - 1.0).abs() < 1e-12,
@@ -333,5 +433,17 @@ mod tests {
             (r.jain_fairness() - 0.5).abs() < 1e-12,
             "winner-takes-all → 1/n"
         );
+    }
+
+    #[test]
+    fn latency_summary_orders_and_bounds() {
+        assert_eq!(LatencySummary::from_samples(&[]), None);
+        let s = LatencySummary::from_samples(&[0.3, 0.1, 0.2]).unwrap();
+        assert_eq!(s.count, 3);
+        assert!((s.mean_s - 0.2).abs() < 1e-12);
+        assert_eq!(s.max_s, 0.3);
+        assert_eq!(s.p95_s, 0.3);
+        let one = LatencySummary::from_samples(&[0.5]).unwrap();
+        assert_eq!((one.p95_s, one.max_s), (0.5, 0.5));
     }
 }

@@ -59,8 +59,9 @@ use crate::config::{
     ChannelIndexMode, GainCacheMode, MobilityRefreshMode, NodeSetup, ScenarioConfig,
 };
 use crate::event::SimEvent;
+use crate::fault::FaultConfig;
 use crate::node::{Node, TrafficSource};
-use crate::report::RunReport;
+use crate::report::{LatencySummary, ResilienceReport, RunReport};
 
 /// Speed of light (m/s) for propagation delays.
 const C: f64 = 299_792_458.0;
@@ -127,6 +128,102 @@ impl<T> BufPool<T> {
     }
 }
 
+/// Runtime fault-injection state, present only when the scenario
+/// carries a fault plan. Every transition is either precomputed from
+/// the master seed at build time (crashes, churn, impairment bursts)
+/// or triggered by deterministic event-stream facts (energy budgets),
+/// and none of them touch positions, the spatial index, or the gain
+/// caches — which is what keeps faulted runs bit-identical across
+/// channel-index, mobility-refresh, and gain-cache modes.
+///
+/// Crash semantics: a down node schedules no arrivals (nothing it
+/// "sends" radiates), is skipped as a receiver (it hears nothing new),
+/// and accrues no transmit energy. Its MAC/AODV state machines keep
+/// running against the dead radio, so their timer chains stay
+/// consistent and a later recovery resumes cleanly; arrivals already
+/// in flight at the crash instant still land, keeping the radio's
+/// interference bookkeeping exact.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultConfig,
+    /// `true` while the node is down.
+    down: Vec<bool>,
+    /// Which impairment bursts are currently active.
+    burst_active: Vec<bool>,
+    /// Product of the active bursts' linear gain attenuations.
+    impair_gain: f64,
+    /// Product of the active bursts' noise multipliers.
+    noise_mult: f64,
+    /// Committed radiated data-channel energy per node (mJ).
+    committed_mj: Vec<f64>,
+    /// Nodes whose budget ran out (their `NodeDown` is permanent).
+    energy_dead: Vec<bool>,
+    /// Fault window: start of the first activation (static schedule, or
+    /// the first energy death), end of the last deactivation (permanent
+    /// faults extend it to the end of the run).
+    window_start: Option<SimTime>,
+    window_end: Option<SimTime>,
+    /// Packets emitted per phase (before/during/after the window).
+    sent_phase: [u64; 3],
+    /// Deliveries per phase, classified by the packet's emission time.
+    delivered_phase: [u64; 3],
+    crashes: u64,
+    recoveries: u64,
+    energy_deaths: u64,
+    /// Open route-repair observations: (node, destination, first failure).
+    pending_repairs: Vec<(u32, u32, SimTime)>,
+    repairs_started: u64,
+    repair_latencies_s: Vec<f64>,
+    /// First delivery at or after the window end.
+    reconverged_at: Option<SimTime>,
+}
+
+impl FaultState {
+    /// Phase of instant `t`: 0 before, 1 during, 2 after the window.
+    fn phase(&self, t: SimTime) -> usize {
+        match self.window_start {
+            Some(ws) if t >= ws => match self.window_end {
+                Some(we) if t >= we => 2,
+                _ => 1,
+            },
+            _ => 0,
+        }
+    }
+
+    fn into_report(self) -> ResilienceReport {
+        let pdr = |d: u64, s: u64| if s == 0 { 0.0 } else { d as f64 / s as f64 };
+        let residual = self
+            .plan
+            .energy_budget_mj
+            .map(|b| self.committed_mj.iter().map(|c| (b - c).max(0.0)).collect());
+        ResilienceReport {
+            window_start_s: self.window_start.map(SimTime::as_secs_f64),
+            window_end_s: self.window_end.map(SimTime::as_secs_f64),
+            sent_before: self.sent_phase[0],
+            sent_during: self.sent_phase[1],
+            sent_after: self.sent_phase[2],
+            delivered_before: self.delivered_phase[0],
+            delivered_during: self.delivered_phase[1],
+            delivered_after: self.delivered_phase[2],
+            pdr_before: pdr(self.delivered_phase[0], self.sent_phase[0]),
+            pdr_during: pdr(self.delivered_phase[1], self.sent_phase[1]),
+            pdr_after: pdr(self.delivered_phase[2], self.sent_phase[2]),
+            crashes: self.crashes,
+            recoveries: self.recoveries,
+            energy_deaths: self.energy_deaths,
+            dead_nodes_end: self.down.iter().filter(|d| **d).count() as u64,
+            repairs_started: self.repairs_started,
+            repairs_completed: self.repair_latencies_s.len() as u64,
+            repair_latency: LatencySummary::from_samples(&self.repair_latencies_s),
+            reconverged_after_s: match (self.reconverged_at, self.window_end) {
+                (Some(t), Some(we)) => Some((t - we).as_secs_f64()),
+                _ => None,
+            },
+            residual_energy_mj: residual,
+        }
+    }
+}
+
 /// A configured, runnable simulation.
 pub struct Simulator {
     cfg: ScenarioConfig,
@@ -156,6 +253,9 @@ pub struct Simulator {
     refresh_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
     next_key: u64,
     sent_packets: u64,
+    /// Fault-injection runtime state (`Some` iff the scenario has a
+    /// fault plan).
+    faults: Option<FaultState>,
     // Scratch-buffer pools for allocation-free dispatch.
     rad_pool: BufPool<RadioEvent<Arc<Frame>>>,
     ctrl_pool: BufPool<RadioEvent<CtrlFrame>>,
@@ -239,6 +339,99 @@ impl Simulator {
             }
             nodes[home].sources.push(src);
         }
+
+        // Fault plan: precompute the entire crash/recover/impairment
+        // schedule up front, from the master seed and the static plan
+        // alone, so the injected events are identical whatever
+        // channel-index, refresh, or cache mode executes the run.
+        let faults = cfg.faults.as_ref().map(|plan| {
+            let dur_s = cfg.duration.as_secs_f64();
+            let at = |s: f64| SimTime::ZERO + Duration::from_secs_f64(s);
+            let mut starts: Vec<f64> = Vec::new();
+            let mut ends: Vec<f64> = Vec::new();
+            if let Some(crashes) = &plan.crashes {
+                for cw in crashes {
+                    queue.schedule_at(
+                        at(cw.at_s),
+                        SimEvent::NodeDown {
+                            node: NodeId(cw.node),
+                        },
+                    );
+                    starts.push(cw.at_s);
+                    match cw.recover_s {
+                        Some(r) => {
+                            queue.schedule_at(
+                                at(r),
+                                SimEvent::NodeUp {
+                                    node: NodeId(cw.node),
+                                },
+                            );
+                            ends.push(r.min(dur_s));
+                        }
+                        None => ends.push(dur_s),
+                    }
+                }
+            }
+            if let Some(ch) = &plan.churn {
+                let w0 = ch.start_s.unwrap_or(0.0);
+                let w1 = ch.stop_s.unwrap_or(dur_s).min(dur_s);
+                if w1 > w0 {
+                    starts.push(w0);
+                    ends.push(w1);
+                    for i in 0..n {
+                        let mut rng = RngStream::derive_sub(cfg.seed, "faults.churn", i as u64);
+                        let node = NodeId(i as u32);
+                        let mut t = w0;
+                        loop {
+                            t += rng.exponential(ch.mean_uptime_s);
+                            if t >= w1 {
+                                break;
+                            }
+                            queue.schedule_at(at(t), SimEvent::NodeDown { node });
+                            let downtime = rng.exponential(ch.mean_downtime_s);
+                            // A node still down when the window closes
+                            // recovers at the window edge, so the
+                            // "after" phase observes a healed network.
+                            queue
+                                .schedule_at(at((t + downtime).min(w1)), SimEvent::NodeUp { node });
+                            t += downtime;
+                            if t >= w1 {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(bursts) = &plan.impairments {
+                for (k, b) in bursts.iter().enumerate() {
+                    queue.schedule_at(at(b.start_s), SimEvent::ImpairmentStart { index: k });
+                    queue.schedule_at(at(b.stop_s), SimEvent::ImpairmentEnd { index: k });
+                    starts.push(b.start_s);
+                    ends.push(b.stop_s.min(dur_s));
+                }
+            }
+            let n_bursts = plan.impairments.as_ref().map_or(0, Vec::len);
+            FaultState {
+                plan: plan.clone(),
+                down: vec![false; n],
+                burst_active: vec![false; n_bursts],
+                impair_gain: 1.0,
+                noise_mult: 1.0,
+                committed_mj: vec![0.0; n],
+                energy_dead: vec![false; n],
+                window_start: starts.iter().copied().reduce(f64::min).map(at),
+                window_end: ends.iter().copied().reduce(f64::max).map(at),
+                sent_phase: [0; 3],
+                delivered_phase: [0; 3],
+                crashes: 0,
+                recoveries: 0,
+                energy_deaths: 0,
+                pending_repairs: Vec::new(),
+                repairs_started: 0,
+                repair_latencies_s: Vec::new(),
+                reconverged_at: None,
+            }
+        });
 
         let propagation = match cfg.shadowing {
             Some(s) => PropagationModel::Shadowed(Shadowed::new(
@@ -330,6 +523,7 @@ impl Simulator {
             refresh_heap,
             next_key: 0,
             sent_packets: 0,
+            faults,
             rad_pool: BufPool::default(),
             ctrl_pool: BufPool::default(),
             mac_pool: BufPool::default(),
@@ -361,12 +555,14 @@ impl Simulator {
         for node in &mut self.nodes {
             node.energy.finish(end);
         }
+        let resilience = self.faults.take().map(FaultState::into_report);
         RunReport::build(
             &self.cfg,
             &self.nodes,
             self.sent_packets,
             self.queue.scheduled_total(),
             wall_start.elapsed().as_secs_f64(),
+            resilience,
         )
     }
 
@@ -461,10 +657,151 @@ impl Simulator {
                     self.queue
                         .schedule_at(t, SimEvent::TrafficEmit { node, source });
                 }
+                if let Some(fs) = &mut self.faults {
+                    let ph = fs.phase(now);
+                    fs.sent_phase[ph] += 1;
+                    if fs.down[i] {
+                        // The application emits into a dead stack:
+                        // counted as sent, lost on the spot.
+                        return;
+                    }
+                }
                 let mut acts = self.aodv_pool.take();
                 self.nodes[i].aodv.send(packet, now, &mut acts);
                 self.apply_aodv_actions(i, acts, now);
             }
+            SimEvent::NodeDown { node } => self.on_node_down(node.index()),
+            SimEvent::NodeUp { node } => self.on_node_up(node.index()),
+            SimEvent::ImpairmentStart { index } => self.set_impairment(index, true),
+            SimEvent::ImpairmentEnd { index } => self.set_impairment(index, false),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// `true` while node `i` is crashed.
+    fn node_is_down(&self, i: usize) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.down[i])
+    }
+
+    /// Apply a `NodeDown`: from here on the node schedules no arrivals,
+    /// is skipped as a receiver, and accrues no transmit energy. See
+    /// [`FaultState`] for the full crash semantics.
+    fn on_node_down(&mut self, i: usize) {
+        let Some(fs) = &mut self.faults else { return };
+        if fs.down[i] {
+            return; // a scheduled crash overlapping churn: already down
+        }
+        fs.down[i] = true;
+        fs.crashes += 1;
+    }
+
+    /// Apply a `NodeUp`. Exhausted energy budgets are permanent: a
+    /// churn recovery scheduled for later cannot resurrect the node.
+    fn on_node_up(&mut self, i: usize) {
+        let expire = {
+            let Some(fs) = &mut self.faults else { return };
+            if !fs.down[i] || fs.energy_dead[i] {
+                return;
+            }
+            fs.down[i] = false;
+            fs.recoveries += 1;
+            fs.plan.expire_routes == Some(true)
+        };
+        if expire {
+            // Reboot semantics: routing state is volatile and is lost
+            // with the node; the experimenter's counters survive.
+            let counters = self.nodes[i].aodv.counters;
+            self.nodes[i].aodv =
+                pcmac_aodv::AodvAgent::new(NodeId(i as u32), self.cfg.aodv.clone());
+            self.nodes[i].aodv.counters = counters;
+        }
+    }
+
+    /// (De)activate impairment burst `index`: recompute the composite
+    /// attenuation and noise multiplier from the plan (products over
+    /// the active set, so there is no incremental float drift), and
+    /// push the scaled noise floor into every radio.
+    fn set_impairment(&mut self, index: usize, active: bool) {
+        let Some(fs) = &mut self.faults else { return };
+        fs.burst_active[index] = active;
+        let bursts = fs.plan.impairments.as_deref().unwrap_or(&[]);
+        let mut gain = 1.0;
+        let mut noise = 1.0;
+        for (k, b) in bursts.iter().enumerate() {
+            if fs.burst_active[k] {
+                gain *= 10f64.powf(-b.extra_loss_db / 10.0);
+                noise *= b.noise_mult.unwrap_or(1.0);
+            }
+        }
+        fs.impair_gain = gain;
+        if noise != fs.noise_mult {
+            fs.noise_mult = noise;
+            let floor = self.cfg.radio.noise_floor * noise;
+            for node in &mut self.nodes {
+                node.radio.set_noise_floor(floor);
+                node.ctrl_radio.set_noise_floor(floor);
+            }
+        }
+    }
+
+    /// Account the radiated energy a data transmission commits (tx
+    /// power × airtime) against the node's budget, scheduling its
+    /// permanent death at the end of the transmission that exhausts it.
+    fn commit_energy(&mut self, i: usize, power: Milliwatts, airtime: Duration, end: SimTime) {
+        let run_end = SimTime::ZERO + self.cfg.duration;
+        let Some(fs) = &mut self.faults else { return };
+        let Some(budget) = fs.plan.energy_budget_mj else {
+            return;
+        };
+        if fs.energy_dead[i] {
+            return; // death already scheduled at an earlier tx's end
+        }
+        fs.committed_mj[i] += power.value() * airtime.as_secs_f64();
+        if fs.committed_mj[i] >= budget {
+            fs.energy_dead[i] = true;
+            fs.energy_deaths += 1;
+            // An exhausted budget is a fault like any other: it opens
+            // (or extends) the fault window to the end of the run.
+            if fs.window_start.is_none_or(|ws| end < ws) {
+                fs.window_start = Some(end);
+            }
+            fs.window_end = Some(run_end);
+            self.queue.schedule_at(
+                end,
+                SimEvent::NodeDown {
+                    node: NodeId(i as u32),
+                },
+            );
+        }
+    }
+
+    /// A data packet at node `i` lost its next hop: open a route-repair
+    /// observation for (node, destination) unless one is pending.
+    fn note_repair_start(&mut self, i: usize, dst: NodeId, now: SimTime) {
+        let Some(fs) = &mut self.faults else { return };
+        let key = (i as u32, dst.0);
+        if fs.pending_repairs.iter().any(|&(n, d, _)| (n, d) == key) {
+            return;
+        }
+        fs.pending_repairs.push((key.0, key.1, now));
+        fs.repairs_started += 1;
+    }
+
+    /// Data is flowing from node `i` toward `dst` again (a fresh route
+    /// exists): close the pending repair, recording its latency.
+    fn note_repair_complete(&mut self, i: usize, dst: NodeId, now: SimTime) {
+        let Some(fs) = &mut self.faults else { return };
+        let key = (i as u32, dst.0);
+        if let Some(idx) = fs
+            .pending_repairs
+            .iter()
+            .position(|&(n, d, _)| (n, d) == key)
+        {
+            let (_, _, t0) = fs.pending_repairs.swap_remove(idx);
+            fs.repair_latencies_s.push((now - t0).as_secs_f64());
         }
     }
 
@@ -552,6 +889,9 @@ impl Simulator {
                     self.apply_aodv_actions(i, acts, now);
                 }
                 MacAction::LinkFailure { packet, next_hop } => {
+                    if self.faults.is_some() && !packet.payload.is_routing() {
+                        self.note_repair_start(i, packet.dst, now);
+                    }
                     // Purge other frames queued for the dead hop first, so
                     // the routing agent can salvage or drop them too.
                     let drained = self.nodes[i].mac.drain_next_hop(next_hop);
@@ -560,6 +900,9 @@ impl Simulator {
                         .aodv
                         .on_link_failure(packet, next_hop, now, &mut acts);
                     for qp in drained {
+                        if self.faults.is_some() && !qp.packet.payload.is_routing() {
+                            self.note_repair_start(i, qp.packet.dst, now);
+                        }
                         self.nodes[i]
                             .aodv
                             .on_link_failure(qp.packet, next_hop, now, &mut acts);
@@ -584,11 +927,26 @@ impl Simulator {
         for a in actions.drain(..) {
             match a {
                 AodvAction::Transmit { packet, next_hop } => {
+                    if self.faults.is_some() && !packet.payload.is_routing() {
+                        // A data packet has a usable next hop again.
+                        self.note_repair_complete(i, packet.dst, now);
+                    }
                     let mut acts = self.mac_pool.take();
                     self.nodes[i].mac.enqueue(packet, next_hop, now, &mut acts);
                     self.apply_mac_actions(i, acts, now);
                 }
                 AodvAction::DeliverLocal { packet } => {
+                    if let Some(fs) = &mut self.faults {
+                        let ph = fs.phase(packet.created_at);
+                        fs.delivered_phase[ph] += 1;
+                        if fs.reconverged_at.is_none() {
+                            if let Some(we) = fs.window_end {
+                                if now >= we {
+                                    fs.reconverged_at = Some(now);
+                                }
+                            }
+                        }
+                    }
                     self.nodes[i].sink.deliver(&packet, now);
                 }
                 AodvAction::Arm { dst, delay, token } => {
@@ -759,12 +1117,15 @@ impl Simulator {
     fn transmit_frame(&mut self, i: usize, frame: Frame, power: Milliwatts, now: SimTime) {
         let airtime = self.nodes[i].mac.config().timing.frame_airtime(&frame);
         let end = now + airtime;
+        let down = self.node_is_down(i);
 
         let mut rad = self.rad_pool.take();
         self.nodes[i].radio.start_tx(end, &mut rad);
-        self.nodes[i]
-            .energy
-            .set_mode(now, RadioMode::Transmit, power);
+        if !down {
+            self.nodes[i]
+                .energy
+                .set_mode(now, RadioMode::Transmit, power);
+        }
         self.forward_radio_events(i, rad, now);
         self.queue.schedule_at(
             end,
@@ -772,16 +1133,27 @@ impl Simulator {
                 node: NodeId(i as u32),
             },
         );
+        if down {
+            // A crashed node's MAC still goes through the motions (its
+            // state machine stays consistent for recovery), but nothing
+            // is radiated: no arrivals, no energy.
+            return;
+        }
+        self.commit_energy(i, power, airtime, end);
 
         self.collect_receivers(i, power, now);
+        let impair = self.faults.as_ref().map_or(1.0, |f| f.impair_gain);
         let frame = Arc::new(frame);
         let key = self.next_key;
         self.next_key += 1;
         let src_pos = self.positions[i];
         for c in 0..self.candidates.len() {
             let j = self.candidates[c] as usize;
+            if self.node_is_down(j) {
+                continue; // crashed receivers hear nothing new
+            }
             let dst_pos = self.positions[j];
-            let pr = power * self.link_gain(i, j);
+            let pr = power * (self.link_gain(i, j) * impair);
             if pr.value() < self.cfg.interference_floor.value() {
                 continue;
             }
@@ -821,15 +1193,22 @@ impl Simulator {
                 node: NodeId(i as u32),
             },
         );
+        if self.node_is_down(i) {
+            return; // dead radios broadcast nothing
+        }
 
         self.collect_receivers(i, power, now);
+        let impair = self.faults.as_ref().map_or(1.0, |f| f.impair_gain);
         let key = self.next_key;
         self.next_key += 1;
         let src_pos = self.positions[i];
         for c in 0..self.candidates.len() {
             let j = self.candidates[c] as usize;
+            if self.node_is_down(j) {
+                continue;
+            }
             let dst_pos = self.positions[j];
-            let pr = power * self.link_gain(i, j);
+            let pr = power * (self.link_gain(i, j) * impair);
             if pr.value() < self.cfg.interference_floor.value() {
                 continue;
             }

@@ -13,8 +13,9 @@
 //! shadowing.
 
 use pcmac::{
-    ChannelIndexMode, FlowShape, FlowSpec, GainCacheMode, MobilityRefreshMode, NodeSetup,
-    RunReport, ScenarioConfig, ShadowingConfig, Simulator, Variant,
+    ChannelIndexMode, ChurnConfig, CrashWindow, FaultConfig, FlowShape, FlowSpec, GainCacheMode,
+    ImpairmentBurst, MobilityRefreshMode, NodeSetup, RunReport, ScenarioConfig, ShadowingConfig,
+    Simulator, Variant,
 };
 use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
 use proptest::prelude::*;
@@ -299,6 +300,122 @@ fn sparse_cache_matches_dense_cache_when_static() {
         .run();
         assert_eq!(fingerprint(&sparse), fingerprint(&dense), "seed {seed}");
     }
+}
+
+/// A fault plan dense enough to exercise every injection mechanism
+/// inside the 2 s equivalence runs: a scheduled crash with recovery, a
+/// permanent crash, sub-second churn over most of the run, an
+/// impairment burst, and an energy budget low enough to kill at least
+/// the busiest transmitter.
+fn fault_plan(n: usize) -> FaultConfig {
+    FaultConfig {
+        crashes: Some(vec![
+            CrashWindow {
+                node: (n as u32).saturating_sub(2),
+                at_s: 0.6,
+                recover_s: Some(1.4),
+            },
+            CrashWindow {
+                node: (n as u32).saturating_sub(1),
+                at_s: 1.0,
+                recover_s: None,
+            },
+        ]),
+        churn: Some(ChurnConfig {
+            mean_uptime_s: 0.7,
+            mean_downtime_s: 0.2,
+            start_s: Some(0.2),
+            stop_s: Some(1.6),
+        }),
+        expire_routes: Some(true),
+        impairments: Some(vec![ImpairmentBurst {
+            start_s: 0.9,
+            stop_s: 1.3,
+            extra_loss_db: 12.0,
+            noise_mult: Some(2.0),
+        }]),
+        energy_budget_mj: Some(0.25),
+    }
+}
+
+/// The fault schedule is derived from the master seed and the plan
+/// alone, so injected runs must stay bit-identical across the whole
+/// refresh × cache matrix and across grid vs brute-force channels —
+/// the ISSUE 6 determinism proof obligation.
+#[test]
+fn fault_injection_is_deterministic_across_refresh_and_cache_modes() {
+    for seed in [3u64, 23, 41] {
+        let n = 16;
+        let mut cfg = random_scenario(
+            Variant::ALL[seed as usize % 4],
+            seed,
+            n,
+            1500.0,
+            Milliwatts(1.559e-10),
+            true,
+            None,
+        );
+        cfg.faults = Some(fault_plan(n));
+
+        let reference = {
+            let mut c = cfg.clone();
+            c.channel_index = ChannelIndexMode::BruteForce;
+            c.mobility_refresh = Some(MobilityRefreshMode::Eager);
+            c.gain_cache = Some(GainCacheMode::Off);
+            Simulator::new(c).run()
+        };
+        assert!(reference.events > 0, "degenerate faulted run");
+        let res = reference
+            .resilience
+            .as_ref()
+            .expect("fault plan => resilience section");
+        assert!(res.crashes >= 2, "the plan must actually crash nodes");
+        assert!(
+            res.sent_before + res.sent_during + res.sent_after == reference.sent_packets,
+            "phase accounting must cover every packet"
+        );
+
+        for refresh in [MobilityRefreshMode::Lazy, MobilityRefreshMode::Eager] {
+            for cache in [
+                GainCacheMode::Auto,
+                GainCacheMode::Dense,
+                GainCacheMode::Sparse,
+                GainCacheMode::Off,
+            ] {
+                let run = Simulator::new(with_modes(cfg.clone(), refresh, cache)).run();
+                assert_eq!(
+                    fingerprint(&run),
+                    fingerprint(&reference),
+                    "faulted run diverged (seed {seed} refresh {refresh:?} cache {cache:?})"
+                );
+            }
+        }
+    }
+}
+
+/// Same-seed reruns of a faulted mobile scenario are bit-identical —
+/// churn draws come from derived streams, not shared global state.
+#[test]
+fn faulted_reruns_are_bit_identical() {
+    let build = || {
+        let mut cfg = random_scenario(
+            Variant::Pcmac,
+            57,
+            14,
+            1400.0,
+            Milliwatts(1.559e-10),
+            true,
+            Some(ShadowingConfig {
+                sigma_db: 4.0,
+                symmetric: false,
+            }),
+        );
+        cfg.faults = Some(fault_plan(14));
+        cfg
+    };
+    let a = Simulator::new(build()).run();
+    let b = Simulator::new(build()).run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
 }
 
 proptest! {

@@ -240,7 +240,11 @@ impl SentTable {
     /// stored copy deleted).
     pub fn reset_peer(&mut self, peer: NodeId) {
         self.map.remove(&peer);
-        self.next_seq.remove(&peer);
+        // The seq counter deliberately survives the reset: `SessionId` is
+        // a pair constant, so restarting at 0 would replay an identity the
+        // peer's duplicate filter may have already accepted (a rediscovery
+        // RREP would be swallowed as a stale retransmission and the route
+        // could never re-form). Monotonic seqs keep dedup sound.
     }
 }
 
@@ -446,7 +450,12 @@ mod tests {
         st.record_sent(NodeId(2), s, seq, pkt(1));
         st.reset_peer(NodeId(2));
         assert_eq!(st.judge_echo(NodeId(2), None), EchoVerdict::Proceed);
-        assert_eq!(st.allocate_seq(NodeId(2)), 0, "seq restarts after reset");
+        assert_eq!(
+            st.allocate_seq(NodeId(2)),
+            1,
+            "seq stays monotonic across resets so the peer's duplicate \
+             filter can never mistake a new session's frame for an old one"
+        );
     }
 
     #[test]

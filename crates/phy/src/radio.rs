@@ -164,6 +164,17 @@ impl<F: Clone> Radio<F> {
         &self.cfg
     }
 
+    /// Replace the receiver noise floor (transient channel impairments).
+    ///
+    /// Affects SINR and [`Radio::noise_power`] from the next evaluation
+    /// on; already-locked frames keep the corruption verdicts reached so
+    /// far. The floor stays below any sane carrier-sense threshold, so
+    /// no busy/idle edge can result and no event vector is needed.
+    pub fn set_noise_floor(&mut self, floor: Milliwatts) {
+        debug_assert!(floor.is_valid());
+        self.cfg.noise_floor = floor;
+    }
+
     /// `true` while a transmission of ours is on the air.
     pub fn is_transmitting(&self) -> bool {
         matches!(self.lock, Lock::Tx { .. })
