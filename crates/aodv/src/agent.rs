@@ -99,6 +99,8 @@ pub struct AodvCounters {
 struct Discovery {
     slot: TimerSlot,
     attempts: u8,
+    /// When the discovery was started (latency observability).
+    started: SimTime,
 }
 
 /// The per-node AODV agent.
@@ -117,6 +119,12 @@ pub struct AodvAgent {
     next_ctrl_pkt: u64,
     /// Statistics.
     pub counters: AodvCounters,
+    /// Discoveries started (observability; pairs with
+    /// `counters.discoveries_failed`).
+    discoveries_started: u64,
+    /// Seconds from discovery start to the route becoming usable, one
+    /// entry per completed discovery.
+    discovery_latencies_s: Vec<f64>,
 }
 
 impl AodvAgent {
@@ -133,12 +141,24 @@ impl AodvAgent {
             buffer: VecDeque::new(),
             next_ctrl_pkt: 0,
             counters: AodvCounters::default(),
+            discoveries_started: 0,
+            discovery_latencies_s: Vec::new(),
         }
     }
 
     /// Read access to the route table (tests, diagnostics).
     pub fn table(&self) -> &RouteTable {
         &self.table
+    }
+
+    /// Route discoveries this agent has started.
+    pub fn discoveries_started(&self) -> u64 {
+        self.discoveries_started
+    }
+
+    /// Completed-discovery latencies (seconds), in completion order.
+    pub fn discovery_latencies_s(&self) -> &[f64] {
+        &self.discovery_latencies_s
     }
 
     /// Allocate a control-packet id: namespace 2, node, counter — unique
@@ -191,7 +211,9 @@ impl AodvAgent {
             e.insert(Discovery {
                 slot: TimerSlot::new(),
                 attempts: 0,
+                started: now,
             });
+            self.discoveries_started += 1;
             self.emit_rreq(dst, now, out);
         }
     }
@@ -247,7 +269,10 @@ impl AodvAgent {
         }
         if self.table.lookup(dst, now).is_some() {
             // An RREP raced the timer: flush and finish.
-            self.discoveries.remove(&dst);
+            if let Some(disc) = self.discoveries.remove(&dst) {
+                self.discovery_latencies_s
+                    .push(now.saturating_since(disc.started).as_secs_f64());
+            }
             self.flush_buffer_for(dst, now, out);
             return;
         }
@@ -474,6 +499,8 @@ impl AodvAgent {
             // Our discovery completed.
             if let Some(mut disc) = self.discoveries.remove(&rrep.target) {
                 disc.slot.cancel();
+                self.discovery_latencies_s
+                    .push(now.saturating_since(disc.started).as_secs_f64());
             }
             self.flush_buffer_for(rrep.target, now, out);
             return;

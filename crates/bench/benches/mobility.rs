@@ -224,6 +224,41 @@ fn main() {
                 ));
             }
         }
+        // Instrumentation tax: turning the observability layer on must
+        // keep the run within the same 10% band of a metrics-off run at
+        // the largest reduced size — the hot-path counters are plain
+        // integer bumps behind an `Option` check, nothing more.
+        let &n = sizes().last().expect("sizes non-empty");
+        let time = |metrics: bool| {
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let mut cfg = scenario(n, true, MobilityRefreshMode::Lazy, GainCacheMode::Sparse);
+                if metrics {
+                    cfg.metrics = Some(pcmac::MetricsConfig::default());
+                }
+                let start = std::time::Instant::now();
+                let r = Simulator::new(cfg).run();
+                let elapsed = start.elapsed().as_secs_f64();
+                black_box(r.events);
+                best = best.min(elapsed);
+            }
+            best
+        };
+        let off = time(false);
+        let on = time(true);
+        println!(
+            "metrics overhead at N={n}: off {:.2} ms, on {:.2} ms ({:.2}x)",
+            off * 1e3,
+            on * 1e3,
+            on / off
+        );
+        if on > off * 1.10 {
+            failures.push(format!(
+                "perf smoke: metrics-on run exceeded 1.10x of metrics-off on waypoint \
+                 N={n} (got {:.2}x)",
+                on / off
+            ));
+        }
         println!("\nquick mode: BENCH_mobility.json left untouched");
     } else {
         // The PR 4 acceptance bar.

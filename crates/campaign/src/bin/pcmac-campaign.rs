@@ -5,14 +5,16 @@
 //! pcmac-campaign expand <campaign.json>
 //! pcmac-campaign validate <campaign.json>
 //! pcmac-campaign scenario <scenario.json> [--seed S]
+//! pcmac-campaign dashboard [DIR] [--baseline DIR] [--band PCT]
 //! pcmac-campaign example
 //! ```
 
 use std::process::ExitCode;
 
-use pcmac::Simulator;
+use pcmac::{MetricsConfig, Simulator, TraceWriter};
 use pcmac_campaign::{
-    cli, run_campaign_with, AxesSpec, Axis, CampaignSpec, RunOptions, ScenarioSpec,
+    cli, dashboard, run_campaign_with, AxesSpec, Axis, CampaignSpec, MetricsArtifact, RunOptions,
+    ScenarioSpec,
 };
 
 const USAGE: &str = "\
@@ -20,7 +22,7 @@ usage: pcmac-campaign <command> [args]
 
 commands:
   run <campaign.json> [--threads N] [--out FILE] [--timeout SECS]
-                      [--duration SECS] [--fresh]
+                      [--duration SECS] [--fresh] [--metrics]
         expand the campaign, run every point x seed in parallel, print the
         aggregated table and write CAMPAIGN_<name>.json (or FILE). The
         artifact is persisted after every finished point; rerunning with
@@ -29,14 +31,26 @@ commands:
         wall-clock budget; --duration overrides the simulated seconds per
         run (smoke-shrinking a published campaign). Panicking, hanging,
         and invalid points are recorded as structured failures (exit 1)
-        without aborting the sweep.
+        without aborting the sweep. --metrics turns on the observability
+        layer for every run (behaviour-identical; see the README's
+        Observability section) and additionally writes
+        METRICS_<name>.json with the per-run metrics.
   expand <campaign.json>
         print the grid a campaign expands to, without running it
   validate <campaign.json>
         check the spec and every expanded grid cell; exit 0 when clean,
         1 with the full aggregated defect list, one problem per line
   scenario <scenario.json> [--seed S]
-        materialize and run a single ScenarioSpec (default seed 1)
+        materialize and run a single ScenarioSpec (default seed 1). A
+        spec with a `metrics` section reports its observability metrics;
+        one with a `trace` section also writes TRACE_<name>.txt
+  dashboard [DIR] [--baseline DIR] [--band PCT] [--out FILE]
+        render the BENCH_*.json / CAMPAIGN_*.json / METRICS_*.json
+        artifacts in DIR (default .) into markdown (default
+        DIR/DASHBOARD.md; `-` prints to stdout). With --baseline, gate:
+        compare bench speedups and METRICS events/sec against the
+        baseline directory's artifacts and exit 1 if any fell more than
+        --band percent (default 20) below it
   example
         print a starter campaign spec (pipe into a .json file to begin)";
 
@@ -67,6 +81,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .map(str::to_string)
         .unwrap_or_else(|| format!("CAMPAIGN_{}.json", cli::sanitize(&spec.name)));
     let fresh = args.iter().any(|a| a == "--fresh");
+    let with_metrics = args.iter().any(|a| a == "--metrics");
     let resume = !fresh && std::path::Path::new(&out).exists();
     if resume {
         eprintln!("{out} exists: resuming if it is a partial artifact (--fresh recomputes)");
@@ -85,8 +100,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         out: Some(out.clone().into()),
         resume,
     };
-    let outcome = run_campaign_with(&spec, opts, |cfg| Simulator::new(cfg).run())
-        .map_err(|e| e.to_string())?;
+    let outcome = run_campaign_with(&spec, opts, move |mut cfg| {
+        // The metrics layer is behaviour-identical (proved by the
+        // channel-equivalence suite), so flipping it on here cannot
+        // change any campaign number.
+        if with_metrics && cfg.metrics.is_none() {
+            cfg.metrics = Some(MetricsConfig::default());
+        }
+        Simulator::new(cfg).run()
+    })
+    .map_err(|e| e.to_string())?;
+
+    if with_metrics {
+        if let Some(artifact) = MetricsArtifact::from_runs(&spec.name, &outcome.runs) {
+            let path = format!("METRICS_{}.json", cli::sanitize(&spec.name));
+            std::fs::write(&path, artifact.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    }
 
     println!(
         "campaign `{}` — {} runs, {:.0} s each, {:.1} s CPU total\n",
@@ -180,12 +211,73 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
         cfg.nodes.count(),
         cfg.flows.len()
     );
-    let report = Simulator::new(cfg).run();
+    let report = if let Some(filter) = spec.trace {
+        let trace_path = format!("TRACE_{}.txt", cli::sanitize(&cfg.name));
+        let mut tw = TraceWriter::with_filter(filter);
+        let report = {
+            let tw = std::cell::RefCell::new(&mut tw);
+            Simulator::new(cfg).run_with_observer(|ev, at| tw.borrow_mut().record(ev, at))
+        };
+        let mut file =
+            std::fs::File::create(&trace_path).map_err(|e| format!("create {trace_path}: {e}"))?;
+        tw.write_to(&mut file)
+            .map_err(|e| format!("write {trace_path}: {e}"))?;
+        eprintln!("wrote {trace_path} ({} lines)", tw.len());
+        report
+    } else {
+        Simulator::new(cfg).run()
+    };
     println!("{}", report.summary());
     println!(
         "{}",
         serde_json::to_string_pretty(&report).expect("reports serialize")
     );
+    Ok(())
+}
+
+fn cmd_dashboard(args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or(".");
+    let dir = std::path::Path::new(dir);
+    let band = cli::try_flag::<f64>(args, "--band")?.unwrap_or(20.0);
+    if !band.is_finite() || band <= 0.0 {
+        return Err(format!("--band {band}: must be a positive percentage"));
+    }
+    let snap = dashboard::scan(dir).map_err(|e| format!("scan {}: {e}", dir.display()))?;
+    let md = dashboard::render(&snap);
+    match cli::flag_value(args, "--out").unwrap_or("DASHBOARD.md") {
+        "-" => println!("{md}"),
+        out => {
+            let path = if std::path::Path::new(out).is_absolute() {
+                std::path::PathBuf::from(out)
+            } else {
+                dir.join(out)
+            };
+            std::fs::write(&path, &md).map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    if let Some(baseline) = cli::flag_value(args, "--baseline") {
+        let baseline = std::path::Path::new(baseline);
+        let base = dashboard::scan(baseline)
+            .map_err(|e| format!("scan baseline {}: {e}", baseline.display()))?;
+        let regressions = dashboard::compare(&snap, &base, band);
+        if !regressions.is_empty() {
+            return Err(format!(
+                "perf gate: {} regression(s) beyond the {band:.0}% band:\n  - {}",
+                regressions.len(),
+                regressions.join("\n  - ")
+            ));
+        }
+        eprintln!(
+            "perf gate: {} bench speedup(s) and {} events/sec mean(s) within the {band:.0}% band",
+            base.bench_speedups.len(),
+            base.events_per_sec.len()
+        );
+    }
     Ok(())
 }
 
@@ -219,6 +311,7 @@ fn main() -> ExitCode {
         Some("expand") => cmd_expand(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
+        Some("dashboard") => cmd_dashboard(&args[1..]),
         Some("example") => cmd_example(),
         _ => Err(USAGE.to_string()),
     };

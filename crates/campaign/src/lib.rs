@@ -37,6 +37,7 @@
 //! pcmac-campaign validate <spec.json>   # actionable errors, exit code
 //! pcmac-campaign scenario <spec.json>   # run a single ScenarioSpec
 //! pcmac-campaign example                # print a starter campaign spec
+//! pcmac-campaign dashboard . --baseline prev/ --band 20
 //! ```
 //!
 //! Adding a new workload — or a new design ablation — is a JSON file,
@@ -45,11 +46,13 @@
 pub mod aggregate;
 pub mod campaign;
 pub mod cli;
+pub mod dashboard;
 pub mod runner;
 pub mod spec;
 
 pub use aggregate::{CampaignReport, FailureKind, MetricSummary, PointFailure, PointSummary};
 pub use campaign::{AxesSpec, Axis, CampaignGrid, CampaignPoint, CampaignSpec, GridCell, PointKey};
+pub use dashboard::{MetricsArtifact, MetricsRun};
 pub use runner::{run_campaign, run_campaign_with, CampaignOutcome, RunOptions};
 pub use spec::{
     AodvSpec, MobilitySpec, NodesSpec, PlacementSpec, ProtocolSpec, RadioSpec, ScenarioSpec,

@@ -422,6 +422,8 @@ mod tests {
                 radio: None,
                 aodv: None,
                 faults: None,
+                metrics: None,
+                trace: None,
             },
             duration_s: None,
             seeds: vec![1, 2],

@@ -22,8 +22,8 @@
 //! [`ScenarioSpec::apply_patch`] and its dotted [`PATCH_PATHS`].
 
 use pcmac::{
-    ChurnConfig, FaultConfig, FlowShape, FlowSpec, NodeSetup, ScenarioConfig, ShadowingConfig,
-    Variant,
+    ChurnConfig, FaultConfig, FlowShape, FlowSpec, MetricsConfig, NodeSetup, ScenarioConfig,
+    ShadowingConfig, TraceFilter, Variant,
 };
 use pcmac_aodv::AodvConfig;
 use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
@@ -437,6 +437,11 @@ pub const PATCH_PATHS: &[&str] = &[
     "aodv.buffer_capacity",
     "aodv.buffer_timeout_s",
     "aodv.rreq_ttl",
+    "metrics.probe_interval_s",
+    "trace.channel",
+    "trace.ctrl",
+    "trace.timers",
+    "trace.traffic",
 ];
 
 /// Deserialize one patch value as the target type, naming the path on
@@ -478,6 +483,15 @@ pub struct ScenarioSpec {
     /// channel impairment bursts, energy budgets. `None` (or an omitted
     /// JSON field) runs the network healthy.
     pub faults: Option<FaultConfig>,
+    /// Observability metrics layer. `None` (or an omitted JSON field)
+    /// keeps the hot path untouched; `Some` collects the per-layer
+    /// counters, drop taxonomy, and time-series probes into the report's
+    /// `metrics` section without changing protocol behaviour.
+    pub metrics: Option<MetricsConfig>,
+    /// ns-2-style event-trace request. `None` runs untraced; `Some`
+    /// asks the scenario runner to attach a [`pcmac::TraceWriter`] with
+    /// this filter and write the trace next to the report.
+    pub trace: Option<TraceFilter>,
 }
 
 impl ScenarioSpec {
@@ -511,6 +525,8 @@ impl ScenarioSpec {
             radio: None,
             aodv: None,
             faults: None,
+            metrics: None,
+            trace: None,
         }
     }
 
@@ -618,6 +634,13 @@ impl ScenarioSpec {
                 self.aodv_mut().buffer_timeout_s = Some(patch_value(path, value)?);
             }
             "aodv.rreq_ttl" => self.aodv_mut().rreq_ttl = Some(patch_value(path, value)?),
+            "metrics.probe_interval_s" => {
+                self.metrics_mut().probe_interval_s = patch_value(path, value)?;
+            }
+            "trace.channel" => self.trace_mut().channel = patch_value(path, value)?,
+            "trace.ctrl" => self.trace_mut().ctrl = patch_value(path, value)?,
+            "trace.timers" => self.trace_mut().timers = patch_value(path, value)?,
+            "trace.traffic" => self.trace_mut().traffic = patch_value(path, value)?,
             unknown => {
                 return Err(SpecError::one(format!(
                     "unknown patch path `{unknown}`; supported paths: {}",
@@ -656,6 +679,14 @@ impl ScenarioSpec {
 
     fn faults_mut(&mut self) -> &mut FaultConfig {
         self.faults.get_or_insert_with(FaultConfig::default)
+    }
+
+    fn metrics_mut(&mut self) -> &mut MetricsConfig {
+        self.metrics.get_or_insert_with(MetricsConfig::default)
+    }
+
+    fn trace_mut(&mut self) -> &mut TraceFilter {
+        self.trace.get_or_insert_with(TraceFilter::default)
     }
 
     fn churn_mut(&mut self) -> &mut ChurnConfig {
@@ -940,6 +971,14 @@ impl ScenarioSpec {
         if let Some(fc) = &self.faults {
             fc.collect_problems(count, self.duration_s, &mut problems);
         }
+        if let Some(mc) = &self.metrics {
+            if !mc.probe_interval_s.is_finite() || mc.probe_interval_s <= 0.0 {
+                problems.push(format!(
+                    "metrics probe interval {} s must be positive and finite",
+                    mc.probe_interval_s
+                ));
+            }
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -1085,6 +1124,7 @@ impl ScenarioSpec {
             mobility_refresh: None,
             gain_cache: None,
             faults: self.faults.clone(),
+            metrics: self.metrics,
         };
         cfg.validate()?;
         Ok(cfg)

@@ -40,6 +40,8 @@ fn hostile_campaign() -> CampaignSpec {
             radio: None,
             aodv: None,
             faults: None,
+            metrics: None,
+            trace: None,
         },
         duration_s: None,
         seeds: vec![1, 2],

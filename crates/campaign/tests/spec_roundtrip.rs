@@ -90,6 +90,8 @@ fn spec_from(
         radio: None,
         aodv: None,
         faults: None,
+        metrics: None,
+        trace: None,
     }
 }
 

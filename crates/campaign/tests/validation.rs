@@ -31,6 +31,8 @@ fn valid_spec() -> ScenarioSpec {
         radio: None,
         aodv: None,
         faults: None,
+        metrics: None,
+        trace: None,
     }
 }
 
@@ -372,6 +374,11 @@ fn every_documented_patch_path_applies() {
         ("aodv.buffer_capacity", Value::U64(32)),
         ("aodv.buffer_timeout_s", Value::F64(20.0)),
         ("aodv.rreq_ttl", Value::U64(16)),
+        ("metrics.probe_interval_s", Value::F64(0.5)),
+        ("trace.channel", Value::Bool(true)),
+        ("trace.ctrl", Value::Bool(false)),
+        ("trace.timers", Value::Bool(false)),
+        ("trace.traffic", Value::Bool(true)),
     ];
     let sampled: Vec<&str> = samples.iter().map(|(p, _)| *p).collect();
     assert_eq!(sampled, PATCH_PATHS, "sample table must cover PATCH_PATHS");

@@ -7,6 +7,7 @@ use pcmac_phy::radio::RadioConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultConfig;
+use crate::metrics::MetricsConfig;
 
 /// How traffic of one flow is shaped.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -186,6 +187,9 @@ pub struct ScenarioConfig {
     /// optional so scenario JSON predating the fault layer parses
     /// unchanged.
     pub faults: Option<FaultConfig>,
+    /// Observability layer (`None` = off, zero cost). Kept optional so
+    /// scenario JSON predating the knob parses unchanged.
+    pub metrics: Option<MetricsConfig>,
 }
 
 /// Emission start of flow `i`: 1 s warm-up plus 137 ms per flow, so
@@ -307,6 +311,7 @@ impl ScenarioConfig {
             mobility_refresh: None,
             gain_cache: None,
             faults: None,
+            metrics: None,
         }
     }
 
@@ -343,6 +348,7 @@ impl ScenarioConfig {
             mobility_refresh: None,
             gain_cache: None,
             faults: None,
+            metrics: None,
         }
     }
 
@@ -389,6 +395,7 @@ impl ScenarioConfig {
             mobility_refresh: None,
             gain_cache: None,
             faults: None,
+            metrics: None,
         }
     }
 
@@ -560,6 +567,14 @@ impl ScenarioConfig {
         if let Some(fc) = &self.faults {
             fc.collect_problems(count, self.duration.as_secs_f64(), &mut problems);
         }
+        if let Some(mc) = &self.metrics {
+            if !mc.probe_interval_s.is_finite() || mc.probe_interval_s <= 0.0 {
+                problems.push(format!(
+                    "metrics probe interval {} s must be positive and finite",
+                    mc.probe_interval_s
+                ));
+            }
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -661,7 +676,12 @@ mod tests {
         let stripped = match v {
             serde_json::Value::Map(m) => serde_json::Value::Map(
                 m.into_iter()
-                    .filter(|(k, _)| k != "mobility_refresh" && k != "gain_cache" && k != "faults")
+                    .filter(|(k, _)| {
+                        k != "mobility_refresh"
+                            && k != "gain_cache"
+                            && k != "faults"
+                            && k != "metrics"
+                    })
                     .collect(),
             ),
             _ => unreachable!("configs serialize to maps"),
@@ -671,6 +691,7 @@ mod tests {
         assert_eq!(b.mobility_refresh, None);
         assert_eq!(b.gain_cache, None);
         assert_eq!(b.faults, None);
+        assert_eq!(b.metrics, None);
         assert_eq!(b.mobility_refresh_mode(), MobilityRefreshMode::Lazy);
         assert_eq!(b.gain_cache_mode(), GainCacheMode::Auto);
     }

@@ -108,4 +108,10 @@ pub enum SimEvent {
         /// Burst index.
         index: usize,
     },
+    /// Periodic observability probe: sample channel busy fraction,
+    /// queue depths, live-node count, and cumulative offered/delivered
+    /// load into the current time-series bucket. Pure read — handling
+    /// this event never mutates protocol state, so a metrics-on run is
+    /// bit-identical in behavior to a metrics-off run.
+    MetricsProbe,
 }

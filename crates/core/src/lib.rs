@@ -53,6 +53,7 @@
 pub mod config;
 pub mod event;
 pub mod fault;
+pub mod metrics;
 pub mod node;
 pub mod report;
 pub mod runner;
@@ -65,6 +66,10 @@ pub use config::{
 };
 pub use event::SimEvent;
 pub use fault::{ChurnConfig, CrashWindow, FaultConfig, ImpairmentBurst};
+pub use metrics::{
+    DropTaxonomy, HotPathProfile, MacMetrics, MetricsConfig, PhyMetrics, ProbeSample,
+    RoutingMetrics, SimMetrics, TxPowerMetrics,
+};
 pub use report::{LatencySummary, ResilienceReport, RunReport};
 pub use runner::{run_parallel, run_parallel_iter};
 pub use sim::Simulator;

@@ -1,0 +1,604 @@
+//! The observability layer: per-layer counters, time-series probes, and
+//! a packet-fate drop taxonomy.
+//!
+//! A [`RunReport`](crate::RunReport) says *what* happened (PDR, latency,
+//! energy); this module records *why* — which layer dropped every
+//! undelivered packet, how busy the channel was over time, how hard the
+//! MAC retried, and what the channel hot path cost. Everything here is
+//! opt-in via [`MetricsConfig`] (`cfg.metrics = Some(..)`) and obeys two
+//! contracts:
+//!
+//! * **Zero behavioral cost.** Collection only *reads* the deterministic
+//!   event stream. A metrics-on run is bit-identical in behavior to a
+//!   metrics-off run: the periodic [`SimEvent::MetricsProbe`]
+//!   (crate::SimEvent::MetricsProbe) events never mutate protocol state,
+//!   and their queue insertions shift sequence numbers monotonically
+//!   without reordering any other pair of events.
+//! * **Bit-identical metrics.** [`SimMetrics`] carries no wall-clock
+//!   values and every field is derived from the event stream, so the
+//!   metrics section itself is identical across reruns and across the
+//!   refresh × cache equivalence matrix (`channel_equivalence` proves
+//!   both).
+//!
+//! The drop taxonomy is conservation-complete by construction: every
+//! application packet is registered at emission and assigned exactly one
+//! terminal fate (delivered, one of six drop reasons, or still in flight
+//! at the end of the run), so the [`DropTaxonomy`] counts always sum to
+//! `sent`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pcmac_aodv::DropReason;
+use pcmac_engine::{Duration, PacketId, SimTime};
+use pcmac_phy::SparseCacheStats;
+
+use crate::node::Node;
+use crate::report::LatencySummary;
+
+/// Number of buckets in the MAC retransmission histogram: bucket `k`
+/// counts exchanges that took `k` retries (short + long), the last
+/// bucket is `>= 7`.
+pub const RETX_BUCKETS: usize = 8;
+
+/// Number of buckets in the per-node radiated-energy histogram.
+pub const ENERGY_BUCKETS: usize = 16;
+
+/// Enables the observability layer on a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsConfig {
+    /// Seconds between time-series probe samples. Must be finite and
+    /// positive; one [`ProbeSample`] is recorded at every multiple of
+    /// this interval that falls inside the run.
+    pub probe_interval_s: f64,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            probe_interval_s: 1.0,
+        }
+    }
+}
+
+/// One fixed-interval time-series sample, taken by the periodic
+/// `MetricsProbe` event. Faulted runs show the dip-and-recover curve
+/// here rather than only the phase-split scalars of the resilience
+/// report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeSample {
+    /// Simulated time of the sample (seconds).
+    pub t_s: f64,
+    /// Nodes currently up (not crashed / energy-dead).
+    pub live_nodes: u64,
+    /// Live nodes whose data radio observed a busy carrier.
+    pub busy_nodes: u64,
+    /// `busy_nodes / live_nodes` (`0` when no node is live).
+    pub busy_fraction: f64,
+    /// Mean MAC interface-queue depth over live nodes (including the
+    /// in-service frame).
+    pub mean_queue_len: f64,
+    /// Application packets emitted so far (cumulative).
+    pub sent_cum: u64,
+    /// Application packets delivered so far (cumulative).
+    pub delivered_cum: u64,
+}
+
+/// Where every undelivered application packet went. Counts are derived
+/// from a per-packet fate map, so they are conservation-complete:
+/// `sent == delivered_unique + emit_dead + mac_queue_full + no_route +
+/// buffer_overflow + buffer_timeout + ttl_expired + in_flight_end`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DropTaxonomy {
+    /// Application packets emitted.
+    pub sent: u64,
+    /// Distinct packets delivered to their destination sink.
+    pub delivered_unique: u64,
+    /// Deliveries of a packet that had already arrived once.
+    pub duplicate_deliveries: u64,
+    /// Emitted while the source node was down (lost on the spot).
+    pub emit_dead: u64,
+    /// Rejected by a full MAC interface queue.
+    pub mac_queue_full: u64,
+    /// Dropped by routing: no route after discovery failed or an
+    /// unsalvageable link break.
+    pub no_route: u64,
+    /// Dropped by routing: discovery buffer overflowed.
+    pub buffer_overflow: u64,
+    /// Dropped by routing: buffered longer than the discovery timeout.
+    pub buffer_timeout: u64,
+    /// Dropped by routing: hop budget exhausted.
+    pub ttl_expired: u64,
+    /// Still queued, buffered, or in the air when the run ended.
+    pub in_flight_end: u64,
+}
+
+impl DropTaxonomy {
+    /// Packets assigned a terminal drop reason.
+    pub fn total_dropped(&self) -> u64 {
+        self.emit_dead
+            + self.mac_queue_full
+            + self.no_route
+            + self.buffer_overflow
+            + self.buffer_timeout
+            + self.ttl_expired
+    }
+
+    /// `true` iff the counts account for every emitted packet.
+    pub fn conserved(&self) -> bool {
+        self.sent == self.delivered_unique + self.total_dropped() + self.in_flight_end
+    }
+}
+
+/// MAC-layer outcome counters, network-wide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacMetrics {
+    /// RTS frames transmitted.
+    pub rts_sent: u64,
+    /// Unicast DATA frames transmitted (including retries).
+    pub data_sent: u64,
+    /// CTS timeouts (RTS attempt failed).
+    pub cts_timeouts: u64,
+    /// ACK timeouts (DATA attempt failed).
+    pub ack_timeouts: u64,
+    /// Packets dropped after exhausting retries.
+    pub retry_drops: u64,
+    /// Packets rejected by full interface queues.
+    pub queue_drops: u64,
+    /// Corrupted receptions observed (collision indicator).
+    pub rx_errors: u64,
+    /// Retry-count distribution over finished exchanges: bucket `k`
+    /// counts exchanges finished after `k` retries, bucket 7 is `>= 7`.
+    pub retx_histogram: Vec<u64>,
+}
+
+/// PHY-layer arrival fates on the data channel: the frame-level drop
+/// taxonomy (why receivers failed to decode).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhyMetrics {
+    /// Frame arrivals observed (every receiver of every transmission).
+    pub arrivals: u64,
+    /// Arrivals decoded successfully.
+    pub decoded_ok: u64,
+    /// Locked arrivals corrupted by overlapping power (collisions).
+    pub collided: u64,
+    /// Successful decodes that survived at least one overlapping
+    /// arrival (capture effect wins).
+    pub capture_wins: u64,
+    /// Addressed arrivals lost because the radio was already locked to
+    /// another frame (captured away).
+    pub captured_away: u64,
+    /// Addressed arrivals below the receive threshold (heard as noise
+    /// at most).
+    pub below_rx_thresh: u64,
+    /// Addressed arrivals missed because the receiver was transmitting.
+    pub missed_while_tx: u64,
+    /// Arrivals that began during an active channel-impairment burst.
+    pub impaired_arrivals: u64,
+}
+
+/// Routing-layer control overhead and discovery latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingMetrics {
+    /// RREQ floods originated.
+    pub rreq_originated: u64,
+    /// RREQs rebroadcast.
+    pub rreq_forwarded: u64,
+    /// RREPs generated.
+    pub rrep_generated: u64,
+    /// RREPs forwarded.
+    pub rrep_forwarded: u64,
+    /// RERRs sent.
+    pub rerr_sent: u64,
+    /// Route discoveries started.
+    pub discoveries_started: u64,
+    /// Route discoveries that gave up.
+    pub discoveries_failed: u64,
+    /// Seconds from discovery start to the route becoming usable, over
+    /// completed discoveries (`None` when none completed).
+    pub discovery_latency: Option<LatencySummary>,
+}
+
+/// TX-power usage and per-node radiated-energy distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxPowerMetrics {
+    /// The scenario's discrete power levels (mW), index-aligned with
+    /// `data_tx_by_level`.
+    pub levels_mw: Vec<f64>,
+    /// Data-channel transmissions per power level.
+    pub data_tx_by_level: Vec<u64>,
+    /// Data-channel transmissions at a power matching no listed level
+    /// (always 0 for the paper's variants; a guard, not a bucket).
+    pub data_tx_unclassified: u64,
+    /// Control-channel broadcasts (PCMAC tolerance frames).
+    pub ctrl_tx: u64,
+    /// Per-node radiated energy histogram; bucket width is
+    /// `energy_bucket_mj`, the last bucket is open-ended.
+    pub energy_histogram: Vec<u64>,
+    /// Width of one energy histogram bucket (mJ).
+    pub energy_bucket_mj: f64,
+    /// Mean radiated energy per node (mJ).
+    pub energy_mean_mj: f64,
+    /// Highest per-node radiated energy (mJ).
+    pub energy_max_mj: f64,
+}
+
+/// Hot-path self-profiling counters: what the channel maintenance
+/// machinery did during the run. Pure work counts — no wall-clock
+/// values — so the profile is bit-identical across reruns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotPathProfile {
+    /// Spatial-index receiver queries issued (one per transmission).
+    pub grid_queries: u64,
+    /// Candidate receivers returned across all queries.
+    pub grid_candidates: u64,
+    /// Lazy-refresh deadline pops processed.
+    pub refresh_pops: u64,
+    /// Lazy-refresh deadlines re-armed.
+    pub refresh_rearms: u64,
+    /// Exact position samples forced outside the deadline schedule.
+    pub exact_samples: u64,
+    /// Metrics probe events processed.
+    pub probes: u64,
+    /// Block-sparse gain-cache effectiveness (`None` unless the run
+    /// used `GainCacheMode::Sparse`).
+    pub sparse_cache: Option<SparseCacheStats>,
+}
+
+/// The serialized observability section of a [`RunReport`]
+/// (crate::RunReport): per-layer counters, the probe time series, the
+/// drop taxonomy, and the hot-path profile. Contains no wall-clock
+/// values — events/sec lives beside it in campaign artifacts, computed
+/// from `RunReport::{events, wall_s}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// The probe interval the time series was sampled at (seconds).
+    pub probe_interval_s: f64,
+    /// Fixed-interval time-series samples, in time order.
+    pub samples: Vec<ProbeSample>,
+    /// Packet-fate accounting (conservation-complete).
+    pub drops: DropTaxonomy,
+    /// MAC outcome counters + retry histogram.
+    pub mac: MacMetrics,
+    /// PHY arrival fates (frame-level drop taxonomy).
+    pub phy: PhyMetrics,
+    /// Routing control overhead + discovery latency.
+    pub routing: RoutingMetrics,
+    /// TX-power usage and energy distribution.
+    pub tx_power: TxPowerMetrics,
+    /// Channel hot-path self-profiling counters.
+    pub hot_path: HotPathProfile,
+}
+
+/// Terminal fate of one application packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    /// Emitted, no terminal outcome observed yet.
+    InFlight,
+    /// Reached its destination sink.
+    Delivered,
+    /// Dropped; the first recorded reason wins.
+    Dropped(Drop),
+}
+
+/// The six terminal drop reasons of the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Drop {
+    /// Emitted while the source was down.
+    EmitDead,
+    /// MAC interface queue full.
+    MacQueueFull,
+    /// Routing: no route.
+    NoRoute,
+    /// Routing: discovery buffer overflow.
+    BufferOverflow,
+    /// Routing: discovery buffer timeout.
+    BufferTimeout,
+    /// Routing: TTL exhausted.
+    TtlExpired,
+}
+
+impl From<DropReason> for Drop {
+    fn from(r: DropReason) -> Drop {
+        match r {
+            DropReason::NoRoute => Drop::NoRoute,
+            DropReason::BufferOverflow => Drop::BufferOverflow,
+            DropReason::BufferTimeout => Drop::BufferTimeout,
+            DropReason::TtlExpired => Drop::TtlExpired,
+        }
+    }
+}
+
+/// Live collection state owned by the simulator (`Some` exactly when
+/// the scenario enabled metrics). The simulator mutates the public
+/// counters inline on its hot paths and calls the `note_*` methods at
+/// the packet-fate sites; [`MetricsState::finish`] folds everything
+/// into the serializable [`SimMetrics`].
+#[derive(Debug)]
+pub(crate) struct MetricsState {
+    interval: Duration,
+    /// `MetricsProbe` events scheduled so far — subtracted from the
+    /// queue's scheduled total so the reported event count matches a
+    /// metrics-off run exactly.
+    pub(crate) probes_scheduled: u64,
+    samples: Vec<ProbeSample>,
+    sent: u64,
+    delivered_cum: u64,
+    duplicate_deliveries: u64,
+    /// Fate per emitted application packet, keyed by raw `PacketId`.
+    fates: HashMap<u64, Fate>,
+    /// PHY arrival fates, mutated inline by the dispatch loop.
+    pub(crate) phy: PhyMetrics,
+    /// Per-receiver flag: the arrival currently locked at this node has
+    /// seen at least one overlapping arrival (capture-effect bookkeeping).
+    pub(crate) rx_overlap: Vec<bool>,
+    /// The scenario's power levels (mW), for TX classification.
+    levels_mw: Vec<f64>,
+    data_tx_by_level: Vec<u64>,
+    data_tx_unclassified: u64,
+    ctrl_tx: u64,
+    /// Hot-path work counters, mutated inline.
+    pub(crate) hot: HotPathProfile,
+}
+
+impl MetricsState {
+    pub(crate) fn new(cfg: MetricsConfig, node_count: usize, levels_mw: Vec<f64>) -> MetricsState {
+        let n = levels_mw.len();
+        MetricsState {
+            interval: Duration::from_secs_f64(cfg.probe_interval_s),
+            probes_scheduled: 0,
+            samples: Vec::new(),
+            sent: 0,
+            delivered_cum: 0,
+            duplicate_deliveries: 0,
+            fates: HashMap::new(),
+            phy: PhyMetrics::default(),
+            rx_overlap: vec![false; node_count],
+            levels_mw,
+            data_tx_by_level: vec![0; n],
+            data_tx_unclassified: 0,
+            ctrl_tx: 0,
+            hot: HotPathProfile::default(),
+        }
+    }
+
+    /// The probe period.
+    pub(crate) fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Register an emitted application packet (fate: in flight).
+    pub(crate) fn note_sent(&mut self, id: PacketId) {
+        self.sent += 1;
+        self.fates.insert(id.0, Fate::InFlight);
+    }
+
+    /// The packet reached its destination sink. Delivery is sticky: it
+    /// overrides a previously recorded drop (a salvaged copy made it).
+    /// Unregistered ids (routing control packets) are ignored.
+    pub(crate) fn note_delivered(&mut self, id: PacketId) {
+        if let Some(f) = self.fates.get_mut(&id.0) {
+            if *f == Fate::Delivered {
+                self.duplicate_deliveries += 1;
+            } else {
+                *f = Fate::Delivered;
+                self.delivered_cum += 1;
+            }
+        }
+    }
+
+    /// The packet hit a terminal drop. Only the first reason sticks,
+    /// and a delivered packet is never reclassified. Unregistered ids
+    /// (routing control packets) are ignored.
+    pub(crate) fn note_dropped(&mut self, id: PacketId, reason: Drop) {
+        if let Some(f @ Fate::InFlight) = self.fates.get_mut(&id.0) {
+            *f = Fate::Dropped(reason);
+        }
+    }
+
+    /// Classify a data-channel transmission by power level.
+    pub(crate) fn note_data_tx(&mut self, power_mw: f64) {
+        match self.levels_mw.iter().position(|&l| l == power_mw) {
+            Some(i) => self.data_tx_by_level[i] += 1,
+            None => self.data_tx_unclassified += 1,
+        }
+    }
+
+    /// Count a control-channel broadcast.
+    pub(crate) fn note_ctrl_tx(&mut self) {
+        self.ctrl_tx += 1;
+    }
+
+    /// Record one time-series sample (the probe event handler computes
+    /// the instantaneous fields; cumulative fields come from here).
+    pub(crate) fn record_probe(
+        &mut self,
+        t: SimTime,
+        live_nodes: u64,
+        busy_nodes: u64,
+        queue_len_sum: u64,
+    ) {
+        self.hot.probes += 1;
+        let live = live_nodes as f64;
+        self.samples.push(ProbeSample {
+            t_s: t.as_secs_f64(),
+            live_nodes,
+            busy_nodes,
+            busy_fraction: if live_nodes == 0 {
+                0.0
+            } else {
+                busy_nodes as f64 / live
+            },
+            mean_queue_len: if live_nodes == 0 {
+                0.0
+            } else {
+                queue_len_sum as f64 / live
+            },
+            sent_cum: self.sent,
+            delivered_cum: self.delivered_cum,
+        });
+    }
+
+    /// Fold the collected state into the serializable report section.
+    pub(crate) fn finish(self, nodes: &[Node], cache: Option<SparseCacheStats>) -> SimMetrics {
+        let mut drops = DropTaxonomy {
+            sent: self.sent,
+            duplicate_deliveries: self.duplicate_deliveries,
+            ..DropTaxonomy::default()
+        };
+        for fate in self.fates.values() {
+            match fate {
+                Fate::InFlight => drops.in_flight_end += 1,
+                Fate::Delivered => drops.delivered_unique += 1,
+                Fate::Dropped(Drop::EmitDead) => drops.emit_dead += 1,
+                Fate::Dropped(Drop::MacQueueFull) => drops.mac_queue_full += 1,
+                Fate::Dropped(Drop::NoRoute) => drops.no_route += 1,
+                Fate::Dropped(Drop::BufferOverflow) => drops.buffer_overflow += 1,
+                Fate::Dropped(Drop::BufferTimeout) => drops.buffer_timeout += 1,
+                Fate::Dropped(Drop::TtlExpired) => drops.ttl_expired += 1,
+            }
+        }
+
+        let mut mac = MacMetrics {
+            rts_sent: 0,
+            data_sent: 0,
+            cts_timeouts: 0,
+            ack_timeouts: 0,
+            retry_drops: 0,
+            queue_drops: 0,
+            rx_errors: 0,
+            retx_histogram: vec![0; RETX_BUCKETS],
+        };
+        let mut routing = RoutingMetrics {
+            rreq_originated: 0,
+            rreq_forwarded: 0,
+            rrep_generated: 0,
+            rrep_forwarded: 0,
+            rerr_sent: 0,
+            discoveries_started: 0,
+            discoveries_failed: 0,
+            discovery_latency: None,
+        };
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut energies: Vec<f64> = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let c = &node.mac.counters;
+            mac.rts_sent += c.rts_sent;
+            mac.data_sent += c.data_sent;
+            mac.cts_timeouts += c.cts_timeouts;
+            mac.ack_timeouts += c.ack_timeouts;
+            mac.retry_drops += c.retry_drops;
+            mac.queue_drops += c.queue_drops;
+            mac.rx_errors += c.rx_errors;
+            for (h, n) in mac.retx_histogram.iter_mut().zip(node.mac.retx_histogram()) {
+                *h += n;
+            }
+            let a = &node.aodv.counters;
+            routing.rreq_originated += a.rreq_originated;
+            routing.rreq_forwarded += a.rreq_forwarded;
+            routing.rrep_generated += a.rrep_generated;
+            routing.rrep_forwarded += a.rrep_forwarded;
+            routing.rerr_sent += a.rerr_sent;
+            routing.discoveries_failed += a.discoveries_failed;
+            routing.discoveries_started += node.aodv.discoveries_started();
+            latencies.extend_from_slice(node.aodv.discovery_latencies_s());
+            energies.push(node.energy.radiated_mj());
+        }
+        routing.discovery_latency = LatencySummary::from_samples(&latencies);
+
+        let energy_max = energies.iter().copied().fold(0.0, f64::max);
+        let energy_mean = if energies.is_empty() {
+            0.0
+        } else {
+            energies.iter().sum::<f64>() / energies.len() as f64
+        };
+        let bucket = if energy_max > 0.0 {
+            energy_max / ENERGY_BUCKETS as f64
+        } else {
+            0.0
+        };
+        let mut energy_histogram = vec![0u64; ENERGY_BUCKETS];
+        for &e in &energies {
+            let i = if bucket > 0.0 {
+                ((e / bucket) as usize).min(ENERGY_BUCKETS - 1)
+            } else {
+                0
+            };
+            energy_histogram[i] += 1;
+        }
+
+        let mut hot = self.hot;
+        hot.sparse_cache = cache;
+
+        SimMetrics {
+            probe_interval_s: self.interval.as_secs_f64(),
+            samples: self.samples,
+            drops,
+            mac,
+            phy: self.phy,
+            routing,
+            tx_power: TxPowerMetrics {
+                levels_mw: self.levels_mw,
+                data_tx_by_level: self.data_tx_by_level,
+                data_tx_unclassified: self.data_tx_unclassified,
+                ctrl_tx: self.ctrl_tx,
+                energy_histogram,
+                energy_bucket_mj: bucket,
+                energy_mean_mj: energy_mean,
+                energy_max_mj: energy_max,
+            },
+            hot_path: hot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_probe_interval_is_one_second() {
+        assert_eq!(MetricsConfig::default().probe_interval_s, 1.0);
+    }
+
+    #[test]
+    fn fate_map_is_conservation_complete() {
+        let mut m = MetricsState::new(MetricsConfig::default(), 2, vec![1.0, 2.0]);
+        for id in 0..6u64 {
+            m.note_sent(PacketId(id));
+        }
+        m.note_delivered(PacketId(0));
+        m.note_delivered(PacketId(0)); // duplicate
+        m.note_dropped(PacketId(1), Drop::MacQueueFull);
+        m.note_dropped(PacketId(1), Drop::NoRoute); // first reason wins
+        m.note_dropped(PacketId(2), Drop::EmitDead);
+        m.note_dropped(PacketId(3), Drop::TtlExpired);
+        m.note_delivered(PacketId(3)); // delivery overrides a drop
+        m.note_dropped(PacketId(99), Drop::NoRoute); // unregistered: ignored
+        let s = m.finish(&[], None);
+        let d = &s.drops;
+        assert_eq!(d.sent, 6);
+        assert_eq!(d.delivered_unique, 2);
+        assert_eq!(d.duplicate_deliveries, 1);
+        assert_eq!(d.mac_queue_full, 1);
+        assert_eq!(d.no_route, 0);
+        assert_eq!(d.emit_dead, 1);
+        assert_eq!(d.ttl_expired, 0);
+        assert_eq!(d.in_flight_end, 2);
+        assert!(d.conserved());
+    }
+
+    #[test]
+    fn probe_samples_divide_safely() {
+        let mut m = MetricsState::new(MetricsConfig::default(), 1, vec![]);
+        m.record_probe(SimTime::ZERO + Duration::from_secs_f64(1.0), 0, 0, 0);
+        m.record_probe(SimTime::ZERO + Duration::from_secs_f64(2.0), 4, 1, 6);
+        let s = m.finish(&[], None);
+        assert_eq!(s.samples.len(), 2);
+        assert_eq!(s.samples[0].busy_fraction, 0.0);
+        assert_eq!(s.samples[1].busy_fraction, 0.25);
+        assert_eq!(s.samples[1].mean_queue_len, 1.5);
+        assert_eq!(s.hot_path.probes, 2);
+    }
+}

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use pcmac_mac::MacCounters;
 
 use crate::config::ScenarioConfig;
+use crate::metrics::SimMetrics;
 use crate::node::Node;
 
 /// Routing-layer aggregate counters (mirrors `pcmac_aodv::AodvCounters`
@@ -197,6 +198,12 @@ pub struct RunReport {
     /// fault plan). Kept optional so report JSON predating the fault
     /// layer parses unchanged.
     pub resilience: Option<ResilienceReport>,
+    /// Observability metrics (`Some` exactly when the scenario enabled
+    /// the metrics layer). Derived from the deterministic event stream
+    /// and free of wall-clock values, so it takes part in the
+    /// bit-identity proof obligation. Kept optional so report JSON
+    /// predating the metrics layer parses unchanged.
+    pub metrics: Option<SimMetrics>,
 }
 
 impl RunReport {
@@ -234,6 +241,7 @@ impl RunReport {
         events: u64,
         wall_s: f64,
         resilience: Option<ResilienceReport>,
+        metrics: Option<SimMetrics>,
     ) -> RunReport {
         let mut delivered = 0u64;
         let mut bytes = 0u64;
@@ -341,6 +349,7 @@ impl RunReport {
             wall_s,
             flows,
             resilience,
+            metrics,
         }
     }
 
@@ -386,6 +395,7 @@ mod tests {
             wall_s: 0.0,
             flows: Vec::new(),
             resilience: None,
+            metrics: None,
         };
         assert_eq!(r.pdr(), 0.0);
         assert!(r.summary().contains("Basic 802.11"));
@@ -423,6 +433,7 @@ mod tests {
             wall_s: 0.0,
             flows: vec![mk_flow(0, 50), mk_flow(1, 50)],
             resilience: None,
+            metrics: None,
         };
         assert!(
             (r.jain_fairness() - 1.0).abs() < 1e-12,

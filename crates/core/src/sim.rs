@@ -60,6 +60,7 @@ use crate::config::{
 };
 use crate::event::SimEvent;
 use crate::fault::FaultConfig;
+use crate::metrics::{Drop as PacketDrop, MetricsState};
 use crate::node::{Node, TrafficSource};
 use crate::report::{LatencySummary, ResilienceReport, RunReport};
 
@@ -256,6 +257,10 @@ pub struct Simulator {
     /// Fault-injection runtime state (`Some` iff the scenario has a
     /// fault plan).
     faults: Option<FaultState>,
+    /// Observability collection state (`Some` iff the scenario enabled
+    /// metrics). Only ever *reads* protocol state, so its presence
+    /// cannot change a run's behavior.
+    metrics: Option<MetricsState>,
     // Scratch-buffer pools for allocation-free dispatch.
     rad_pool: BufPool<RadioEvent<Arc<Frame>>>,
     ctrl_pool: BufPool<RadioEvent<CtrlFrame>>,
@@ -433,6 +438,26 @@ impl Simulator {
             }
         });
 
+        // Observability: the probe chain rides the ordinary event queue.
+        // Probe events are pure reads, and their queue insertions only
+        // shift sequence numbers monotonically, so every other pair of
+        // events keeps its relative order — a metrics-on run behaves
+        // bit-identically to a metrics-off run.
+        let mut metrics = cfg.metrics.map(|mc| {
+            MetricsState::new(
+                mc,
+                n,
+                cfg.mac.levels.all().iter().map(|p| p.value()).collect(),
+            )
+        });
+        if let Some(m) = &mut metrics {
+            let first = SimTime::ZERO + m.interval();
+            if first <= SimTime::ZERO + cfg.duration {
+                queue.schedule_at(first, SimEvent::MetricsProbe);
+                m.probes_scheduled += 1;
+            }
+        }
+
         let propagation = match cfg.shadowing {
             Some(s) => PropagationModel::Shadowed(Shadowed::new(
                 TwoRayGround::ns2_default(),
@@ -524,6 +549,7 @@ impl Simulator {
             next_key: 0,
             sent_packets: 0,
             faults,
+            metrics,
             rad_pool: BufPool::default(),
             ctrl_pool: BufPool::default(),
             mac_pool: BufPool::default(),
@@ -556,13 +582,25 @@ impl Simulator {
             node.energy.finish(end);
         }
         let resilience = self.faults.take().map(FaultState::into_report);
+        let cache_stats = match &self.gain_cache {
+            GainCacheState::Sparse(c) => Some(c.stats()),
+            _ => None,
+        };
+        // Probe events are subtracted from the scheduled total so the
+        // reported event count matches a metrics-off run exactly.
+        let mut probes_scheduled = 0;
+        let metrics = self.metrics.take().map(|m| {
+            probes_scheduled = m.probes_scheduled;
+            m.finish(&self.nodes, cache_stats)
+        });
         RunReport::build(
             &self.cfg,
             &self.nodes,
             self.sent_packets,
-            self.queue.scheduled_total(),
+            self.queue.scheduled_total() - probes_scheduled,
             wall_start.elapsed().as_secs_f64(),
             resilience,
+            metrics,
         )
     }
 
@@ -579,16 +617,72 @@ impl Simulator {
                 end,
                 frame,
             } => {
+                let i = node.index();
+                // Radio state *before* the arrival, for the PHY drop
+                // taxonomy (reads only; skipped entirely when off).
+                let pre = self.metrics.as_ref().map(|_| {
+                    let r = &self.nodes[i].radio;
+                    (r.is_transmitting(), r.is_receiving())
+                });
                 let mut rad = self.rad_pool.take();
-                self.nodes[node.index()]
+                self.nodes[i]
                     .radio
                     .on_arrival_start(key, power, end, &frame, &mut rad);
-                self.forward_radio_events(node.index(), rad, now);
+                if let (Some((was_tx, was_rx)), Some(m)) = (pre, &mut self.metrics) {
+                    m.phy.arrivals += 1;
+                    let addressed = frame.rx == NodeId(i as u32) || frame.rx.is_broadcast();
+                    let locked = rad
+                        .iter()
+                        .any(|ev| matches!(ev, RadioEvent::RxStart { .. }));
+                    if locked {
+                        // Fresh lock: no overlap observed yet.
+                        m.rx_overlap[i] = false;
+                    } else if was_rx {
+                        // Overlaps the arrival the radio is locked to.
+                        m.rx_overlap[i] = true;
+                        if addressed {
+                            m.phy.captured_away += 1;
+                        }
+                    } else if was_tx {
+                        if addressed {
+                            m.phy.missed_while_tx += 1;
+                        }
+                    } else if addressed {
+                        // Idle and still not locked: below the decode
+                        // threshold (heard as noise at most).
+                        m.phy.below_rx_thresh += 1;
+                    }
+                    if addressed
+                        && self
+                            .faults
+                            .as_ref()
+                            .is_some_and(|f| f.burst_active.iter().any(|b| *b))
+                    {
+                        m.phy.impaired_arrivals += 1;
+                    }
+                }
+                self.forward_radio_events(i, rad, now);
             }
             SimEvent::ArrivalEnd { node, key } => {
+                let i = node.index();
                 let mut rad = self.rad_pool.take();
-                self.nodes[node.index()].radio.on_arrival_end(key, &mut rad);
-                self.forward_radio_events(node.index(), rad, now);
+                self.nodes[i].radio.on_arrival_end(key, &mut rad);
+                if let Some(m) = &mut self.metrics {
+                    for ev in &rad {
+                        if let RadioEvent::RxEnd { ok, .. } = ev {
+                            if *ok {
+                                m.phy.decoded_ok += 1;
+                                if m.rx_overlap[i] {
+                                    m.phy.capture_wins += 1;
+                                }
+                            } else {
+                                m.phy.collided += 1;
+                            }
+                            m.rx_overlap[i] = false;
+                        }
+                    }
+                }
+                self.forward_radio_events(i, rad, now);
             }
             SimEvent::TxEnd { node } => {
                 let i = node.index();
@@ -653,6 +747,9 @@ impl Simulator {
                     (packet, src.next_time())
                 };
                 self.sent_packets += 1;
+                if let Some(m) = &mut self.metrics {
+                    m.note_sent(packet.id);
+                }
                 if let Some(t) = next {
                     self.queue
                         .schedule_at(t, SimEvent::TrafficEmit { node, source });
@@ -663,6 +760,9 @@ impl Simulator {
                     if fs.down[i] {
                         // The application emits into a dead stack:
                         // counted as sent, lost on the spot.
+                        if let Some(m) = &mut self.metrics {
+                            m.note_dropped(packet.id, PacketDrop::EmitDead);
+                        }
                         return;
                     }
                 }
@@ -674,6 +774,34 @@ impl Simulator {
             SimEvent::NodeUp { node } => self.on_node_up(node.index()),
             SimEvent::ImpairmentStart { index } => self.set_impairment(index, true),
             SimEvent::ImpairmentEnd { index } => self.set_impairment(index, false),
+            SimEvent::MetricsProbe => self.on_metrics_probe(now),
+        }
+    }
+
+    /// Handle the periodic metrics probe: sample the instantaneous
+    /// channel/queue/liveness observables into the time series and
+    /// schedule the next probe. Reads only — no protocol state changes.
+    fn on_metrics_probe(&mut self, now: SimTime) {
+        let end = SimTime::ZERO + self.cfg.duration;
+        let mut live = 0u64;
+        let mut busy = 0u64;
+        let mut queue_sum = 0u64;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if self.faults.as_ref().is_some_and(|f| f.down[i]) {
+                continue;
+            }
+            live += 1;
+            if node.radio.carrier_busy() {
+                busy += 1;
+            }
+            queue_sum += node.mac.queue_len() as u64;
+        }
+        let Some(m) = &mut self.metrics else { return };
+        m.record_probe(now, live, busy, queue_sum);
+        let next = now + m.interval();
+        if next <= end {
+            self.queue.schedule_at(next, SimEvent::MetricsProbe);
+            m.probes_scheduled += 1;
         }
     }
 
@@ -909,8 +1037,11 @@ impl Simulator {
                     }
                     self.apply_aodv_actions(i, acts, now);
                 }
-                MacAction::QueueDrop { .. } => {
-                    // Counted inside the MAC; nothing further to do.
+                MacAction::QueueDrop { packet } => {
+                    // Counted inside the MAC; only the fate map cares.
+                    if let Some(m) = &mut self.metrics {
+                        m.note_dropped(packet.id, PacketDrop::MacQueueFull);
+                    }
                 }
             }
         }
@@ -947,6 +1078,9 @@ impl Simulator {
                             }
                         }
                     }
+                    if let Some(m) = &mut self.metrics {
+                        m.note_delivered(packet.id);
+                    }
                     self.nodes[i].sink.deliver(&packet, now);
                 }
                 AodvAction::Arm { dst, delay, token } => {
@@ -962,8 +1096,11 @@ impl Simulator {
                 AodvAction::PeerReset { peer } => {
                     self.nodes[i].mac.reset_peer_state(peer);
                 }
-                AodvAction::Drop { .. } => {
-                    // Counted inside the agent.
+                AodvAction::Drop { packet, reason } => {
+                    // Counted inside the agent; only the fate map cares.
+                    if let Some(m) = &mut self.metrics {
+                        m.note_dropped(packet.id, reason.into());
+                    }
                 }
             }
         }
@@ -1024,8 +1161,14 @@ impl Simulator {
             self.refresh_heap.pop();
             let i = node as usize;
             if t < self.deadline[i] {
+                if let Some(m) = &mut self.metrics {
+                    m.hot.refresh_rearms += 1;
+                }
                 self.refresh_heap.push(Reverse((self.deadline[i], node)));
                 continue;
+            }
+            if let Some(m) = &mut self.metrics {
+                m.hot.refresh_pops += 1;
             }
             self.sample_exact(i, now);
             // `sample_exact` advanced the deadline past `now` whenever the
@@ -1048,6 +1191,9 @@ impl Simulator {
             return;
         }
         self.sampled_at[i] = now;
+        if let Some(m) = &mut self.metrics {
+            m.hot.exact_samples += 1;
+        }
         let p = self.nodes[i].mobility.position(now);
         if p != self.positions[i] {
             self.positions[i] = p;
@@ -1091,6 +1237,10 @@ impl Simulator {
                     let j = self.candidates[c] as usize;
                     self.sample_exact(j, now);
                 }
+            }
+            if let Some(m) = &mut self.metrics {
+                m.hot.grid_queries += 1;
+                m.hot.grid_candidates += self.candidates.len() as u64;
             }
         } else {
             self.candidates
@@ -1140,6 +1290,9 @@ impl Simulator {
             return;
         }
         self.commit_energy(i, power, airtime, end);
+        if let Some(m) = &mut self.metrics {
+            m.note_data_tx(power.value());
+        }
 
         self.collect_receivers(i, power, now);
         let impair = self.faults.as_ref().map_or(1.0, |f| f.impair_gain);
@@ -1195,6 +1348,9 @@ impl Simulator {
         );
         if self.node_is_down(i) {
             return; // dead radios broadcast nothing
+        }
+        if let Some(m) = &mut self.metrics {
+            m.note_ctrl_tx();
         }
 
         self.collect_receivers(i, power, now);

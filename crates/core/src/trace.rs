@@ -11,20 +11,23 @@
 //! ```
 //!
 //! Format: `time  kind  _node_  frame  src->dst  len bytes [pwr mW]`,
-//! where kind is `s`（start of a transmission arriving — the receiver's
+//! where kind is `s` (start of a transmission arriving — the receiver's
 //! perspective), `e` (arrival end), `t` (transmit end), `c` (control
 //! channel), `m`/`a`/`g` (MAC timer, AODV timer, traffic generation).
 //! The filter keeps traces readable: by default only channel events are
 //! written.
 
 use std::fmt::Write as _;
+use std::io;
 
 use crate::event::SimEvent;
 use pcmac_engine::SimTime;
 use pcmac_mac::FrameKind;
+use serde::{Deserialize, Serialize};
 
-/// What to include in the trace.
-#[derive(Debug, Clone, Copy)]
+/// What to include in the trace. Serde-round-trippable so scenario
+/// specs can carry a trace request declaratively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceFilter {
     /// Data-channel arrivals and transmit ends.
     pub channel: bool,
@@ -137,6 +140,12 @@ impl TraceWriter {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Dump the accumulated trace into any sink (file, stdout, buffer)
+    /// in one write, after the run — I/O never touches the hot loop.
+    pub fn write_to(&self, w: &mut impl io::Write) -> io::Result<()> {
+        w.write_all(self.lines.as_bytes())
+    }
 }
 
 fn kind_str(k: FrameKind) -> &'static str {
@@ -202,5 +211,32 @@ mod tests {
         }
         assert!(!tw.is_empty(), "traffic lines remain");
         assert!(!tw.text().contains(" RTS "), "channel suppressed");
+    }
+
+    #[test]
+    fn filter_round_trips_through_json() {
+        let f = TraceFilter {
+            channel: false,
+            ctrl: true,
+            timers: true,
+            traffic: false,
+        };
+        let json = serde_json::to_string(&f).unwrap();
+        let back: TraceFilter = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn write_to_dumps_the_accumulated_text() {
+        let cfg = ScenarioConfig::two_nodes(Variant::Basic, 80.0, 50_000.0, 1)
+            .with_duration(Duration::from_secs(1));
+        let mut tw = TraceWriter::new();
+        {
+            let tw = std::cell::RefCell::new(&mut tw);
+            Simulator::new(cfg).run_with_observer(|ev, at| tw.borrow_mut().record(ev, at));
+        }
+        let mut sink = Vec::new();
+        tw.write_to(&mut sink).unwrap();
+        assert_eq!(sink, tw.text().as_bytes());
     }
 }

@@ -14,8 +14,8 @@
 
 use pcmac::{
     ChannelIndexMode, ChurnConfig, CrashWindow, FaultConfig, FlowShape, FlowSpec, GainCacheMode,
-    ImpairmentBurst, MobilityRefreshMode, NodeSetup, RunReport, ScenarioConfig, ShadowingConfig,
-    Simulator, Variant,
+    ImpairmentBurst, MetricsConfig, MobilityRefreshMode, NodeSetup, RunReport, ScenarioConfig,
+    ShadowingConfig, Simulator, Variant,
 };
 use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
 use proptest::prelude::*;
@@ -28,6 +28,51 @@ fn fingerprint(r: &RunReport) -> serde_json::Value {
         serde_json::Value::Map(entries) => {
             serde_json::Value::Map(entries.into_iter().filter(|(k, _)| k != "wall_s").collect())
         }
+        other => other,
+    }
+}
+
+/// [`fingerprint`] minus the `metrics` section: the protocol-behavior
+/// observables only, for comparing metrics-on against metrics-off runs.
+fn behaviour_fingerprint(r: &RunReport) -> serde_json::Value {
+    match fingerprint(r) {
+        serde_json::Value::Map(entries) => serde_json::Value::Map(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "metrics")
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// [`fingerprint`] with `metrics.hot_path` removed: the hot-path
+/// profile legitimately differs across refresh/cache/index modes (it
+/// counts what each mode's machinery *did*), while every other metrics
+/// field must be mode-invariant.
+fn mode_invariant_fingerprint(r: &RunReport) -> serde_json::Value {
+    let strip = |v: serde_json::Value| match v {
+        serde_json::Value::Map(entries) => serde_json::Value::Map(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "hot_path")
+                .collect(),
+        ),
+        other => other,
+    };
+    match fingerprint(r) {
+        serde_json::Value::Map(entries) => serde_json::Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| {
+                    if k == "metrics" {
+                        (k, strip(v))
+                    } else {
+                        (k, v)
+                    }
+                })
+                .collect(),
+        ),
         other => other,
     }
 }
@@ -416,6 +461,101 @@ fn faulted_reruns_are_bit_identical() {
     let a = Simulator::new(build()).run();
     let b = Simulator::new(build()).run();
     assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+/// The observability layer's zero-behavioral-cost contract: turning
+/// metrics on changes *nothing* observable — not even the reported
+/// event count — on a faulted mobile scenario.
+#[test]
+fn metrics_layer_is_behaviour_identical() {
+    for seed in [7u64, 57] {
+        let build = |metrics: bool| {
+            let mut cfg = random_scenario(
+                Variant::Pcmac,
+                seed,
+                14,
+                1400.0,
+                Milliwatts(1.559e-10),
+                true,
+                None,
+            );
+            cfg.faults = Some(fault_plan(14));
+            if metrics {
+                cfg.metrics = Some(MetricsConfig::default());
+            }
+            cfg
+        };
+        let off = Simulator::new(build(false)).run();
+        let on = Simulator::new(build(true)).run();
+        assert!(off.metrics.is_none() && on.metrics.is_some());
+        assert_eq!(
+            on.events, off.events,
+            "probe events must be excluded from the reported count (seed {seed})"
+        );
+        assert_eq!(
+            behaviour_fingerprint(&on),
+            behaviour_fingerprint(&off),
+            "metrics-on diverged from metrics-off (seed {seed})"
+        );
+    }
+}
+
+/// The metrics section's own determinism contract: bit-identical across
+/// same-mode reruns (including the hot-path profile), and — hot-path
+/// profile aside, which by design counts mode-specific work —
+/// bit-identical across the whole refresh × cache matrix.
+#[test]
+fn metrics_are_deterministic_across_reruns_and_modes() {
+    let base = || {
+        let mut cfg = random_scenario(
+            Variant::Pcmac,
+            57,
+            14,
+            1400.0,
+            Milliwatts(1.559e-10),
+            true,
+            None,
+        );
+        cfg.faults = Some(fault_plan(14));
+        cfg.metrics = Some(MetricsConfig {
+            probe_interval_s: 0.25,
+        });
+        cfg
+    };
+
+    let a = Simulator::new(base()).run();
+    let b = Simulator::new(base()).run();
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "same-mode reruns must match bit for bit, hot-path profile included"
+    );
+    let m = a.metrics.as_ref().expect("metrics layer on");
+    assert!(!m.samples.is_empty(), "0.25 s probes inside a 2 s run");
+    assert!(m.drops.conserved(), "taxonomy leak");
+
+    let reference = {
+        let mut c = base();
+        c.channel_index = ChannelIndexMode::BruteForce;
+        c.mobility_refresh = Some(MobilityRefreshMode::Eager);
+        c.gain_cache = Some(GainCacheMode::Off);
+        Simulator::new(c).run()
+    };
+    for refresh in [MobilityRefreshMode::Lazy, MobilityRefreshMode::Eager] {
+        for cache in [
+            GainCacheMode::Auto,
+            GainCacheMode::Dense,
+            GainCacheMode::Sparse,
+            GainCacheMode::Off,
+        ] {
+            let run = Simulator::new(with_modes(base(), refresh, cache)).run();
+            assert_eq!(
+                mode_invariant_fingerprint(&run),
+                mode_invariant_fingerprint(&reference),
+                "metrics diverged across modes (refresh {refresh:?} cache {cache:?})"
+            );
+        }
+    }
 }
 
 proptest! {

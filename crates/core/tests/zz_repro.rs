@@ -8,11 +8,22 @@ fn energy_death_after_reconvergence() {
     let mut cfg = ScenarioConfig::two_nodes(Variant::Pcmac, 80.0, 100_000.0, 1)
         .with_duration(Duration::from_secs(6));
     cfg.faults = Some(FaultConfig {
-        crashes: Some(vec![CrashWindow { node: 1, at_s: 1.0, recover_s: Some(1.5) }]),
+        crashes: Some(vec![CrashWindow {
+            node: 1,
+            at_s: 1.0,
+            recover_s: Some(1.5),
+        }]),
         energy_budget_mj: Some(3.0),
         ..FaultConfig::default()
     });
     let r = Simulator::new(cfg).run();
     let res = r.resilience.unwrap();
-    println!("window {:?}..{:?} reconv {:?} deaths {} residual {:?}", res.window_start_s, res.window_end_s, res.reconverged_after_s, res.energy_deaths, res.residual_energy_mj);
+    println!(
+        "window {:?}..{:?} reconv {:?} deaths {} residual {:?}",
+        res.window_start_s,
+        res.window_end_s,
+        res.reconverged_after_s,
+        res.energy_deaths,
+        res.residual_energy_mj
+    );
 }

@@ -175,6 +175,10 @@ pub struct DcfMac {
 
     /// Statistics.
     pub counters: MacCounters,
+    /// Retry-count distribution over finished exchanges: bucket `k`
+    /// counts jobs finished (delivered or dropped) after `k` retries
+    /// (short + long), the last bucket is `>= 7`.
+    retx_hist: [u64; 8],
 }
 
 impl DcfMac {
@@ -216,6 +220,7 @@ impl DcfMac {
             active_rx: ActiveReceivers::new(),
             last_noise: Milliwatts::ZERO,
             counters: MacCounters::default(),
+            retx_hist: [0; 8],
         }
     }
 
@@ -239,6 +244,12 @@ impl DcfMac {
     /// Current interface-queue occupancy.
     pub fn queue_len(&self) -> usize {
         self.queue.len() + usize::from(self.current.is_some())
+    }
+
+    /// Retry-count distribution over finished exchanges (bucket `k` =
+    /// `k` retries, last bucket `>= 7`).
+    pub fn retx_histogram(&self) -> &[u64; 8] {
+        &self.retx_hist
     }
 
     // ------------------------------------------------------------------
@@ -821,6 +832,10 @@ impl DcfMac {
 
     /// Wrap up the current job and move to the next queued packet.
     fn finish_current(&mut self, _success: bool, now: SimTime, out: &mut Vec<MacAction>) {
+        if self.current.is_some() {
+            let retries = (self.ssrc as usize + self.slrc as usize).min(self.retx_hist.len() - 1);
+            self.retx_hist[retries] += 1;
+        }
         self.ssrc = 0;
         self.slrc = 0;
         self.backoff.reset_cw();

@@ -34,6 +34,8 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
+use serde::{Deserialize, Serialize};
+
 /// Multiply-xor hasher for the packed `u64` keys used here. The std
 /// SipHash is DoS-resistant but several times slower; cache keys are
 /// internal (never attacker-controlled), so the cheap mix wins.
@@ -83,7 +85,7 @@ struct Block {
 }
 
 /// Running effectiveness counters (bench + report diagnostics).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SparseCacheStats {
     /// Lookups answered from a live entry.
     pub hits: u64,
