@@ -1,0 +1,296 @@
+//! The region-sharded execution engine vs the single-threaded reference.
+//!
+//! PR 8 added `ExecutionMode::Sharded`: the field is split into
+//! column-band regions, one per worker thread, advanced in conservative
+//! barrier-epoch windows with the propagation-delay floor as lookahead —
+//! and the result is bit-identical to the single-threaded run (see
+//! `channel_equivalence.rs`). This bench measures what that buys:
+//! whole-scenario *events per wall-second* as the shard count grows.
+//!
+//! Scenarios hold node density constant (one node per 250 m × 250 m, as
+//! in the channel/mobility benches) with a workload that *scales with
+//! N* — one nearest-neighbour CBR flow per 250 nodes, sources scattered
+//! across the whole field — so every region band carries traffic and the
+//! rows measure parallel scaling, not one hot shard plus idle spectators.
+//! Every row (single and sharded alike) runs with the same 10 µs delay
+//! floor, so timing differences isolate the execution strategy; the
+//! simulated event streams are bit-identical across rows by
+//! construction, which the harness asserts via the reported event count.
+//!
+//! Results go to `BENCH_parallel.json` at the repository root. On a
+//! host exposing ≥ 4 cores the run **fails** unless sharded execution
+//! beats the single-threaded reference by ≥ 1.5× events/sec at
+//! N = 16000 with ≥ 4 shards (the PR 8 acceptance bar). On narrower
+//! hosts a parallel speedup is physically unattainable — S region
+//! threads time-slice one core and every barrier crossing buys a
+//! scheduler round-trip — so the bar is reported but not enforced, and
+//! the artifact records `host_cores` so readers can interpret the rows.
+//!
+//! With `PCMAC_BENCH_QUICK=1` (the CI perf-smoke step) the bench runs
+//! reduced sizes, only asserts that 4-shard execution stays above 0.9×
+//! of single (again only with ≥ 4 cores), and does **not** rewrite
+//! `BENCH_parallel.json`.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+
+use pcmac::{ExecutionMode, NodeSetup, ScenarioConfig, Simulator, Variant};
+use pcmac_bench::support::{
+    density_per_km2, field_side, nearest_neighbour_flows, quick_mode, scatter,
+};
+use pcmac_engine::{Duration, Milliwatts};
+
+/// Node counts under comparison (full mode).
+const SIZES: [usize; 3] = [4000, 16000, 64000];
+
+/// Node counts in `PCMAC_BENCH_QUICK` mode.
+const QUICK_SIZES: [usize; 2] = [1000, 4000];
+
+/// Shard counts per size; `0` encodes the single-threaded reference.
+const SHARDS: [usize; 5] = [0, 1, 2, 4, 8];
+
+/// Lookahead: every propagation delay is floored at 10 µs (a 3 km
+/// speed-of-light radius — far beyond any audible link at these
+/// densities, so the floor only quantizes, never reorders, local
+/// arrivals — while staying under the 20 µs slot time, past which the
+/// MAC's two-slot timeout grace dies and traffic silently zeroes out).
+/// Applied to every row so single and sharded are comparable.
+const DELAY_FLOOR_US: f64 = 10.0;
+
+fn sizes() -> &'static [usize] {
+    if quick_mode() {
+        &QUICK_SIZES
+    } else {
+        &SIZES
+    }
+}
+
+/// Cores the OS exposes to this process — the ceiling on any real
+/// parallel speedup, recorded in the artifact and gating the perf bars.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// N static nodes at constant density, one single-hop CBR flow per 250
+/// nodes spread over the whole field, under the given execution mode.
+fn scenario(n: usize, shards: usize) -> ScenarioConfig {
+    let side = field_side(n);
+    let duration = Duration::from_millis(400);
+    let mut cfg = ScenarioConfig::two_nodes(Variant::Basic, 100.0, 1000.0, 1);
+    cfg.name = format!("parallel-bench-{n}-{shards}");
+    cfg.field = (side, side);
+    cfg.duration = duration;
+    // CSThresh floor: 550 m reach — local reception, the indexed regime.
+    cfg.interference_floor = Milliwatts(1.559e-8);
+    cfg.delay_floor_us = Some(DELAY_FLOOR_US);
+    cfg.execution = (shards > 0).then_some(ExecutionMode::Sharded { shards });
+    let pts = scatter(11, "bench.parallel.placement", n, side);
+    let flows = (n / 250).max(8) as u32;
+    cfg.flows = nearest_neighbour_flows(
+        11,
+        "bench.parallel.flows",
+        &pts,
+        flows,
+        40_000.0,
+        (20, 3),
+        duration,
+    );
+    cfg.nodes = NodeSetup::Static(pts);
+    cfg
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel");
+    for &n in sizes() {
+        g.sample_size(match n {
+            0..=4000 => 5,
+            4001..=16000 => 3,
+            _ => 2,
+        });
+        for shards in SHARDS {
+            let key = if shards == 0 {
+                "single".to_string()
+            } else {
+                format!("sharded{shards}")
+            };
+            g.bench_function(format!("{key}/{n}"), |b| {
+                b.iter(|| {
+                    let r = Simulator::new(scenario(n, shards)).run();
+                    black_box(r.events)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = parallel;
+    config = Criterion::default();
+    targets = bench_parallel
+);
+
+fn main() {
+    parallel();
+
+    let quick = quick_mode();
+    let measurements = criterion::take_measurements();
+    let mean = |id: &str| {
+        measurements
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.mean_ns)
+            .expect("benchmark ran")
+    };
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    // speedups[(n, shards)] = single events/sec ÷ sharded events/sec —
+    // the event streams are bit-identical, so the events/sec ratio is
+    // the inverse wall-time ratio.
+    let mut speedups: Vec<(usize, usize, f64)> = Vec::new();
+    println!(
+        "\n{:>6} {:>8} {:>13} {:>14} {:>9}",
+        "N", "shards", "wall", "events/sec", "speedup"
+    );
+    for &n in sizes() {
+        // One reference run per size for the events/sec numerator; every
+        // mode simulates the identical stream (asserted below).
+        let events = Simulator::new(scenario(n, 0)).run().events;
+        let single_ns = mean(&format!("parallel/single/{n}"));
+        for shards in SHARDS {
+            let key = if shards == 0 {
+                "single".to_string()
+            } else {
+                format!("sharded{shards}")
+            };
+            let ns = mean(&format!("parallel/{key}/{n}"));
+            let eps = events as f64 / (ns / 1e9);
+            let speedup = single_ns / ns;
+            println!(
+                "{n:>6} {key:>8} {:>11.2}ms {eps:>14.0} {speedup:>8.2}x",
+                ns / 1e6
+            );
+            if shards > 0 {
+                speedups.push((n, shards, speedup));
+            }
+            rows.push(serde_json::Value::Map(vec![
+                ("n".into(), serde_json::Value::U64(n as u64)),
+                ("shards".into(), serde_json::Value::U64(shards as u64)),
+                (
+                    "field_m".into(),
+                    serde_json::Value::F64(field_side(n).round()),
+                ),
+                (
+                    "density_per_km2".into(),
+                    serde_json::Value::F64(density_per_km2(n)),
+                ),
+                ("events".into(), serde_json::Value::U64(events)),
+                ("wall_ns".into(), serde_json::Value::F64(ns)),
+                ("events_per_sec".into(), serde_json::Value::F64(eps)),
+                ("speedup_vs_single".into(), serde_json::Value::F64(speedup)),
+            ]));
+        }
+    }
+
+    // Bit-identity spot check: the sharded engine must report the same
+    // event count as the reference at the largest size (the full
+    // equivalence matrix lives in channel_equivalence.rs).
+    let &n_top = sizes().last().expect("sizes non-empty");
+    let single_top = Simulator::new(scenario(n_top, 0)).run();
+    let sharded_events = Simulator::new(scenario(n_top, 4)).run().events;
+    if single_top.events != sharded_events {
+        failures.push(format!(
+            "event-count parity broke at N={n_top}: single {}, \
+             4-shard {sharded_events}",
+            single_top.events
+        ));
+    }
+    // Guard against measuring a degenerate workload: if the delay floor
+    // (or anything else) silently killed the MAC handshake, every row
+    // would still "run" while timing nothing but failed RTS retries.
+    if single_top.delivered_packets == 0 {
+        failures.push(format!(
+            "no traffic delivered at N={n_top}: the bench would be measuring a \
+             degenerate zero-delivery workload"
+        ));
+    }
+
+    // The perf bars only make sense where a parallel speedup is
+    // physically possible: S region threads on fewer cores time-slice,
+    // and every barrier crossing costs a scheduler round-trip instead
+    // of a few hundred nanoseconds of spinning.
+    let cores = host_cores();
+    let enforce = cores >= 4;
+    if !enforce {
+        println!(
+            "\nnote: host exposes {cores} core(s); the parallel speedup bars \
+             need >= 4, so they are reported above but not enforced here \
+             (CI's bench job enforces them on a multi-core runner)"
+        );
+    }
+
+    if quick {
+        // Perf smoke: guard against the sharded machinery *costing* more
+        // than 10% at the largest reduced size with 4 shards.
+        if enforce {
+            if let Some(&(n, _, speedup)) = speedups.iter().find(|&&(n, s, _)| n == n_top && s == 4)
+            {
+                if speedup < 0.9 {
+                    failures.push(format!(
+                        "perf smoke: 4-shard execution fell below 0.9x of single at \
+                         N={n} (got {speedup:.2}x)"
+                    ));
+                }
+            }
+        }
+        println!("\nquick mode: BENCH_parallel.json left untouched");
+    } else {
+        // The PR 8 acceptance bar: >= 1.5x events/sec at N=16000 with
+        // >= 4 shards.
+        if enforce {
+            let best = speedups
+                .iter()
+                .filter(|&&(n, s, _)| n == 16000 && s >= 4)
+                .map(|&(_, _, sp)| sp)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best < 1.5 {
+                failures.push(format!(
+                    "sharded execution must reach >= 1.5x single events/sec at \
+                     N=16000 with >= 4 shards (best {best:.2}x)"
+                ));
+            }
+        }
+
+        let doc = serde_json::Value::Map(vec![
+            ("bench".into(), serde_json::Value::Str("parallel".into())),
+            (
+                "description".into(),
+                serde_json::Value::Str(
+                    "whole-run events per wall-second at constant density (16 nodes/km2, \
+                     floor = CSThresh, one nearest-neighbour CBR flow per 250 nodes, \
+                     10 us delay floor on every row): region-sharded execution at 1/2/4/8 \
+                     worker threads vs the single-threaded reference; \
+                     speedup = single wall / sharded wall (event streams are bit-identical; \
+                     speedups are bounded by host_cores)"
+                        .into(),
+                ),
+            ),
+            ("host_cores".into(), serde_json::Value::U64(cores as u64)),
+            ("results".into(), serde_json::Value::Seq(rows)),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+        std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+            .expect("write BENCH_parallel.json");
+        println!("\nwrote {path}");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

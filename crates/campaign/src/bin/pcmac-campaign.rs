@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use pcmac::{MetricsConfig, Simulator, TraceWriter};
+use pcmac::{ExecutionMode, MetricsConfig, ScenarioConfig, Simulator, TraceWriter};
 use pcmac_campaign::{
     cli, dashboard, run_campaign_with, AxesSpec, Axis, CampaignSpec, MetricsArtifact, RunOptions,
     ScenarioSpec,
@@ -22,7 +22,7 @@ usage: pcmac-campaign <command> [args]
 
 commands:
   run <campaign.json> [--threads N] [--out FILE] [--timeout SECS]
-                      [--duration SECS] [--fresh] [--metrics]
+                      [--duration SECS] [--fresh] [--metrics] [--shards N]
         expand the campaign, run every point x seed in parallel, print the
         aggregated table and write CAMPAIGN_<name>.json (or FILE). The
         artifact is persisted after every finished point; rerunning with
@@ -34,14 +34,19 @@ commands:
         without aborting the sweep. --metrics turns on the observability
         layer for every run (behaviour-identical; see the README's
         Observability section) and additionally writes
-        METRICS_<name>.json with the per-run metrics.
+        METRICS_<name>.json with the per-run metrics. --shards runs every
+        scenario on the region-sharded parallel engine (bit-identical to
+        single-threaded; supplies a 10 us delay floor when the spec sets
+        none, so only specs already carrying a floor are comparable to
+        their unsharded runs).
   expand <campaign.json>
         print the grid a campaign expands to, without running it
   validate <campaign.json>
         check the spec and every expanded grid cell; exit 0 when clean,
         1 with the full aggregated defect list, one problem per line
-  scenario <scenario.json> [--seed S]
-        materialize and run a single ScenarioSpec (default seed 1). A
+  scenario <scenario.json> [--seed S] [--shards N]
+        materialize and run a single ScenarioSpec (default seed 1;
+        --shards as for `run`). A
         spec with a `metrics` section reports its observability metrics;
         one with a `trace` section also writes TRACE_<name>.txt
   dashboard [DIR] [--baseline DIR] [--band PCT] [--out FILE]
@@ -56,6 +61,26 @@ commands:
 
 fn read_spec(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Parse `--shards N` (N ≥ 1) if present.
+fn shards_flag(args: &[String]) -> Result<Option<usize>, String> {
+    match cli::try_flag::<usize>(args, "--shards")? {
+        Some(0) => Err("--shards 0: need at least one region shard".into()),
+        other => Ok(other),
+    }
+}
+
+/// Switch a materialized config onto the region-sharded engine,
+/// supplying the default 10 µs delay floor when the spec set none (the
+/// floor is the engine's lookahead and is mandatory for sharded runs;
+/// it must stay below the 20 µs slot time or the MAC's two-slot
+/// timeout grace is exhausted and every handshake fails).
+fn apply_shards(cfg: &mut ScenarioConfig, shards: usize) {
+    cfg.execution = Some(ExecutionMode::Sharded { shards });
+    if cfg.delay_floor_us.is_none() {
+        cfg.delay_floor_us = Some(10.0);
+    }
 }
 
 fn load_campaign(path: &str) -> Result<CampaignSpec, String> {
@@ -82,6 +107,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| format!("CAMPAIGN_{}.json", cli::sanitize(&spec.name)));
     let fresh = args.iter().any(|a| a == "--fresh");
     let with_metrics = args.iter().any(|a| a == "--metrics");
+    let shards = shards_flag(args)?;
     let resume = !fresh && std::path::Path::new(&out).exists();
     if resume {
         eprintln!("{out} exists: resuming if it is a partial artifact (--fresh recomputes)");
@@ -106,6 +132,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         // change any campaign number.
         if with_metrics && cfg.metrics.is_none() {
             cfg.metrics = Some(MetricsConfig::default());
+        }
+        // Likewise the sharded engine is bit-identical to the
+        // single-threaded reference under the same delay floor.
+        if let Some(s) = shards {
+            apply_shards(&mut cfg, s);
         }
         Simulator::new(cfg).run()
     })
@@ -202,9 +233,12 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
     let text = read_spec(path)?;
     let spec = ScenarioSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     let seed = cli::try_flag(args, "--seed")?.unwrap_or(1u64);
-    let cfg = spec
+    let mut cfg = spec
         .materialize(seed)
         .map_err(|e| format!("{path} is invalid:\n  - {}", e.problems.join("\n  - ")))?;
+    if let Some(s) = shards_flag(args)? {
+        apply_shards(&mut cfg, s);
+    }
     eprintln!(
         "running `{}` ({} nodes, {} flows)",
         cfg.name,

@@ -158,7 +158,7 @@ fn collect_bench_speedups(file: &str, v: &Value, out: &mut Vec<(String, String, 
     for row in rows {
         let Some(fields) = row.as_map() else { continue };
         let mut label = String::new();
-        for key in ["n", "mobility"] {
+        for key in ["n", "mobility", "shards"] {
             if let Some(val) = row.get(key) {
                 if !label.is_empty() {
                     label.push(' ');
@@ -397,13 +397,15 @@ mod tests {
         let v: Value = serde_json::from_str(
             r#"{"bench":"mobility","results":[
                 {"n":200,"mobility":"waypoint","speedup_x":1.5},
-                {"n":400,"speedup_x":2.0}]}"#,
+                {"n":400,"speedup_x":2.0},
+                {"n":16000,"shards":4,"speedup_x":3.0}]}"#,
         )
         .unwrap();
         let mut out = Vec::new();
         collect_bench_speedups("BENCH_mobility.json", &v, &mut out);
-        assert_eq!(out.len(), 2);
+        assert_eq!(out.len(), 3);
         assert_eq!(out[0].1, "n=200 mobility=waypoint speedup_x");
         assert_eq!(out[1].2, 2.0);
+        assert_eq!(out[2].1, "n=16000 shards=4 speedup_x");
     }
 }

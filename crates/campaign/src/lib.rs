@@ -55,6 +55,6 @@ pub use campaign::{AxesSpec, Axis, CampaignGrid, CampaignPoint, CampaignSpec, Gr
 pub use dashboard::{MetricsArtifact, MetricsRun};
 pub use runner::{run_campaign, run_campaign_with, CampaignOutcome, RunOptions};
 pub use spec::{
-    AodvSpec, MobilitySpec, NodesSpec, PlacementSpec, ProtocolSpec, RadioSpec, ScenarioSpec,
-    SpecError, TrafficPattern, TrafficSpec, PATCH_PATHS,
+    AodvSpec, ExecutionSpec, MobilitySpec, NodesSpec, PlacementSpec, ProtocolSpec, RadioSpec,
+    ScenarioSpec, SpecError, TrafficPattern, TrafficSpec, PATCH_PATHS,
 };

@@ -424,6 +424,7 @@ mod tests {
                 faults: None,
                 metrics: None,
                 trace: None,
+                execution: None,
             },
             duration_s: None,
             seeds: vec![1, 2],

@@ -22,8 +22,8 @@
 //! [`ScenarioSpec::apply_patch`] and its dotted [`PATCH_PATHS`].
 
 use pcmac::{
-    ChurnConfig, FaultConfig, FlowShape, FlowSpec, MetricsConfig, NodeSetup, ScenarioConfig,
-    ShadowingConfig, TraceFilter, Variant,
+    ChurnConfig, ExecutionMode, FaultConfig, FlowShape, FlowSpec, MetricsConfig, NodeSetup,
+    ScenarioConfig, ShadowingConfig, TraceFilter, Variant,
 };
 use pcmac_aodv::AodvConfig;
 use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
@@ -392,6 +392,41 @@ impl AodvSpec {
     }
 }
 
+/// Execution-strategy overlay: how the event loop runs, not what it
+/// simulates. `shards: None` keeps the single-threaded reference;
+/// `Some(n)` runs the region-sharded engine on `n` worker threads
+/// (bit-identical results either way). The delay floor applies in both
+/// modes — it is the sharded engine's conservative lookahead, and
+/// setting it on single-threaded runs keeps them comparable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionSpec {
+    /// Region-shard (worker thread) count; `None` = single-threaded.
+    pub shards: Option<usize>,
+    /// Minimum propagation delay in microseconds, applied to every
+    /// arrival. Required whenever `shards` is set.
+    pub delay_floor_us: Option<f64>,
+}
+
+impl ExecutionSpec {
+    fn validate(&self, problems: &mut Vec<String>) {
+        if self.shards == Some(0) {
+            problems.push("sharded execution with zero shards: nothing would run".into());
+        }
+        if let Some(us) = self.delay_floor_us {
+            if !us.is_finite() || us <= 0.0 {
+                problems.push(format!("delay floor {us} µs must be positive and finite"));
+            }
+        }
+        if self.shards.is_some() && self.delay_floor_us.is_none() {
+            problems.push(
+                "sharded execution requires delay_floor_us: the floor is the \
+                 lookahead that makes region-parallel runs bit-identical"
+                    .into(),
+            );
+        }
+    }
+}
+
 /// Every dotted path [`ScenarioSpec::apply_patch`] accepts — the
 /// sweepable parameter surface of a scenario. Paths mirror the
 /// materialized [`ScenarioConfig`] layout (`mac.pcmac.*`, `radio.*`,
@@ -402,8 +437,10 @@ pub const PATCH_PATHS: &[&str] = &[
     "field.width",
     "field.height",
     "nodes.count",
+    "nodes.placement",
     "nodes.mobility.speed_mps",
     "nodes.mobility.pause_s",
+    "traffic.pattern",
     "traffic.offered_load_kbps",
     "traffic.bytes",
     "power_levels_mw",
@@ -438,6 +475,8 @@ pub const PATCH_PATHS: &[&str] = &[
     "aodv.buffer_timeout_s",
     "aodv.rreq_ttl",
     "metrics.probe_interval_s",
+    "execution.shards",
+    "execution.delay_floor_us",
     "trace.channel",
     "trace.ctrl",
     "trace.timers",
@@ -492,6 +531,10 @@ pub struct ScenarioSpec {
     /// asks the scenario runner to attach a [`pcmac::TraceWriter`] with
     /// this filter and write the trace next to the report.
     pub trace: Option<TraceFilter>,
+    /// Execution-strategy overlay (region-sharded parallel runs and the
+    /// propagation-delay floor). `None` (or an omitted JSON field) keeps
+    /// the single-threaded reference with exact speed-of-light delays.
+    pub execution: Option<ExecutionSpec>,
 }
 
 impl ScenarioSpec {
@@ -527,6 +570,7 @@ impl ScenarioSpec {
             faults: None,
             metrics: None,
             trace: None,
+            execution: None,
         }
     }
 
@@ -541,12 +585,14 @@ impl ScenarioSpec {
             "field.width" => self.field.0 = patch_value(path, value)?,
             "field.height" => self.field.1 = patch_value(path, value)?,
             "nodes.count" => self.nodes.count = Some(patch_value(path, value)?),
+            "nodes.placement" => self.nodes.placement = patch_value(path, value)?,
             "nodes.mobility.speed_mps" => {
                 self.mobility_mut().speed_mps = patch_value(path, value)?;
             }
             "nodes.mobility.pause_s" => {
                 self.mobility_mut().pause_s = patch_value(path, value)?;
             }
+            "traffic.pattern" => self.traffic.pattern = patch_value(path, value)?,
             "traffic.offered_load_kbps" => {
                 self.traffic.offered_load_kbps = patch_value(path, value)?;
             }
@@ -637,6 +683,12 @@ impl ScenarioSpec {
             "metrics.probe_interval_s" => {
                 self.metrics_mut().probe_interval_s = patch_value(path, value)?;
             }
+            "execution.shards" => {
+                self.execution_mut().shards = Some(patch_value(path, value)?);
+            }
+            "execution.delay_floor_us" => {
+                self.execution_mut().delay_floor_us = Some(patch_value(path, value)?);
+            }
             "trace.channel" => self.trace_mut().channel = patch_value(path, value)?,
             "trace.ctrl" => self.trace_mut().ctrl = patch_value(path, value)?,
             "trace.timers" => self.trace_mut().timers = patch_value(path, value)?,
@@ -683,6 +735,10 @@ impl ScenarioSpec {
 
     fn metrics_mut(&mut self) -> &mut MetricsConfig {
         self.metrics.get_or_insert_with(MetricsConfig::default)
+    }
+
+    fn execution_mut(&mut self) -> &mut ExecutionSpec {
+        self.execution.get_or_insert_with(ExecutionSpec::default)
     }
 
     fn trace_mut(&mut self) -> &mut TraceFilter {
@@ -979,6 +1035,9 @@ impl ScenarioSpec {
                 ));
             }
         }
+        if let Some(e) = &self.execution {
+            e.validate(&mut problems);
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -1125,6 +1184,11 @@ impl ScenarioSpec {
             gain_cache: None,
             faults: self.faults.clone(),
             metrics: self.metrics,
+            execution: self
+                .execution
+                .and_then(|e| e.shards)
+                .map(|shards| ExecutionMode::Sharded { shards }),
+            delay_floor_us: self.execution.and_then(|e| e.delay_floor_us),
         };
         cfg.validate()?;
         Ok(cfg)

@@ -42,6 +42,7 @@ fn hostile_campaign() -> CampaignSpec {
             faults: None,
             metrics: None,
             trace: None,
+            execution: None,
         },
         duration_s: None,
         seeds: vec![1, 2],

@@ -92,6 +92,7 @@ fn spec_from(
         faults: None,
         metrics: None,
         trace: None,
+        execution: None,
     }
 }
 

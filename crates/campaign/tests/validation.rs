@@ -3,8 +3,8 @@
 
 use pcmac::{FlowShape, ScenarioConfig, Variant};
 use pcmac_campaign::{
-    AodvSpec, AxesSpec, Axis, CampaignSpec, NodesSpec, PlacementSpec, ProtocolSpec, RadioSpec,
-    ScenarioSpec, TrafficPattern, TrafficSpec, PATCH_PATHS,
+    AodvSpec, AxesSpec, Axis, CampaignSpec, ExecutionSpec, NodesSpec, PlacementSpec, ProtocolSpec,
+    RadioSpec, ScenarioSpec, TrafficPattern, TrafficSpec, PATCH_PATHS,
 };
 use serde::Value;
 
@@ -33,6 +33,7 @@ fn valid_spec() -> ScenarioSpec {
         faults: None,
         metrics: None,
         trace: None,
+        execution: None,
     }
 }
 
@@ -321,8 +322,22 @@ fn every_documented_patch_path_applies() {
         ("field.width", Value::F64(800.0)),
         ("field.height", Value::F64(800.0)),
         ("nodes.count", Value::U64(20)),
+        (
+            "nodes.placement",
+            Value::Map(vec![(
+                "Grid".into(),
+                Value::Map(vec![("spacing".into(), Value::F64(100.0))]),
+            )]),
+        ),
         ("nodes.mobility.speed_mps", Value::F64(5.0)),
         ("nodes.mobility.pause_s", Value::F64(1.0)),
+        (
+            "traffic.pattern",
+            Value::Map(vec![(
+                "NeighbourPairs".into(),
+                Value::Map(vec![("flows".into(), Value::U64(10))]),
+            )]),
+        ),
         ("traffic.offered_load_kbps", Value::F64(400.0)),
         ("traffic.bytes", Value::U64(256)),
         (
@@ -375,6 +390,8 @@ fn every_documented_patch_path_applies() {
         ("aodv.buffer_timeout_s", Value::F64(20.0)),
         ("aodv.rreq_ttl", Value::U64(16)),
         ("metrics.probe_interval_s", Value::F64(0.5)),
+        ("execution.shards", Value::U64(4)),
+        ("execution.delay_floor_us", Value::F64(10.0)),
         ("trace.channel", Value::Bool(true)),
         ("trace.ctrl", Value::Bool(false)),
         ("trace.timers", Value::Bool(false)),
@@ -389,6 +406,52 @@ fn every_documented_patch_path_applies() {
     }
     spec.validate().expect("fully patched spec stays valid");
     spec.materialize(1).expect("and materializes");
+}
+
+#[test]
+fn execution_overlay_defects_are_rejected() {
+    let mut s = valid_spec();
+    s.execution = Some(ExecutionSpec {
+        shards: Some(0),
+        delay_floor_us: Some(10.0),
+    });
+    assert_problem(&s, "zero shards");
+
+    let mut s = valid_spec();
+    s.execution = Some(ExecutionSpec {
+        shards: Some(4),
+        delay_floor_us: None,
+    });
+    assert_problem(&s, "delay_floor_us");
+
+    let mut s = valid_spec();
+    s.execution = Some(ExecutionSpec {
+        shards: Some(4),
+        delay_floor_us: Some(-1.0),
+    });
+    assert_problem(&s, "delay floor");
+}
+
+#[test]
+fn execution_overlay_materializes_into_sharded_config() {
+    use pcmac::ExecutionMode;
+    let mut s = valid_spec();
+    s.execution = Some(ExecutionSpec {
+        shards: Some(2),
+        delay_floor_us: Some(10.0),
+    });
+    let cfg = s.materialize(1).expect("sharded spec materializes");
+    assert_eq!(cfg.execution, Some(ExecutionMode::Sharded { shards: 2 }));
+    assert_eq!(cfg.delay_floor_us, Some(10.0));
+    // Floor without shards: a comparable single-threaded run.
+    let mut s = valid_spec();
+    s.execution = Some(ExecutionSpec {
+        shards: None,
+        delay_floor_us: Some(10.0),
+    });
+    let cfg = s.materialize(1).expect("floored single spec materializes");
+    assert_eq!(cfg.execution, None);
+    assert_eq!(cfg.delay_floor_us, Some(10.0));
 }
 
 #[test]

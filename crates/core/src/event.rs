@@ -115,3 +115,42 @@ pub enum SimEvent {
     /// bit-identical in behavior to a metrics-off run.
     MetricsProbe,
 }
+
+impl SimEvent {
+    /// Content-derived same-instant ordering key: `(class << 96) |
+    /// (node << 64) | discriminator`.
+    ///
+    /// Every schedule site passes this rank to the event queue, so ties at
+    /// one instant resolve by event *content* instead of scheduling history.
+    /// That is what lets region shards — which each schedule only a subset
+    /// of the global event population — agree exactly with the
+    /// single-threaded reference on pop order: two distinct events due at
+    /// the same instant compare identically no matter which queue holds
+    /// them. Events that share a full `(at, rank)` key always address the
+    /// same node (the discriminator separates everything else a node can
+    /// have in flight at one instant), so they live on one shard and the
+    /// insertion sequence finishes the job there.
+    ///
+    /// `End` classes sort before `Start` classes: an arrival that ends the
+    /// instant another begins must release the radio first, matching the
+    /// order the single-threaded scheduler produced them in.
+    pub fn rank(&self) -> u128 {
+        let (class, node, disc): (u128, u64, u64) = match self {
+            SimEvent::ArrivalEnd { node, key } => (0, node.0 as u64, *key),
+            SimEvent::CtrlArrivalEnd { node, key } => (1, node.0 as u64, *key),
+            SimEvent::TxEnd { node } => (2, node.0 as u64, 0),
+            SimEvent::CtrlTxEnd { node } => (3, node.0 as u64, 0),
+            SimEvent::ArrivalStart { node, key, .. } => (4, node.0 as u64, *key),
+            SimEvent::CtrlArrivalStart { node, key, .. } => (5, node.0 as u64, *key),
+            SimEvent::MacTimer { node, token, .. } => (6, node.0 as u64, token.value()),
+            SimEvent::AodvTimer { node, token, .. } => (7, node.0 as u64, token.value()),
+            SimEvent::TrafficEmit { node, source } => (8, node.0 as u64, *source as u64),
+            SimEvent::NodeDown { node } => (9, node.0 as u64, 0),
+            SimEvent::NodeUp { node } => (10, node.0 as u64, 0),
+            SimEvent::ImpairmentStart { index } => (11, 0, *index as u64),
+            SimEvent::ImpairmentEnd { index } => (12, 0, *index as u64),
+            SimEvent::MetricsProbe => (13, 0, 0),
+        };
+        (class << 96) | ((node as u128) << 64) | disc as u128
+    }
+}

@@ -26,6 +26,7 @@
 //! at the end of the run), so the [`DropTaxonomy`] counts always sum to
 //! `sent`.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -278,8 +279,18 @@ enum Fate {
     InFlight,
     /// Reached its destination sink.
     Delivered,
-    /// Dropped; the first recorded reason wins.
-    Dropped(Drop),
+    /// Dropped; the first recorded reason wins. The global `(time,
+    /// rank)` of the dropping event is kept so region shards — each of
+    /// which observes only the drops its own nodes perform — can agree
+    /// with the single-threaded run on *which* drop came first.
+    Dropped {
+        /// The first recorded reason.
+        reason: Drop,
+        /// When the drop was recorded.
+        t: SimTime,
+        /// Rank of the recording event (tie-break at equal times).
+        rank: u128,
+    },
 }
 
 /// The six terminal drop reasons of the taxonomy.
@@ -310,6 +321,17 @@ impl From<DropReason> for Drop {
     }
 }
 
+/// One probe sample in raw integer form (see [`MetricsState::samples`]).
+#[derive(Debug, Clone, Copy)]
+struct RawSample {
+    t: SimTime,
+    live: u64,
+    busy: u64,
+    queue_sum: u64,
+    sent_cum: u64,
+    delivered_cum: u64,
+}
+
 /// Live collection state owned by the simulator (`Some` exactly when
 /// the scenario enabled metrics). The simulator mutates the public
 /// counters inline on its hot paths and calls the `note_*` methods at
@@ -322,7 +344,9 @@ pub(crate) struct MetricsState {
     /// queue's scheduled total so the reported event count matches a
     /// metrics-off run exactly.
     pub(crate) probes_scheduled: u64,
-    samples: Vec<ProbeSample>,
+    /// Raw integer probe samples; the derived fractions are computed at
+    /// [`MetricsState::finish`], so per-shard samples sum exactly.
+    samples: Vec<RawSample>,
     sent: u64,
     delivered_cum: u64,
     duplicate_deliveries: u64,
@@ -376,24 +400,41 @@ impl MetricsState {
 
     /// The packet reached its destination sink. Delivery is sticky: it
     /// overrides a previously recorded drop (a salvaged copy made it).
-    /// Unregistered ids (routing control packets) are ignored.
+    /// An unseen id is legal on a region shard (the source lives in
+    /// another region, so emission was registered there) and records the
+    /// delivery directly; callers filter routing control packets out.
     pub(crate) fn note_delivered(&mut self, id: PacketId) {
-        if let Some(f) = self.fates.get_mut(&id.0) {
-            if *f == Fate::Delivered {
-                self.duplicate_deliveries += 1;
-            } else {
-                *f = Fate::Delivered;
+        match self.fates.entry(id.0) {
+            Entry::Occupied(mut o) => {
+                if *o.get() == Fate::Delivered {
+                    self.duplicate_deliveries += 1;
+                } else {
+                    o.insert(Fate::Delivered);
+                    self.delivered_cum += 1;
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(Fate::Delivered);
                 self.delivered_cum += 1;
             }
         }
     }
 
-    /// The packet hit a terminal drop. Only the first reason sticks,
-    /// and a delivered packet is never reclassified. Unregistered ids
-    /// (routing control packets) are ignored.
-    pub(crate) fn note_dropped(&mut self, id: PacketId, reason: Drop) {
-        if let Some(f @ Fate::InFlight) = self.fates.get_mut(&id.0) {
-            *f = Fate::Dropped(reason);
+    /// The packet hit a terminal drop at the event keyed `(t, rank)`.
+    /// Only the first reason sticks, and a delivered packet is never
+    /// reclassified. As with deliveries, an unseen id on a region shard
+    /// records the drop directly; [`MetricsState::merge`] keeps the
+    /// globally-first drop when several shards dropped copies.
+    pub(crate) fn note_dropped(&mut self, id: PacketId, reason: Drop, t: SimTime, rank: u128) {
+        match self.fates.entry(id.0) {
+            Entry::Occupied(mut o) => {
+                if *o.get() == Fate::InFlight {
+                    o.insert(Fate::Dropped { reason, t, rank });
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(Fate::Dropped { reason, t, rank });
+            }
         }
     }
 
@@ -411,7 +452,8 @@ impl MetricsState {
     }
 
     /// Record one time-series sample (the probe event handler computes
-    /// the instantaneous fields; cumulative fields come from here).
+    /// the instantaneous integer observables; cumulative fields come
+    /// from here; fractions are derived at [`MetricsState::finish`]).
     pub(crate) fn record_probe(
         &mut self,
         t: SimTime,
@@ -420,24 +462,101 @@ impl MetricsState {
         queue_len_sum: u64,
     ) {
         self.hot.probes += 1;
-        let live = live_nodes as f64;
-        self.samples.push(ProbeSample {
-            t_s: t.as_secs_f64(),
-            live_nodes,
-            busy_nodes,
-            busy_fraction: if live_nodes == 0 {
-                0.0
-            } else {
-                busy_nodes as f64 / live
-            },
-            mean_queue_len: if live_nodes == 0 {
-                0.0
-            } else {
-                queue_len_sum as f64 / live
-            },
+        self.samples.push(RawSample {
+            t,
+            live: live_nodes,
+            busy: busy_nodes,
+            queue_sum: queue_len_sum,
             sent_cum: self.sent,
             delivered_cum: self.delivered_cum,
         });
+    }
+
+    /// Fold per-region-shard collection states into the global one.
+    /// Every integer is either a sum over shards (counters, raw probe
+    /// samples — each shard sampled only its own nodes at the same
+    /// instants) or a per-packet fate resolution: a delivery anywhere
+    /// wins (duplicates sum), else the globally-earliest drop by its
+    /// `(time, rank)` key — the one the single-threaded run recorded
+    /// first — else the packet is still in flight.
+    pub(crate) fn merge(mut parts: Vec<MetricsState>) -> MetricsState {
+        let mut base = parts.remove(0);
+        for part in parts {
+            debug_assert_eq!(base.samples.len(), part.samples.len());
+            for (a, b) in base.samples.iter_mut().zip(part.samples) {
+                debug_assert_eq!(a.t, b.t);
+                a.live += b.live;
+                a.busy += b.busy;
+                a.queue_sum += b.queue_sum;
+                a.sent_cum += b.sent_cum;
+                a.delivered_cum += b.delivered_cum;
+            }
+            base.sent += part.sent;
+            base.delivered_cum += part.delivered_cum;
+            base.duplicate_deliveries += part.duplicate_deliveries;
+            for (id, fate) in part.fates {
+                match base.fates.entry(id) {
+                    Entry::Vacant(v) => {
+                        v.insert(fate);
+                    }
+                    Entry::Occupied(mut o) => {
+                        let merged = match (*o.get(), fate) {
+                            (Fate::Delivered, _) | (_, Fate::Delivered) => Fate::Delivered,
+                            (
+                                Fate::Dropped {
+                                    reason: r1,
+                                    t: t1,
+                                    rank: k1,
+                                },
+                                Fate::Dropped {
+                                    reason: r2,
+                                    t: t2,
+                                    rank: k2,
+                                },
+                            ) => {
+                                if (t2, k2) < (t1, k1) {
+                                    Fate::Dropped {
+                                        reason: r2,
+                                        t: t2,
+                                        rank: k2,
+                                    }
+                                } else {
+                                    Fate::Dropped {
+                                        reason: r1,
+                                        t: t1,
+                                        rank: k1,
+                                    }
+                                }
+                            }
+                            (d @ Fate::Dropped { .. }, Fate::InFlight) => d,
+                            (Fate::InFlight, d @ Fate::Dropped { .. }) => d,
+                            (Fate::InFlight, Fate::InFlight) => Fate::InFlight,
+                        };
+                        o.insert(merged);
+                    }
+                }
+            }
+            base.phy.arrivals += part.phy.arrivals;
+            base.phy.decoded_ok += part.phy.decoded_ok;
+            base.phy.collided += part.phy.collided;
+            base.phy.capture_wins += part.phy.capture_wins;
+            base.phy.captured_away += part.phy.captured_away;
+            base.phy.below_rx_thresh += part.phy.below_rx_thresh;
+            base.phy.missed_while_tx += part.phy.missed_while_tx;
+            base.phy.impaired_arrivals += part.phy.impaired_arrivals;
+            for (a, b) in base.data_tx_by_level.iter_mut().zip(part.data_tx_by_level) {
+                *a += b;
+            }
+            base.data_tx_unclassified += part.data_tx_unclassified;
+            base.ctrl_tx += part.ctrl_tx;
+            base.hot.grid_queries += part.hot.grid_queries;
+            base.hot.grid_candidates += part.hot.grid_candidates;
+            base.hot.refresh_pops += part.hot.refresh_pops;
+            base.hot.refresh_rearms += part.hot.refresh_rearms;
+            base.hot.exact_samples += part.hot.exact_samples;
+            base.hot.probes += part.hot.probes;
+        }
+        base
     }
 
     /// Fold the collected state into the serializable report section.
@@ -451,14 +570,38 @@ impl MetricsState {
             match fate {
                 Fate::InFlight => drops.in_flight_end += 1,
                 Fate::Delivered => drops.delivered_unique += 1,
-                Fate::Dropped(Drop::EmitDead) => drops.emit_dead += 1,
-                Fate::Dropped(Drop::MacQueueFull) => drops.mac_queue_full += 1,
-                Fate::Dropped(Drop::NoRoute) => drops.no_route += 1,
-                Fate::Dropped(Drop::BufferOverflow) => drops.buffer_overflow += 1,
-                Fate::Dropped(Drop::BufferTimeout) => drops.buffer_timeout += 1,
-                Fate::Dropped(Drop::TtlExpired) => drops.ttl_expired += 1,
+                Fate::Dropped { reason, .. } => match reason {
+                    Drop::EmitDead => drops.emit_dead += 1,
+                    Drop::MacQueueFull => drops.mac_queue_full += 1,
+                    Drop::NoRoute => drops.no_route += 1,
+                    Drop::BufferOverflow => drops.buffer_overflow += 1,
+                    Drop::BufferTimeout => drops.buffer_timeout += 1,
+                    Drop::TtlExpired => drops.ttl_expired += 1,
+                },
             }
         }
+
+        let samples: Vec<ProbeSample> = self
+            .samples
+            .iter()
+            .map(|s| ProbeSample {
+                t_s: s.t.as_secs_f64(),
+                live_nodes: s.live,
+                busy_nodes: s.busy,
+                busy_fraction: if s.live == 0 {
+                    0.0
+                } else {
+                    s.busy as f64 / s.live as f64
+                },
+                mean_queue_len: if s.live == 0 {
+                    0.0
+                } else {
+                    s.queue_sum as f64 / s.live as f64
+                },
+                sent_cum: s.sent_cum,
+                delivered_cum: s.delivered_cum,
+            })
+            .collect();
 
         let mut mac = MacMetrics {
             rts_sent: 0,
@@ -533,7 +676,7 @@ impl MetricsState {
 
         SimMetrics {
             probe_interval_s: self.interval.as_secs_f64(),
-            samples: self.samples,
+            samples,
             drops,
             mac,
             phy: self.phy,
@@ -562,6 +705,11 @@ mod tests {
         assert_eq!(MetricsConfig::default().probe_interval_s, 1.0);
     }
 
+    /// Drop at a synthetic `(time, rank)` key.
+    fn drop_at(m: &mut MetricsState, id: u64, reason: Drop, t_ns: u64) {
+        m.note_dropped(PacketId(id), reason, SimTime::from_nanos(t_ns), 0);
+    }
+
     #[test]
     fn fate_map_is_conservation_complete() {
         let mut m = MetricsState::new(MetricsConfig::default(), 2, vec![1.0, 2.0]);
@@ -570,12 +718,11 @@ mod tests {
         }
         m.note_delivered(PacketId(0));
         m.note_delivered(PacketId(0)); // duplicate
-        m.note_dropped(PacketId(1), Drop::MacQueueFull);
-        m.note_dropped(PacketId(1), Drop::NoRoute); // first reason wins
-        m.note_dropped(PacketId(2), Drop::EmitDead);
-        m.note_dropped(PacketId(3), Drop::TtlExpired);
+        drop_at(&mut m, 1, Drop::MacQueueFull, 10);
+        drop_at(&mut m, 1, Drop::NoRoute, 20); // first reason wins
+        drop_at(&mut m, 2, Drop::EmitDead, 30);
+        drop_at(&mut m, 3, Drop::TtlExpired, 40);
         m.note_delivered(PacketId(3)); // delivery overrides a drop
-        m.note_dropped(PacketId(99), Drop::NoRoute); // unregistered: ignored
         let s = m.finish(&[], None);
         let d = &s.drops;
         assert_eq!(d.sent, 6);
@@ -587,6 +734,59 @@ mod tests {
         assert_eq!(d.ttl_expired, 0);
         assert_eq!(d.in_flight_end, 2);
         assert!(d.conserved());
+    }
+
+    #[test]
+    fn unseen_ids_record_directly_for_shard_merge() {
+        // A sink shard delivers (or drops) packets whose emission was
+        // registered on the source's shard: the fate records without a
+        // prior `note_sent`, and `sent` is untouched.
+        let mut m = MetricsState::new(MetricsConfig::default(), 1, vec![]);
+        m.note_delivered(PacketId(7));
+        drop_at(&mut m, 8, Drop::NoRoute, 5);
+        assert_eq!(m.sent, 0);
+        assert_eq!(m.delivered_cum, 1);
+        let s = m.finish(&[], None);
+        assert_eq!(s.drops.delivered_unique, 1);
+        assert_eq!(s.drops.no_route, 1);
+    }
+
+    #[test]
+    fn merge_resolves_fates_and_sums_counters() {
+        // Shard A owns the source: registers emissions.
+        let mut a = MetricsState::new(MetricsConfig::default(), 1, vec![1.0]);
+        for id in 0..4u64 {
+            a.note_sent(PacketId(id));
+        }
+        drop_at(&mut a, 1, Drop::NoRoute, 100); // later drop of a copy
+        drop_at(&mut a, 2, Drop::TtlExpired, 50);
+        a.note_data_tx(1.0);
+        a.record_probe(SimTime::from_nanos(1_000), 2, 1, 3);
+        // Shard B owns the sink: sees deliveries and earlier drops.
+        let mut b = MetricsState::new(MetricsConfig::default(), 1, vec![1.0]);
+        b.note_delivered(PacketId(0));
+        b.note_delivered(PacketId(0)); // duplicate
+        drop_at(&mut b, 1, Drop::MacQueueFull, 60); // globally first
+        b.note_delivered(PacketId(2)); // delivery beats A's drop
+        b.note_data_tx(1.0);
+        b.record_probe(SimTime::from_nanos(1_000), 1, 1, 2);
+
+        let m = MetricsState::merge(vec![a, b]);
+        let s = m.finish(&[], None);
+        let d = &s.drops;
+        assert_eq!(d.sent, 4);
+        assert_eq!(d.delivered_unique, 2);
+        assert_eq!(d.duplicate_deliveries, 1);
+        assert_eq!(d.mac_queue_full, 1, "earliest (time, rank) drop wins");
+        assert_eq!(d.no_route, 0);
+        assert_eq!(d.ttl_expired, 0);
+        assert_eq!(d.in_flight_end, 1);
+        assert!(d.conserved());
+        assert_eq!(s.tx_power.data_tx_by_level, vec![2]);
+        assert_eq!(s.samples.len(), 1);
+        assert_eq!(s.samples[0].live_nodes, 3);
+        assert_eq!(s.samples[0].busy_nodes, 2);
+        assert!((s.samples[0].mean_queue_len - 5.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Spatial-domain parallel execution: one scenario, every core,
+//! bit-identical to the single-threaded reference.
+//!
+//! # How it works
+//!
+//! The field is split into vertical column bands — one region per worker
+//! thread, boundaries snapped to spatial-index columns, balanced by node
+//! count ([`pcmac_shard::partition_columns`]). Every worker builds the
+//! *full* scenario replica (construction is deterministic, so replicas
+//! are identical), then discards the build-time events of nodes it does
+//! not own ([`Simulator`]'s `prepare_shard`). At runtime a shard
+//! dispatches only events addressing its own nodes; when an owned node
+//! transmits, the sender loop runs exactly as in single mode — mobility
+//! is a pure function of `(seed, t)` and gains are pure functions of
+//! positions, so the shard computes every receiver's power and delay
+//! bit-identically — and arrivals destined for foreign nodes are shipped
+//! to their owner as ready-made events instead of being scheduled
+//! locally.
+//!
+//! # The synchronization protocol
+//!
+//! Conservative barrier-epoch windows. Every propagation delay is
+//! floored at δ = [`ScenarioConfig::delay_floor`] (the scenario's
+//! *lookahead*), and arrivals are the only cross-region channel, so an
+//! event at `t` can only influence foreign events at `t ≥ t + δ`:
+//!
+//! 1. each shard publishes the due time of its next event;
+//! 2. barrier; the window start `ws` is the global minimum — when every
+//!    queue is drained past the run end, the run is over;
+//! 3. each shard dispatches every local event in `[ws, ws + δ)`,
+//!    accumulating outgoing arrivals per destination shard;
+//! 4. outboxes are flushed into per-pair mailboxes; barrier;
+//! 5. each shard drains its mailboxes in fixed sender order, culling
+//!    each shipment against its authoritative down-state at the sender's
+//!    transmit instant, and scheduling the survivors under their
+//!    content-derived ranks.
+//!
+//! Shipments land at `ws + δ` or later, so nothing a neighbour did
+//! inside a window can affect events already dispatched — and since
+//! same-instant order is a pure function of event content (see
+//! `SimEvent::rank`), every event pops from its owner's queue in exactly
+//! the global reference position. Merging per-shard results is then
+//! owner-selection (per-node state), summation (counters), or key-sorted
+//! replay (fault records, trace), all in fixed shard order with no
+//! wall-clock input anywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pcmac_phy::SparseCacheStats;
+use pcmac_shard::{partition_columns, SpinBarrier};
+
+use pcmac_engine::SimTime;
+
+use crate::event::SimEvent;
+use crate::metrics::MetricsState;
+use crate::node::Node;
+use crate::report::RunReport;
+use crate::sim::{FaultState, ShardParts, Shipment, Simulator};
+
+/// A shard's buffered dispatch stream: `(time, rank, event)` per event.
+type TracedEvents = Vec<(SimTime, u128, SimEvent)>;
+
+/// Optional sink receiving the merged event stream after the run.
+type EventObserver<'a> = Option<&'a mut dyn FnMut(&SimEvent, SimTime)>;
+
+/// Execute `sim` as `shards` region shards and merge the report.
+///
+/// `observer`, when given, receives the merged event stream after the
+/// run (per-shard streams are buffered and replayed in global
+/// `(time, rank)` order — the exact single-threaded dispatch order).
+pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver<'_>) -> RunReport {
+    let wall_start = std::time::Instant::now();
+    let shards = shards.max(1);
+    let cfg = sim.cfg().clone();
+    let end = SimTime::ZERO + cfg.duration;
+    let floor_ns = cfg.delay_floor().as_nanos();
+    assert!(
+        floor_ns > 0,
+        "sharded execution requires a positive delay floor (validated at build)"
+    );
+    let owner: Arc<Vec<u32>> = Arc::new(partition_columns(
+        &sim.start_xs(),
+        cfg.field.0,
+        sim.shard_cell_size(),
+        shards,
+    ));
+    let collect_trace = observer.is_some();
+
+    let peeks: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+    // mail[to][from]: written by `from` between the window's two
+    // barriers, drained by `to` after the second — never contended.
+    let mail: Vec<Vec<Mutex<Vec<Shipment>>>> = (0..shards)
+        .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let barrier = SpinBarrier::new(shards);
+
+    let results: Vec<(ShardParts, TracedEvents)> = std::thread::scope(|scope| {
+        let mut seed_sim = Some(sim);
+        let mut handles = Vec::with_capacity(shards);
+        for k in 0..shards {
+            let cfg = cfg.clone();
+            let owner = Arc::clone(&owner);
+            let (barrier, peeks, mail) = (&barrier, &peeks, &mail);
+            let first = seed_sim.take();
+            handles.push(scope.spawn(move || {
+                // Shard 0 reuses the caller's simulator; the rest
+                // build their own replica (deterministic, identical).
+                let mut s = match first {
+                    Some(s) => s,
+                    None => Simulator::new(cfg),
+                };
+                s.prepare_shard(k as u32, shards, owner);
+                let mut trace = collect_trace.then(Vec::new);
+                loop {
+                    peeks[k].store(s.shard_peek_ns(end), Ordering::SeqCst);
+                    barrier.wait();
+                    let ws = peeks
+                        .iter()
+                        .map(|p| p.load(Ordering::SeqCst))
+                        .min()
+                        .expect("at least one shard");
+                    if ws == u64::MAX {
+                        break; // every queue drained past the end
+                    }
+                    s.run_window(ws.saturating_add(floor_ns), end, trace.as_mut());
+                    for (to, batch) in s.take_outboxes().into_iter().enumerate() {
+                        if !batch.is_empty() {
+                            *mail[to][k].lock().expect("mailbox") = batch;
+                        }
+                    }
+                    barrier.wait();
+                    let incoming: Vec<Vec<Shipment>> = mail[k]
+                        .iter()
+                        .map(|m| std::mem::take(&mut *m.lock().expect("mailbox")))
+                        .collect();
+                    s.accept_shipments(incoming);
+                }
+                (s.into_shard_parts(end), trace.unwrap_or_default())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    let mut parts = Vec::with_capacity(shards);
+    let mut traces = Vec::with_capacity(shards);
+    for (p, t) in results {
+        parts.push(p);
+        traces.push(t);
+    }
+
+    // Replicated impairment bursts are scheduled once per shard; every
+    // other scheduled event exists on exactly one shard (probe chains
+    // were already subtracted per shard, like in single mode).
+    let n_bursts = cfg
+        .faults
+        .as_ref()
+        .and_then(|f| f.impairments.as_ref())
+        .map_or(0, Vec::len) as u64;
+    let events = parts.iter().map(|p| p.events).sum::<u64>() - (shards as u64 - 1) * 2 * n_bursts;
+    let sent = parts.iter().map(|p| p.sent_packets).sum::<u64>();
+
+    // Per-node state: each node's owner holds the authoritative replica.
+    let n = owner.len();
+    let mut pools: Vec<Vec<Option<Node>>> = parts
+        .iter_mut()
+        .map(|p| std::mem::take(&mut p.nodes).into_iter().map(Some).collect())
+        .collect();
+    let nodes: Vec<Node> = (0..n)
+        .map(|i| pools[owner[i] as usize][i].take().expect("owned node"))
+        .collect();
+
+    let fault_parts: Vec<FaultState> = parts.iter_mut().filter_map(|p| p.faults.take()).collect();
+    let resilience = if fault_parts.is_empty() {
+        None
+    } else {
+        Some(FaultState::merge(fault_parts, &owner).into_report())
+    };
+
+    // Sparse-cache effectiveness is an execution-strategy diagnostic
+    // (each shard ran its own cache); sum the counters.
+    let mut cache: Option<SparseCacheStats> = None;
+    for p in &parts {
+        if let Some(cs) = p.cache_stats {
+            match &mut cache {
+                None => cache = Some(cs),
+                Some(acc) => {
+                    acc.hits += cs.hits;
+                    acc.misses += cs.misses;
+                    acc.blocks += cs.blocks;
+                    acc.entries += cs.entries;
+                    acc.flushes += cs.flushes;
+                }
+            }
+        }
+    }
+
+    let metric_parts: Vec<MetricsState> =
+        parts.iter_mut().filter_map(|p| p.metrics.take()).collect();
+    let metrics = if metric_parts.is_empty() {
+        None
+    } else {
+        Some(MetricsState::merge(metric_parts).finish(&nodes, cache))
+    };
+
+    if let Some(obs) = observer {
+        let mut all: Vec<(SimTime, u128, SimEvent)> = traces.into_iter().flatten().collect();
+        // Stable: same-key events (necessarily same-shard, same-node)
+        // keep their shard-local dispatch order.
+        all.sort_by_key(|&(t, r, _)| (t, r));
+        for (at, _, ev) in &all {
+            obs(ev, *at);
+        }
+    }
+
+    RunReport::build(
+        &cfg,
+        &nodes,
+        sent,
+        events,
+        wall_start.elapsed().as_secs_f64(),
+        resilience,
+        metrics,
+    )
+}

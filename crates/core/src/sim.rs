@@ -56,7 +56,7 @@ use pcmac_phy::radio::RadioEvent;
 use pcmac_phy::{GainCache, PropagationModel, Shadowed, SparseGainCache, TwoRayGround};
 
 use crate::config::{
-    ChannelIndexMode, GainCacheMode, MobilityRefreshMode, NodeSetup, ScenarioConfig,
+    ChannelIndexMode, ExecutionMode, GainCacheMode, MobilityRefreshMode, NodeSetup, ScenarioConfig,
 };
 use crate::event::SimEvent;
 use crate::fault::FaultConfig;
@@ -145,7 +145,7 @@ impl<T> BufPool<T> {
 /// in flight at the crash instant still land, keeping the radio's
 /// interference bookkeeping exact.
 #[derive(Debug)]
-struct FaultState {
+pub(crate) struct FaultState {
     plan: FaultConfig,
     /// `true` while the node is down.
     down: Vec<bool>,
@@ -159,15 +159,13 @@ struct FaultState {
     committed_mj: Vec<f64>,
     /// Nodes whose budget ran out (their `NodeDown` is permanent).
     energy_dead: Vec<bool>,
-    /// Fault window: start of the first activation (static schedule, or
-    /// the first energy death), end of the last deactivation (permanent
-    /// faults extend it to the end of the run).
+    /// Fault window from the precomputed schedule alone: start of the
+    /// first activation, end of the last deactivation. Energy deaths
+    /// extend it during the [`FaultState::into_report`] replay.
     window_start: Option<SimTime>,
     window_end: Option<SimTime>,
-    /// Packets emitted per phase (before/during/after the window).
-    sent_phase: [u64; 3],
-    /// Deliveries per phase, classified by the packet's emission time.
-    delivered_phase: [u64; 3],
+    /// End of the run (an exhausted budget extends the window to here).
+    run_end: SimTime,
     crashes: u64,
     recoveries: u64,
     energy_deaths: u64,
@@ -175,40 +173,115 @@ struct FaultState {
     pending_repairs: Vec<(u32, u32, SimTime)>,
     repairs_started: u64,
     repair_latencies_s: Vec<f64>,
-    /// First delivery at or after the window end.
-    reconverged_at: Option<SimTime>,
+    /// Phase-classification facts in processing order, each keyed by the
+    /// global `(time, rank)` of the event that produced it. Classifying
+    /// lazily at report time (instead of against a live, mutating fault
+    /// window) is what lets region shards — which each observe only their
+    /// own slice of the event stream — merge their facts into the exact
+    /// single-threaded counters: sort by key and replay.
+    records: Vec<(SimTime, u128, FaultRecord)>,
+}
+
+/// One phase-classification fact (see [`FaultState::records`]).
+#[derive(Debug, Clone, Copy)]
+enum FaultRecord {
+    /// A source emitted an application packet (classified by record time).
+    Sent,
+    /// A packet reached its sink (classified by its emission time; the
+    /// record time drives reconvergence detection).
+    Delivered {
+        /// When the delivered packet was emitted.
+        created_at: SimTime,
+    },
+    /// A node's energy budget ran out; it dies (and the fault window
+    /// extends to the end of the run) at `death_at`.
+    EnergyDeath {
+        /// End of the transmission that exhausted the budget.
+        death_at: SimTime,
+    },
 }
 
 impl FaultState {
-    /// Phase of instant `t`: 0 before, 1 during, 2 after the window.
-    fn phase(&self, t: SimTime) -> usize {
-        match self.window_start {
-            Some(ws) if t >= ws => match self.window_end {
-                Some(we) if t >= we => 2,
+    /// Merge per-shard fault states into the global one: per-node state is
+    /// taken from each node's owner, counters are summed in shard order,
+    /// and the classification records are merged by their global
+    /// `(time, rank)` keys (a stable sort, so same-shard facts from one
+    /// event keep their intra-event order; cross-shard key collisions are
+    /// impossible because a rank pins the event to one node).
+    pub(crate) fn merge(mut parts: Vec<FaultState>, owner: &[u32]) -> FaultState {
+        let mut base = parts.remove(0);
+        for (k, part) in parts.into_iter().enumerate() {
+            let sid = k as u32 + 1;
+            for (i, &o) in owner.iter().enumerate() {
+                if o == sid {
+                    base.down[i] = part.down[i];
+                    base.committed_mj[i] = part.committed_mj[i];
+                    base.energy_dead[i] = part.energy_dead[i];
+                }
+            }
+            base.crashes += part.crashes;
+            base.recoveries += part.recoveries;
+            base.energy_deaths += part.energy_deaths;
+            base.repairs_started += part.repairs_started;
+            base.repair_latencies_s.extend(part.repair_latencies_s);
+            base.pending_repairs.extend(part.pending_repairs);
+            base.records.extend(part.records);
+        }
+        base.records.sort_by_key(|&(t, r, _)| (t, r));
+        base
+    }
+
+    pub(crate) fn into_report(self) -> ResilienceReport {
+        // Replay the classification records in global processing order
+        // against the static window, applying energy-death window
+        // extensions exactly where the live path used to apply them.
+        let mut ws = self.window_start;
+        let mut we = self.window_end;
+        let mut sent_phase = [0u64; 3];
+        let mut delivered_phase = [0u64; 3];
+        let mut reconverged_at = None;
+        // Phase of instant `t`: 0 before, 1 during, 2 after the window.
+        let phase = |ws: Option<SimTime>, we: Option<SimTime>, t: SimTime| match ws {
+            Some(w) if t >= w => match we {
+                Some(e) if t >= e => 2,
                 _ => 1,
             },
             _ => 0,
+        };
+        for &(t, _, rec) in &self.records {
+            match rec {
+                FaultRecord::Sent => sent_phase[phase(ws, we, t)] += 1,
+                FaultRecord::Delivered { created_at } => {
+                    delivered_phase[phase(ws, we, created_at)] += 1;
+                    if reconverged_at.is_none() && we.is_some_and(|e| t >= e) {
+                        reconverged_at = Some(t);
+                    }
+                }
+                FaultRecord::EnergyDeath { death_at } => {
+                    if ws.is_none_or(|w| death_at < w) {
+                        ws = Some(death_at);
+                    }
+                    we = Some(self.run_end);
+                }
+            }
         }
-    }
-
-    fn into_report(self) -> ResilienceReport {
         let pdr = |d: u64, s: u64| if s == 0 { 0.0 } else { d as f64 / s as f64 };
         let residual = self
             .plan
             .energy_budget_mj
             .map(|b| self.committed_mj.iter().map(|c| (b - c).max(0.0)).collect());
         ResilienceReport {
-            window_start_s: self.window_start.map(SimTime::as_secs_f64),
-            window_end_s: self.window_end.map(SimTime::as_secs_f64),
-            sent_before: self.sent_phase[0],
-            sent_during: self.sent_phase[1],
-            sent_after: self.sent_phase[2],
-            delivered_before: self.delivered_phase[0],
-            delivered_during: self.delivered_phase[1],
-            delivered_after: self.delivered_phase[2],
-            pdr_before: pdr(self.delivered_phase[0], self.sent_phase[0]),
-            pdr_during: pdr(self.delivered_phase[1], self.sent_phase[1]),
-            pdr_after: pdr(self.delivered_phase[2], self.sent_phase[2]),
+            window_start_s: ws.map(SimTime::as_secs_f64),
+            window_end_s: we.map(SimTime::as_secs_f64),
+            sent_before: sent_phase[0],
+            sent_during: sent_phase[1],
+            sent_after: sent_phase[2],
+            delivered_before: delivered_phase[0],
+            delivered_during: delivered_phase[1],
+            delivered_after: delivered_phase[2],
+            pdr_before: pdr(delivered_phase[0], sent_phase[0]),
+            pdr_during: pdr(delivered_phase[1], sent_phase[1]),
+            pdr_after: pdr(delivered_phase[2], sent_phase[2]),
             crashes: self.crashes,
             recoveries: self.recoveries,
             energy_deaths: self.energy_deaths,
@@ -216,13 +289,76 @@ impl FaultState {
             repairs_started: self.repairs_started,
             repairs_completed: self.repair_latencies_s.len() as u64,
             repair_latency: LatencySummary::from_samples(&self.repair_latencies_s),
-            reconverged_after_s: match (self.reconverged_at, self.window_end) {
-                (Some(t), Some(we)) => Some((t - we).as_secs_f64()),
+            reconverged_after_s: match (reconverged_at, we) {
+                (Some(t), Some(e)) => Some((t - e).as_secs_f64()),
                 _ => None,
             },
             residual_energy_mj: residual,
         }
     }
+}
+
+/// Per-shard execution context: which nodes this simulator dispatches,
+/// the outgoing cross-region arrival shipments of the current window,
+/// and the down-state transition log other regions cull against.
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    /// This shard's id.
+    pub(crate) id: u32,
+    /// Owning shard per node (shared, read-only).
+    pub(crate) owner: Arc<Vec<u32>>,
+    /// Outgoing shipments, bucketed by destination shard (slot `id` is
+    /// always empty — owned receivers schedule locally).
+    pub(crate) outbox: Vec<Vec<Shipment>>,
+    /// Per-owned-node down-state transitions `(time, rank, down)`,
+    /// appended only on actual state flips, in event order. Shipped
+    /// arrivals are culled against the state strictly before their
+    /// transmission's `(time, rank)` — exactly the cull the
+    /// single-threaded sender loop applies inline.
+    pub(crate) transitions: Vec<Vec<(SimTime, u128, bool)>>,
+}
+
+/// One ready-made cross-region arrival pair: everything the receiving
+/// shard needs to schedule the `ArrivalStart`/`ArrivalEnd` (or ctrl)
+/// events its own sender loop would have produced.
+#[derive(Debug, Clone)]
+pub(crate) enum Shipment {
+    /// Data-channel arrival.
+    Data {
+        at: SimTime,
+        node: NodeId,
+        key: u64,
+        power: Milliwatts,
+        end: SimTime,
+        frame: Arc<Frame>,
+        /// Global `(time, rank)` of the transmitting event, for the
+        /// receiver-side down-state cull.
+        tx: (SimTime, u128),
+    },
+    /// Control-channel arrival.
+    Ctrl {
+        at: SimTime,
+        node: NodeId,
+        key: u64,
+        power: Milliwatts,
+        end: SimTime,
+        frame: CtrlFrame,
+        tx: (SimTime, u128),
+    },
+}
+
+/// What one shard contributes to the merged report, extracted after its
+/// queue drains (see `parallel::run_sharded`).
+pub(crate) struct ShardParts {
+    /// The shard's full node replica (only owned entries are merged).
+    pub(crate) nodes: Vec<Node>,
+    /// Application packets emitted by owned sources.
+    pub(crate) sent_packets: u64,
+    /// Non-probe events scheduled on this shard's queue.
+    pub(crate) events: u64,
+    pub(crate) faults: Option<FaultState>,
+    pub(crate) metrics: Option<MetricsState>,
+    pub(crate) cache_stats: Option<pcmac_phy::SparseCacheStats>,
 }
 
 /// A configured, runnable simulation.
@@ -252,7 +388,20 @@ pub struct Simulator {
     /// Min-heap of `(deadline, node)` refresh entries; an entry earlier
     /// than its node's recorded deadline is superseded and re-arms.
     refresh_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
-    next_key: u64,
+    /// Per-node transmission-key counters: key = `(node << 32) | counter`.
+    /// Keyed per node (not globally) so a region shard — which executes
+    /// only its own nodes' transmissions — mints the *same* key for a
+    /// given transmission as the single-threaded reference does.
+    tx_key_ctr: Vec<u32>,
+    /// Propagation-delay floor in nanoseconds (0 = exact delays).
+    delay_floor_ns: u64,
+    /// `(time, rank)` of the event currently being dispatched — the
+    /// global position in the event order, used to key fault records and
+    /// packet-drop facts so they merge deterministically across shards.
+    cur: (SimTime, u128),
+    /// Region-shard context (`Some` iff this simulator is one shard of a
+    /// sharded run).
+    shard: Option<ShardCtx>,
     sent_packets: u64,
     /// Fault-injection runtime state (`Some` iff the scenario has a
     /// fault plan).
@@ -334,7 +483,8 @@ impl Simulator {
             let mut src = TrafficSource::from_spec(spec, cfg.seed);
             if let Some(t0) = src.next_time() {
                 let source_idx = nodes[home].sources.len();
-                queue.schedule_at(
+                sched_into(
+                    &mut queue,
                     t0,
                     SimEvent::TrafficEmit {
                         node: spec.src,
@@ -356,7 +506,8 @@ impl Simulator {
             let mut ends: Vec<f64> = Vec::new();
             if let Some(crashes) = &plan.crashes {
                 for cw in crashes {
-                    queue.schedule_at(
+                    sched_into(
+                        &mut queue,
                         at(cw.at_s),
                         SimEvent::NodeDown {
                             node: NodeId(cw.node),
@@ -365,7 +516,8 @@ impl Simulator {
                     starts.push(cw.at_s);
                     match cw.recover_s {
                         Some(r) => {
-                            queue.schedule_at(
+                            sched_into(
+                                &mut queue,
                                 at(r),
                                 SimEvent::NodeUp {
                                     node: NodeId(cw.node),
@@ -392,13 +544,16 @@ impl Simulator {
                             if t >= w1 {
                                 break;
                             }
-                            queue.schedule_at(at(t), SimEvent::NodeDown { node });
+                            sched_into(&mut queue, at(t), SimEvent::NodeDown { node });
                             let downtime = rng.exponential(ch.mean_downtime_s);
                             // A node still down when the window closes
                             // recovers at the window edge, so the
                             // "after" phase observes a healed network.
-                            queue
-                                .schedule_at(at((t + downtime).min(w1)), SimEvent::NodeUp { node });
+                            sched_into(
+                                &mut queue,
+                                at((t + downtime).min(w1)),
+                                SimEvent::NodeUp { node },
+                            );
                             t += downtime;
                             if t >= w1 {
                                 break;
@@ -409,8 +564,16 @@ impl Simulator {
             }
             if let Some(bursts) = &plan.impairments {
                 for (k, b) in bursts.iter().enumerate() {
-                    queue.schedule_at(at(b.start_s), SimEvent::ImpairmentStart { index: k });
-                    queue.schedule_at(at(b.stop_s), SimEvent::ImpairmentEnd { index: k });
+                    sched_into(
+                        &mut queue,
+                        at(b.start_s),
+                        SimEvent::ImpairmentStart { index: k },
+                    );
+                    sched_into(
+                        &mut queue,
+                        at(b.stop_s),
+                        SimEvent::ImpairmentEnd { index: k },
+                    );
                     starts.push(b.start_s);
                     ends.push(b.stop_s.min(dur_s));
                 }
@@ -426,15 +589,14 @@ impl Simulator {
                 energy_dead: vec![false; n],
                 window_start: starts.iter().copied().reduce(f64::min).map(at),
                 window_end: ends.iter().copied().reduce(f64::max).map(at),
-                sent_phase: [0; 3],
-                delivered_phase: [0; 3],
+                run_end: SimTime::ZERO + cfg.duration,
                 crashes: 0,
                 recoveries: 0,
                 energy_deaths: 0,
                 pending_repairs: Vec::new(),
                 repairs_started: 0,
                 repair_latencies_s: Vec::new(),
-                reconverged_at: None,
+                records: Vec::new(),
             }
         });
 
@@ -453,7 +615,7 @@ impl Simulator {
         if let Some(m) = &mut metrics {
             let first = SimTime::ZERO + m.interval();
             if first <= SimTime::ZERO + cfg.duration {
-                queue.schedule_at(first, SimEvent::MetricsProbe);
+                sched_into(&mut queue, first, SimEvent::MetricsProbe);
                 m.probes_scheduled += 1;
             }
         }
@@ -530,6 +692,7 @@ impl Simulator {
             }
         }
 
+        let delay_floor_ns = cfg.delay_floor().as_nanos();
         Simulator {
             use_grid,
             lazy_refresh,
@@ -546,7 +709,10 @@ impl Simulator {
             sampled_at,
             deadline,
             refresh_heap,
-            next_key: 0,
+            tx_key_ctr: vec![0; n],
+            delay_floor_ns,
+            cur: (SimTime::ZERO, 0),
+            shard: None,
             sent_packets: 0,
             faults,
             metrics,
@@ -559,15 +725,40 @@ impl Simulator {
     }
 
     /// Run to the configured duration and produce the report.
+    ///
+    /// Under [`ExecutionMode::Sharded`] the run executes on that many
+    /// region threads and produces a report bit-identical to the
+    /// single-threaded one (hot-path instrumentation counters aside,
+    /// which — as across refresh/cache modes — reflect the execution
+    /// strategy itself).
     pub fn run(self) -> RunReport {
-        self.run_with_observer(|_, _| {})
+        match self.cfg.execution_mode() {
+            ExecutionMode::Single => self.run_single(&mut |_, _| {}),
+            ExecutionMode::Sharded { shards } => crate::parallel::run_sharded(self, shards, None),
+        }
     }
 
     /// Like [`Simulator::run`], but calls `observer` with every event
     /// just before it is dispatched — the hook for packet traces,
     /// animations, or custom measurements. The observer sees events in
-    /// exact execution order.
-    pub fn run_with_observer(mut self, mut observer: impl FnMut(&SimEvent, SimTime)) -> RunReport {
+    /// exact execution order (sharded runs buffer per-region streams and
+    /// replay the deterministic merge to the observer after the run).
+    pub fn run_with_observer(self, mut observer: impl FnMut(&SimEvent, SimTime)) -> RunReport {
+        match self.cfg.execution_mode() {
+            ExecutionMode::Single => self.run_single(&mut observer),
+            ExecutionMode::Sharded { shards } => {
+                crate::parallel::run_sharded(self, shards, Some(&mut observer))
+            }
+        }
+    }
+
+    /// Schedule `ev` at `at` with its content-derived rank.
+    #[inline]
+    fn sched(&mut self, at: SimTime, ev: SimEvent) {
+        self.queue.schedule_ranked(at, ev.rank(), ev);
+    }
+
+    fn run_single(mut self, observer: &mut dyn FnMut(&SimEvent, SimTime)) -> RunReport {
         let wall_start = std::time::Instant::now();
         let end = SimTime::ZERO + self.cfg.duration;
         while let Some(t) = self.queue.peek_time() {
@@ -575,6 +766,7 @@ impl Simulator {
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
+            self.cur = (ev.at, ev.rank);
             observer(&ev.event, ev.at);
             self.dispatch(ev.event, ev.at);
         }
@@ -751,17 +943,16 @@ impl Simulator {
                     m.note_sent(packet.id);
                 }
                 if let Some(t) = next {
-                    self.queue
-                        .schedule_at(t, SimEvent::TrafficEmit { node, source });
+                    self.sched(t, SimEvent::TrafficEmit { node, source });
                 }
+                let cur_rank = self.cur.1;
                 if let Some(fs) = &mut self.faults {
-                    let ph = fs.phase(now);
-                    fs.sent_phase[ph] += 1;
+                    fs.records.push((now, cur_rank, FaultRecord::Sent));
                     if fs.down[i] {
                         // The application emits into a dead stack:
                         // counted as sent, lost on the spot.
                         if let Some(m) = &mut self.metrics {
-                            m.note_dropped(packet.id, PacketDrop::EmitDead);
+                            m.note_dropped(packet.id, PacketDrop::EmitDead, now, cur_rank);
                         }
                         return;
                     }
@@ -770,8 +961,8 @@ impl Simulator {
                 self.nodes[i].aodv.send(packet, now, &mut acts);
                 self.apply_aodv_actions(i, acts, now);
             }
-            SimEvent::NodeDown { node } => self.on_node_down(node.index()),
-            SimEvent::NodeUp { node } => self.on_node_up(node.index()),
+            SimEvent::NodeDown { node } => self.on_node_down(node.index(), now),
+            SimEvent::NodeUp { node } => self.on_node_up(node.index(), now),
             SimEvent::ImpairmentStart { index } => self.set_impairment(index, true),
             SimEvent::ImpairmentEnd { index } => self.set_impairment(index, false),
             SimEvent::MetricsProbe => self.on_metrics_probe(now),
@@ -787,6 +978,13 @@ impl Simulator {
         let mut busy = 0u64;
         let mut queue_sum = 0u64;
         for (i, node) in self.nodes.iter().enumerate() {
+            // Each region shard samples its own nodes; the per-shard
+            // integer sums add up to exactly the single-threaded sample.
+            if let Some(ctx) = &self.shard {
+                if ctx.owner[i] != ctx.id {
+                    continue;
+                }
+            }
             if self.faults.as_ref().is_some_and(|f| f.down[i]) {
                 continue;
             }
@@ -800,7 +998,8 @@ impl Simulator {
         m.record_probe(now, live, busy, queue_sum);
         let next = now + m.interval();
         if next <= end {
-            self.queue.schedule_at(next, SimEvent::MetricsProbe);
+            let ev = SimEvent::MetricsProbe;
+            self.queue.schedule_ranked(next, ev.rank(), ev);
             m.probes_scheduled += 1;
         }
     }
@@ -816,19 +1015,26 @@ impl Simulator {
 
     /// Apply a `NodeDown`: from here on the node schedules no arrivals,
     /// is skipped as a receiver, and accrues no transmit energy. See
-    /// [`FaultState`] for the full crash semantics.
-    fn on_node_down(&mut self, i: usize) {
+    /// [`FaultState`] for the full crash semantics. In a sharded run the
+    /// transition is also logged under its global `(time, rank)` so
+    /// neighbouring regions' in-flight transmissions can be culled
+    /// against the exact down-state at their send instant.
+    fn on_node_down(&mut self, i: usize, now: SimTime) {
+        let rank = self.cur.1;
         let Some(fs) = &mut self.faults else { return };
         if fs.down[i] {
             return; // a scheduled crash overlapping churn: already down
         }
         fs.down[i] = true;
         fs.crashes += 1;
+        if let Some(ctx) = &mut self.shard {
+            ctx.transitions[i].push((now, rank, true));
+        }
     }
 
     /// Apply a `NodeUp`. Exhausted energy budgets are permanent: a
     /// churn recovery scheduled for later cannot resurrect the node.
-    fn on_node_up(&mut self, i: usize) {
+    fn on_node_up(&mut self, i: usize, now: SimTime) {
         let expire = {
             let Some(fs) = &mut self.faults else { return };
             if !fs.down[i] || fs.energy_dead[i] {
@@ -838,6 +1044,9 @@ impl Simulator {
             fs.recoveries += 1;
             fs.plan.expire_routes == Some(true)
         };
+        if let Some(ctx) = &mut self.shard {
+            ctx.transitions[i].push((now, self.cur.1, false));
+        }
         if expire {
             // Reboot semantics: routing state is volatile and is lost
             // with the node; the experimenter's counters survive.
@@ -879,30 +1088,35 @@ impl Simulator {
     /// power × airtime) against the node's budget, scheduling its
     /// permanent death at the end of the transmission that exhausts it.
     fn commit_energy(&mut self, i: usize, power: Milliwatts, airtime: Duration, end: SimTime) {
-        let run_end = SimTime::ZERO + self.cfg.duration;
-        let Some(fs) = &mut self.faults else { return };
-        let Some(budget) = fs.plan.energy_budget_mj else {
-            return;
-        };
-        if fs.energy_dead[i] {
-            return; // death already scheduled at an earlier tx's end
-        }
-        fs.committed_mj[i] += power.value() * airtime.as_secs_f64();
-        if fs.committed_mj[i] >= budget {
-            fs.energy_dead[i] = true;
-            fs.energy_deaths += 1;
-            // An exhausted budget is a fault like any other: it opens
-            // (or extends) the fault window to the end of the run.
-            if fs.window_start.is_none_or(|ws| end < ws) {
-                fs.window_start = Some(end);
+        let (now, cur_rank) = self.cur;
+        let died = {
+            let Some(fs) = &mut self.faults else { return };
+            let Some(budget) = fs.plan.energy_budget_mj else {
+                return;
+            };
+            if fs.energy_dead[i] {
+                return; // death already scheduled at an earlier tx's end
             }
-            fs.window_end = Some(run_end);
-            self.queue.schedule_at(
-                end,
-                SimEvent::NodeDown {
-                    node: NodeId(i as u32),
-                },
-            );
+            fs.committed_mj[i] += power.value() * airtime.as_secs_f64();
+            if fs.committed_mj[i] >= budget {
+                fs.energy_dead[i] = true;
+                fs.energy_deaths += 1;
+                // An exhausted budget is a fault like any other: it opens
+                // (or extends) the fault window to the end of the run —
+                // applied during the report replay, at this exact point in
+                // the global record order.
+                fs.records
+                    .push((now, cur_rank, FaultRecord::EnergyDeath { death_at: end }));
+                true
+            } else {
+                false
+            }
+        };
+        if died {
+            let ev = SimEvent::NodeDown {
+                node: NodeId(i as u32),
+            };
+            self.queue.schedule_ranked(end, ev.rank(), ev);
         }
     }
 
@@ -1002,7 +1216,7 @@ impl Simulator {
                 MacAction::TxFrame { frame, power } => self.transmit_frame(i, frame, power, now),
                 MacAction::TxCtrl { frame, power } => self.transmit_ctrl(i, frame, power, now),
                 MacAction::Arm { kind, delay, token } => {
-                    self.queue.schedule_at(
+                    self.sched(
                         now + delay,
                         SimEvent::MacTimer {
                             node: NodeId(i as u32),
@@ -1039,8 +1253,14 @@ impl Simulator {
                 }
                 MacAction::QueueDrop { packet } => {
                     // Counted inside the MAC; only the fate map cares.
-                    if let Some(m) = &mut self.metrics {
-                        m.note_dropped(packet.id, PacketDrop::MacQueueFull);
+                    // Routing frames never enter the fate map (they were
+                    // never `note_sent`), so they are filtered here rather
+                    // than registered as spurious drops.
+                    if !packet.payload.is_routing() {
+                        let cur_rank = self.cur.1;
+                        if let Some(m) = &mut self.metrics {
+                            m.note_dropped(packet.id, PacketDrop::MacQueueFull, now, cur_rank);
+                        }
                     }
                 }
             }
@@ -1067,24 +1287,25 @@ impl Simulator {
                     self.apply_mac_actions(i, acts, now);
                 }
                 AodvAction::DeliverLocal { packet } => {
+                    let cur_rank = self.cur.1;
                     if let Some(fs) = &mut self.faults {
-                        let ph = fs.phase(packet.created_at);
-                        fs.delivered_phase[ph] += 1;
-                        if fs.reconverged_at.is_none() {
-                            if let Some(we) = fs.window_end {
-                                if now >= we {
-                                    fs.reconverged_at = Some(now);
-                                }
-                            }
-                        }
+                        fs.records.push((
+                            now,
+                            cur_rank,
+                            FaultRecord::Delivered {
+                                created_at: packet.created_at,
+                            },
+                        ));
                     }
-                    if let Some(m) = &mut self.metrics {
-                        m.note_delivered(packet.id);
+                    if !packet.payload.is_routing() {
+                        if let Some(m) = &mut self.metrics {
+                            m.note_delivered(packet.id);
+                        }
                     }
                     self.nodes[i].sink.deliver(&packet, now);
                 }
                 AodvAction::Arm { dst, delay, token } => {
-                    self.queue.schedule_at(
+                    self.sched(
                         now + delay,
                         SimEvent::AodvTimer {
                             node: NodeId(i as u32),
@@ -1097,9 +1318,13 @@ impl Simulator {
                     self.nodes[i].mac.reset_peer_state(peer);
                 }
                 AodvAction::Drop { packet, reason } => {
-                    // Counted inside the agent; only the fate map cares.
-                    if let Some(m) = &mut self.metrics {
-                        m.note_dropped(packet.id, reason.into());
+                    // Counted inside the agent; only the fate map cares
+                    // (and only about application packets — see QueueDrop).
+                    if !packet.payload.is_routing() {
+                        let cur_rank = self.cur.1;
+                        if let Some(m) = &mut self.metrics {
+                            m.note_dropped(packet.id, reason.into(), now, cur_rank);
+                        }
                     }
                 }
             }
@@ -1264,6 +1489,33 @@ impl Simulator {
         }
     }
 
+    /// Mint the transmission key for node `i`'s next transmission:
+    /// `(node << 32) | per-node counter`. A shard executes exactly the
+    /// transmissions of the nodes it owns, in the reference order, so the
+    /// counter — and therefore the key carried by every shipped arrival —
+    /// matches the single-threaded run.
+    #[inline]
+    fn tx_key(&mut self, i: usize) -> u64 {
+        let k = ((i as u64) << 32) | self.tx_key_ctr[i] as u64;
+        self.tx_key_ctr[i] += 1;
+        k
+    }
+
+    /// Propagation delay over `dist` metres, floored at the configured
+    /// minimum (the floor is the conservative lookahead of a sharded run;
+    /// zero in plain single mode).
+    #[inline]
+    fn prop_delay(&self, dist: f64) -> Duration {
+        Duration::from_nanos(((dist / C * 1e9).round() as u64).max(self.delay_floor_ns))
+    }
+
+    /// `true` if node `j` is dispatched on this simulator: always, except
+    /// for other regions' nodes in a sharded run.
+    #[inline]
+    fn owns(&self, j: usize) -> bool {
+        self.shard.as_ref().is_none_or(|c| c.owner[j] == c.id)
+    }
+
     fn transmit_frame(&mut self, i: usize, frame: Frame, power: Milliwatts, now: SimTime) {
         let airtime = self.nodes[i].mac.config().timing.frame_airtime(&frame);
         let end = now + airtime;
@@ -1277,7 +1529,7 @@ impl Simulator {
                 .set_mode(now, RadioMode::Transmit, power);
         }
         self.forward_radio_events(i, rad, now);
-        self.queue.schedule_at(
+        self.sched(
             end,
             SimEvent::TxEnd {
                 node: NodeId(i as u32),
@@ -1297,12 +1549,12 @@ impl Simulator {
         self.collect_receivers(i, power, now);
         let impair = self.faults.as_ref().map_or(1.0, |f| f.impair_gain);
         let frame = Arc::new(frame);
-        let key = self.next_key;
-        self.next_key += 1;
+        let key = self.tx_key(i);
         let src_pos = self.positions[i];
         for c in 0..self.candidates.len() {
             let j = self.candidates[c] as usize;
-            if self.node_is_down(j) {
+            let owned = self.owns(j);
+            if owned && self.node_is_down(j) {
                 continue; // crashed receivers hear nothing new
             }
             let dst_pos = self.positions[j];
@@ -1310,24 +1562,41 @@ impl Simulator {
             if pr.value() < self.cfg.interference_floor.value() {
                 continue;
             }
-            let delay = Duration::from_nanos((src_pos.distance(dst_pos) / C * 1e9).round() as u64);
-            self.queue.schedule_at(
-                now + delay,
-                SimEvent::ArrivalStart {
+            let delay = self.prop_delay(src_pos.distance(dst_pos));
+            if owned {
+                self.sched(
+                    now + delay,
+                    SimEvent::ArrivalStart {
+                        node: NodeId(j as u32),
+                        key,
+                        power: pr,
+                        end: end + delay,
+                        frame: frame.clone(),
+                    },
+                );
+                self.sched(
+                    end + delay,
+                    SimEvent::ArrivalEnd {
+                        node: NodeId(j as u32),
+                        key,
+                    },
+                );
+            } else {
+                // Another region owns the receiver: ship the ready-made
+                // arrival pair; the owner culls against its authoritative
+                // down-state at our send instant (`tx`) when it drains.
+                let tx = self.cur;
+                let ctx = self.shard.as_mut().expect("non-owned implies sharded");
+                ctx.outbox[ctx.owner[j] as usize].push(Shipment::Data {
+                    at: now + delay,
                     node: NodeId(j as u32),
                     key,
                     power: pr,
                     end: end + delay,
                     frame: frame.clone(),
-                },
-            );
-            self.queue.schedule_at(
-                end + delay,
-                SimEvent::ArrivalEnd {
-                    node: NodeId(j as u32),
-                    key,
-                },
-            );
+                    tx,
+                });
+            }
         }
     }
 
@@ -1340,7 +1609,7 @@ impl Simulator {
         self.ctrl_pool.put(rad);
         // The ctrl broadcast radiates too (the data radio may be mid-rx;
         // energy is attributed per-channel, transmit wins for the overlap).
-        self.queue.schedule_at(
+        self.sched(
             end,
             SimEvent::CtrlTxEnd {
                 node: NodeId(i as u32),
@@ -1355,12 +1624,12 @@ impl Simulator {
 
         self.collect_receivers(i, power, now);
         let impair = self.faults.as_ref().map_or(1.0, |f| f.impair_gain);
-        let key = self.next_key;
-        self.next_key += 1;
+        let key = self.tx_key(i);
         let src_pos = self.positions[i];
         for c in 0..self.candidates.len() {
             let j = self.candidates[c] as usize;
-            if self.node_is_down(j) {
+            let owned = self.owns(j);
+            if owned && self.node_is_down(j) {
                 continue;
             }
             let dst_pos = self.positions[j];
@@ -1368,26 +1637,237 @@ impl Simulator {
             if pr.value() < self.cfg.interference_floor.value() {
                 continue;
             }
-            let delay = Duration::from_nanos((src_pos.distance(dst_pos) / C * 1e9).round() as u64);
-            self.queue.schedule_at(
-                now + delay,
-                SimEvent::CtrlArrivalStart {
+            let delay = self.prop_delay(src_pos.distance(dst_pos));
+            if owned {
+                self.sched(
+                    now + delay,
+                    SimEvent::CtrlArrivalStart {
+                        node: NodeId(j as u32),
+                        key,
+                        power: pr,
+                        end: end + delay,
+                        frame: frame.clone(),
+                    },
+                );
+                self.sched(
+                    end + delay,
+                    SimEvent::CtrlArrivalEnd {
+                        node: NodeId(j as u32),
+                        key,
+                    },
+                );
+            } else {
+                let tx = self.cur;
+                let ctx = self.shard.as_mut().expect("non-owned implies sharded");
+                ctx.outbox[ctx.owner[j] as usize].push(Shipment::Ctrl {
+                    at: now + delay,
                     node: NodeId(j as u32),
                     key,
                     power: pr,
                     end: end + delay,
                     frame: frame.clone(),
-                },
-            );
-            self.queue.schedule_at(
-                end + delay,
-                SimEvent::CtrlArrivalEnd {
-                    node: NodeId(j as u32),
-                    key,
-                },
-            );
+                    tx,
+                });
+            }
         }
     }
+}
+
+// ----------------------------------------------------------------------
+// Region-shard support (crate-internal; orchestrated by `parallel`)
+// ----------------------------------------------------------------------
+
+impl Simulator {
+    /// The scenario this simulator was built from.
+    pub(crate) fn cfg(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// The spatial index's cell size — region boundaries snap to grid
+    /// columns so a cell (and the candidate rings around it) never
+    /// straddles more than two regions.
+    pub(crate) fn shard_cell_size(&self) -> f64 {
+        self.grid.cell_size()
+    }
+
+    /// Initial x-coordinates (positions are exact at t = 0), the input
+    /// to the column partition.
+    pub(crate) fn start_xs(&self) -> Vec<f64> {
+        self.positions.iter().map(|p| p.x).collect()
+    }
+
+    /// Turn this full replica into shard `id` of `shards`: discard the
+    /// build-time events of nodes other regions own (impairments and the
+    /// probe chain stay replicated — their handlers are global or
+    /// owner-filtered) and install the shard context.
+    pub(crate) fn prepare_shard(&mut self, id: u32, shards: usize, owner: Arc<Vec<u32>>) {
+        let n = self.nodes.len();
+        self.queue.retain(|ev| match ev {
+            SimEvent::TrafficEmit { node, .. }
+            | SimEvent::NodeDown { node }
+            | SimEvent::NodeUp { node } => owner[node.index()] == id,
+            _ => true,
+        });
+        self.shard = Some(ShardCtx {
+            id,
+            owner,
+            outbox: vec![Vec::new(); shards],
+            transitions: vec![Vec::new(); n],
+        });
+    }
+
+    /// Next event time in nanoseconds for the window negotiation:
+    /// `u64::MAX` when the queue is drained past `end`.
+    pub(crate) fn shard_peek_ns(&self, end: SimTime) -> u64 {
+        match self.queue.peek_time() {
+            Some(t) if t <= end => t.as_nanos(),
+            _ => u64::MAX,
+        }
+    }
+
+    /// Dispatch every local event strictly before `horizon_ns` (and not
+    /// past `end`). Cross-region arrivals pile up in the outboxes; when
+    /// `trace` is given, dispatched events are buffered under their
+    /// global `(time, rank)` for the post-run observer replay (shard 0
+    /// records the replicated impairment/probe events for everyone).
+    pub(crate) fn run_window(
+        &mut self,
+        horizon_ns: u64,
+        end: SimTime,
+        mut trace: Option<&mut Vec<(SimTime, u128, SimEvent)>>,
+    ) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > end || t.as_nanos() >= horizon_ns {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.cur = (ev.at, ev.rank);
+            if let Some(buf) = trace.as_deref_mut() {
+                let replicated = matches!(
+                    ev.event,
+                    SimEvent::ImpairmentStart { .. }
+                        | SimEvent::ImpairmentEnd { .. }
+                        | SimEvent::MetricsProbe
+                );
+                if !replicated || self.shard.as_ref().is_some_and(|c| c.id == 0) {
+                    buf.push((ev.at, ev.rank, ev.event.clone()));
+                }
+            }
+            self.dispatch(ev.event, ev.at);
+        }
+    }
+
+    /// Take the window's outgoing shipments (one bucket per shard).
+    pub(crate) fn take_outboxes(&mut self) -> Vec<Vec<Shipment>> {
+        let ctx = self.shard.as_mut().expect("sharded");
+        ctx.outbox.iter_mut().map(std::mem::take).collect()
+    }
+
+    /// Was owned node `j` down at the instant of the event keyed `tx`?
+    /// Replays the transition log: the last flip strictly before `tx`
+    /// decides (a flip can never share a full `(time, rank)` key with
+    /// another shard's transmission — ranks pin events to nodes).
+    fn down_at(&self, j: usize, tx: (SimTime, u128)) -> bool {
+        if self.faults.is_none() {
+            return false;
+        }
+        let Some(ctx) = &self.shard else { return false };
+        ctx.transitions[j]
+            .iter()
+            .rev()
+            .find(|&&(t, r, _)| (t, r) < tx)
+            .is_some_and(|&(_, _, down)| down)
+    }
+
+    /// Drain one window's incoming shipments (already ordered: callers
+    /// pass the per-sender batches in fixed shard order). Each shipment
+    /// is culled against the receiver's authoritative down-state at the
+    /// sender's transmit instant — the exact test the single-threaded
+    /// sender loop applies inline — then scheduled under its content
+    /// rank, landing in the identical queue position.
+    pub(crate) fn accept_shipments(&mut self, batches: Vec<Vec<Shipment>>) {
+        for batch in batches {
+            for s in batch {
+                match s {
+                    Shipment::Data {
+                        at,
+                        node,
+                        key,
+                        power,
+                        end,
+                        frame,
+                        tx,
+                    } => {
+                        if self.down_at(node.index(), tx) {
+                            continue;
+                        }
+                        self.sched(
+                            at,
+                            SimEvent::ArrivalStart {
+                                node,
+                                key,
+                                power,
+                                end,
+                                frame,
+                            },
+                        );
+                        self.sched(end, SimEvent::ArrivalEnd { node, key });
+                    }
+                    Shipment::Ctrl {
+                        at,
+                        node,
+                        key,
+                        power,
+                        end,
+                        frame,
+                        tx,
+                    } => {
+                        if self.down_at(node.index(), tx) {
+                            continue;
+                        }
+                        self.sched(
+                            at,
+                            SimEvent::CtrlArrivalStart {
+                                node,
+                                key,
+                                power,
+                                end,
+                                frame,
+                            },
+                        );
+                        self.sched(end, SimEvent::CtrlArrivalEnd { node, key });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalize this shard after its queue drains: close the energy
+    /// ledgers and surrender the pieces the merge needs.
+    pub(crate) fn into_shard_parts(mut self, end: SimTime) -> ShardParts {
+        for node in &mut self.nodes {
+            node.energy.finish(end);
+        }
+        let cache_stats = match &self.gain_cache {
+            GainCacheState::Sparse(c) => Some(c.stats()),
+            _ => None,
+        };
+        let probes = self.metrics.as_ref().map_or(0, |m| m.probes_scheduled);
+        ShardParts {
+            nodes: self.nodes,
+            sent_packets: self.sent_packets,
+            events: self.queue.scheduled_total() - probes,
+            faults: self.faults,
+            metrics: self.metrics,
+            cache_stats,
+        }
+    }
+}
+
+/// Schedule `ev` with its content-derived rank (build-time sites; the
+/// running simulator uses [`Simulator::sched`]).
+fn sched_into(queue: &mut EventQueue<SimEvent>, at: SimTime, ev: SimEvent) {
+    queue.schedule_ranked(at, ev.rank(), ev);
 }
 
 /// The radius beyond which a transmission at `power` cannot reach

@@ -13,9 +13,9 @@
 //! shadowing.
 
 use pcmac::{
-    ChannelIndexMode, ChurnConfig, CrashWindow, FaultConfig, FlowShape, FlowSpec, GainCacheMode,
-    ImpairmentBurst, MetricsConfig, MobilityRefreshMode, NodeSetup, RunReport, ScenarioConfig,
-    ShadowingConfig, Simulator, Variant,
+    ChannelIndexMode, ChurnConfig, CrashWindow, ExecutionMode, FaultConfig, FlowShape, FlowSpec,
+    GainCacheMode, ImpairmentBurst, MetricsConfig, MobilityRefreshMode, NodeSetup, RunReport,
+    ScenarioConfig, ShadowingConfig, Simulator, Variant,
 };
 use pcmac_engine::{Duration, FlowId, Milliwatts, NodeId, Point, RngStream, SimTime};
 use proptest::prelude::*;
@@ -556,6 +556,168 @@ fn metrics_are_deterministic_across_reruns_and_modes() {
             );
         }
     }
+}
+
+/// Pin the execution strategy. Both sides of a sharded-vs-single
+/// comparison must carry the *same* delay floor — the floor is part of
+/// the channel model (it quantizes short-range propagation delays), so
+/// only runs sharing it are comparable. 10 µs stays well below the
+/// 20 µs slot time; a floor at the slot or beyond would eat the CTS/ACK
+/// timeouts' round-trip grace and silently zero out all traffic (which
+/// `validate()` now rejects).
+fn with_execution(mut cfg: ScenarioConfig, shards: Option<usize>) -> ScenarioConfig {
+    cfg.delay_floor_us = Some(10.0);
+    cfg.execution = shards.map(|shards| ExecutionMode::Sharded { shards });
+    cfg
+}
+
+/// The PR 8 acceptance bar: the region-sharded engine reproduces the
+/// single-threaded reference bit for bit at every shard count — static
+/// and mobile, across variants — including the degenerate one-shard run
+/// that still exercises the full windowing machinery.
+#[test]
+fn sharded_matches_single_across_shard_counts() {
+    // Seeds chosen so both topologies actually deliver traffic — many
+    // random 18-node scatters on a 1500 m field are partitioned, and a
+    // zero-delivery scenario would make bit-identity a weak claim.
+    for (seed, mobile) in [(10u64, false), (18, true)] {
+        let cfg = random_scenario(
+            Variant::ALL[seed as usize % 4],
+            seed,
+            18,
+            1500.0,
+            Milliwatts(1.559e-10),
+            mobile,
+            None,
+        );
+        let single = Simulator::new(with_execution(cfg.clone(), None)).run();
+        assert!(single.events > 0, "degenerate run is a vacuous comparison");
+        assert!(
+            single.delivered_packets > 0,
+            "traffic must actually flow under the delay floor — a zero-delivery \
+             scenario would make bit-identity a vacuous claim (seed {seed})"
+        );
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = Simulator::new(with_execution(cfg.clone(), Some(shards))).run();
+            assert_eq!(sharded.events, single.events, "event-count parity");
+            assert_eq!(
+                fingerprint(&sharded),
+                fingerprint(&single),
+                "sharded run diverged (seed {seed} mobile {mobile} shards {shards})"
+            );
+        }
+    }
+}
+
+/// Sharding composed with the whole rest of the execution-strategy
+/// space: refresh × cache under a dense fault plan (crashes, churn,
+/// impairments, energy deaths). Every combination must reproduce the
+/// single-threaded run with the same modes.
+#[test]
+fn sharded_matches_single_with_faults_across_refresh_and_cache() {
+    for seed in [3u64, 23] {
+        let n = 16;
+        let mut cfg = random_scenario(
+            Variant::ALL[seed as usize % 4],
+            seed,
+            n,
+            1500.0,
+            Milliwatts(1.559e-10),
+            true,
+            None,
+        );
+        cfg.faults = Some(fault_plan(n));
+        for refresh in [MobilityRefreshMode::Lazy, MobilityRefreshMode::Eager] {
+            for cache in [GainCacheMode::Sparse, GainCacheMode::Off] {
+                let moded = with_modes(cfg.clone(), refresh, cache);
+                let single = Simulator::new(with_execution(moded.clone(), None)).run();
+                let res = single
+                    .resilience
+                    .as_ref()
+                    .expect("fault plan => resilience");
+                assert!(res.crashes >= 2, "the plan must actually crash nodes");
+                for shards in [2usize, 8] {
+                    let sharded = Simulator::new(with_execution(moded.clone(), Some(shards))).run();
+                    assert_eq!(
+                        fingerprint(&sharded),
+                        fingerprint(&single),
+                        "faulted sharded run diverged (seed {seed} refresh {refresh:?} \
+                         cache {cache:?} shards {shards})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The merged metrics section (drop taxonomy, probes, per-layer
+/// counters) must equal the single-threaded one — hot-path profile
+/// aside, which by design counts what each shard's machinery did.
+#[test]
+fn sharded_metrics_match_single_mode_invariant() {
+    let mut cfg = random_scenario(
+        Variant::Pcmac,
+        57,
+        14,
+        1400.0,
+        Milliwatts(1.559e-10),
+        true,
+        None,
+    );
+    cfg.faults = Some(fault_plan(14));
+    cfg.metrics = Some(MetricsConfig {
+        probe_interval_s: 0.25,
+    });
+    let single = Simulator::new(with_execution(cfg.clone(), None)).run();
+    let m = single.metrics.as_ref().expect("metrics layer on");
+    assert!(!m.samples.is_empty(), "0.25 s probes inside a 2 s run");
+    for shards in [2usize, 4] {
+        let sharded = Simulator::new(with_execution(cfg.clone(), Some(shards))).run();
+        let sm = sharded.metrics.as_ref().expect("metrics layer on");
+        assert!(
+            sm.drops.conserved(),
+            "merged taxonomy leaks (shards {shards})"
+        );
+        assert_eq!(
+            mode_invariant_fingerprint(&sharded),
+            mode_invariant_fingerprint(&single),
+            "merged metrics diverged (shards {shards})"
+        );
+    }
+}
+
+/// Sharded determinism under thread oversubscription: with more worker
+/// threads than cores the barrier schedule is maximally perturbed, yet
+/// same-seed reruns must stay bit-identical (and equal to the
+/// single-threaded reference) — no wall-clock, no scheduling order, no
+/// contention effect may leak into the report.
+#[test]
+fn oversubscribed_sharded_reruns_are_bit_identical() {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let shards = 2 * cores;
+    let mut cfg = random_scenario(
+        Variant::Pcmac,
+        57,
+        14,
+        1400.0,
+        Milliwatts(1.559e-10),
+        true,
+        None,
+    );
+    cfg.faults = Some(fault_plan(14));
+    let single = Simulator::new(with_execution(cfg.clone(), None)).run();
+    let a = Simulator::new(with_execution(cfg.clone(), Some(shards))).run();
+    let b = Simulator::new(with_execution(cfg, Some(shards))).run();
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "rerun differed ({shards} shards)"
+    );
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&single),
+        "sharded differed from single"
+    );
 }
 
 proptest! {

@@ -1,22 +1,30 @@
 //! Deterministic event queue.
 //!
-//! A binary heap keyed on `(time, sequence)`. The sequence number is a
-//! monotone insertion counter, so two events scheduled for the same instant
-//! pop in the order they were scheduled. This is the property that makes
-//! whole simulation runs reproducible: with `(time)` alone, heap internals
-//! would decide tie order and results would vary across std versions.
+//! A binary heap keyed on `(time, rank, sequence)`. The rank is a
+//! caller-supplied content-derived priority ([`EventQueue::schedule_ranked`];
+//! plain [`EventQueue::schedule_at`] uses rank 0), so same-instant ordering
+//! can be made a pure function of event *content* rather than scheduling
+//! history — the property that lets independently built queues (e.g. one per
+//! spatial shard) agree on tie order. The sequence number is a monotone
+//! insertion counter breaking any remaining ties in scheduling order. This
+//! is the property that makes whole simulation runs reproducible: with
+//! `(time)` alone, heap internals would decide tie order and results would
+//! vary across std versions.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::{Duration, SimTime};
 
-/// An event in the queue: a payload tagged with its due time and insertion
-/// sequence.
+/// An event in the queue: a payload tagged with its due time, rank, and
+/// insertion sequence.
 #[derive(Debug, Clone)]
 pub struct ScheduledEvent<E> {
     /// Instant at which the event fires.
     pub at: SimTime,
+    /// Content-derived same-instant priority (0 unless scheduled through
+    /// [`EventQueue::schedule_ranked`]).
+    pub rank: u128,
     /// Insertion-order tiebreaker (unique per queue).
     pub seq: u64,
     /// The domain payload.
@@ -25,7 +33,7 @@ pub struct ScheduledEvent<E> {
 
 impl<E> PartialEq for ScheduledEvent<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.rank == other.rank && self.seq == other.seq
     }
 }
 impl<E> Eq for ScheduledEvent<E> {}
@@ -42,6 +50,7 @@ impl<E> Ord for ScheduledEvent<E> {
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.rank.cmp(&self.rank))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -124,6 +133,17 @@ impl<E> EventQueue<E> {
     /// in release it clamps to `now` (the event fires immediately but in
     /// deterministic order).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.schedule_ranked(at, 0, event);
+    }
+
+    /// Schedule `event` at `at` with a content-derived same-instant `rank`.
+    ///
+    /// Events due at the same instant pop in ascending rank order, with the
+    /// insertion sequence breaking any remaining tie. Callers that derive the
+    /// rank purely from event content make same-instant ordering independent
+    /// of scheduling history, which is what allows independently constructed
+    /// queues (one per spatial shard, say) to agree on tie order.
+    pub fn schedule_ranked(&mut self, at: SimTime, rank: u128, event: E) {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {:?} < {:?}",
@@ -134,7 +154,31 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(ScheduledEvent { at, seq, event });
+        self.heap.push(ScheduledEvent {
+            at,
+            rank,
+            seq,
+            event,
+        });
+    }
+
+    /// Keep only the events for which `keep` returns `true`, discarding the
+    /// rest as if they had never been scheduled (their contribution to
+    /// [`EventQueue::scheduled_total`] is removed too). Surviving events keep
+    /// their original due times, ranks, and sequence numbers, so relative
+    /// ordering is untouched. Used to carve a shard's queue out of a full
+    /// replica at build time.
+    pub fn retain(&mut self, mut keep: impl FnMut(&E) -> bool) {
+        let events = std::mem::take(&mut self.heap).into_vec();
+        let mut kept = BinaryHeap::with_capacity(events.len());
+        for ev in events {
+            if keep(&ev.event) {
+                kept.push(ev);
+            } else {
+                self.scheduled_total -= 1;
+            }
+        }
+        self.heap = kept;
     }
 
     /// Schedule `event` after `delay` from the current time.
@@ -220,6 +264,41 @@ mod tests {
         assert_eq!(q.pop().unwrap().event, 2);
         assert_eq!(q.pop().unwrap().event, 3);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ranked_ties_pop_in_rank_order_regardless_of_insertion() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.schedule_ranked(t, 30, "c");
+        q.schedule_ranked(t, 10, "a");
+        q.schedule_ranked(t, 20, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_ranks_fall_back_to_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..50 {
+            q.schedule_ranked(t, 7, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retain_drops_events_and_their_schedule_count() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule_at(SimTime::from_nanos(i), i);
+        }
+        q.retain(|e| e % 2 == 0);
+        assert_eq!(q.scheduled_total(), 5);
+        assert_eq!(q.len(), 5);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![0, 2, 4, 6, 8]);
     }
 
     #[test]

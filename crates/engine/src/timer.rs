@@ -12,6 +12,14 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerToken(u64);
 
+impl TimerToken {
+    /// The generation number this token snapshots. Exposed so callers can
+    /// fold timers into content-derived event ordering keys.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
 /// The per-logical-timer state: a generation counter plus an armed flag.
 #[derive(Debug, Clone, Default)]
 pub struct TimerSlot {
