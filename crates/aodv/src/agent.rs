@@ -8,6 +8,7 @@ use std::collections::{HashMap, VecDeque};
 
 use pcmac_engine::{NodeId, PacketId, SimTime, TimerSlot, TimerToken};
 use pcmac_net::{Packet, Payload, Rerr, Rrep, Rreq};
+use pcmac_stats::StreamingQuantile;
 
 use crate::config::AodvConfig;
 use crate::table::RouteTable;
@@ -122,9 +123,10 @@ pub struct AodvAgent {
     /// Discoveries started (observability; pairs with
     /// `counters.discoveries_failed`).
     discoveries_started: u64,
-    /// Seconds from discovery start to the route becoming usable, one
-    /// entry per completed discovery.
-    discovery_latencies_s: Vec<f64>,
+    /// Seconds from discovery start to the route becoming usable —
+    /// a constant-memory streaming summary (exact for the first
+    /// [`pcmac_stats::quantile::EXACT_CAP`] completions).
+    discovery_latency: StreamingQuantile,
 }
 
 impl AodvAgent {
@@ -142,7 +144,7 @@ impl AodvAgent {
             next_ctrl_pkt: 0,
             counters: AodvCounters::default(),
             discoveries_started: 0,
-            discovery_latencies_s: Vec::new(),
+            discovery_latency: StreamingQuantile::new(),
         }
     }
 
@@ -156,9 +158,9 @@ impl AodvAgent {
         self.discoveries_started
     }
 
-    /// Completed-discovery latencies (seconds), in completion order.
-    pub fn discovery_latencies_s(&self) -> &[f64] {
-        &self.discovery_latencies_s
+    /// Completed-discovery latency population summary.
+    pub fn discovery_latency(&self) -> &StreamingQuantile {
+        &self.discovery_latency
     }
 
     /// Allocate a control-packet id: namespace 2, node, counter — unique
@@ -270,8 +272,8 @@ impl AodvAgent {
         if self.table.lookup(dst, now).is_some() {
             // An RREP raced the timer: flush and finish.
             if let Some(disc) = self.discoveries.remove(&dst) {
-                self.discovery_latencies_s
-                    .push(now.saturating_since(disc.started).as_secs_f64());
+                self.discovery_latency
+                    .record(now.saturating_since(disc.started).as_secs_f64());
             }
             self.flush_buffer_for(dst, now, out);
             return;
@@ -499,8 +501,8 @@ impl AodvAgent {
             // Our discovery completed.
             if let Some(mut disc) = self.discoveries.remove(&rrep.target) {
                 disc.slot.cancel();
-                self.discovery_latencies_s
-                    .push(now.saturating_since(disc.started).as_secs_f64());
+                self.discovery_latency
+                    .record(now.saturating_since(disc.started).as_secs_f64());
             }
             self.flush_buffer_for(rrep.target, now, out);
             return;

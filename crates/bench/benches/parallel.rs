@@ -2,10 +2,17 @@
 //!
 //! PR 8 added `ExecutionMode::Sharded`: the field is split into
 //! column-band regions, one per worker thread, advanced in conservative
-//! barrier-epoch windows with the propagation-delay floor as lookahead —
-//! and the result is bit-identical to the single-threaded run (see
-//! `channel_equivalence.rs`). This bench measures what that buys:
-//! whole-scenario *events per wall-second* as the shard count grows.
+//! barrier-epoch windows — and the result is bit-identical to the
+//! single-threaded run (see `channel_equivalence.rs`). Shards are now
+//! *owner-only*: each worker materialises cold per-node state only for
+//! its own band (plus a reach-wide halo of hot state), so shard memory
+//! is O(N/S + halo) instead of S full replicas. This bench measures
+//! both axes: whole-scenario *events per wall-second* as the shard
+//! count grows, and *peak RSS per row* — each row re-executed in a
+//! fresh child process (`VmHWM` is a per-process high-water mark) so
+//! the sharded footprint is comparable against single mode, with a
+//! budget assertion that fails the run if a sharded row exceeds 1.3× of
+//! (single-mode RSS + a per-shard halo allowance).
 //!
 //! Scenarios hold node density constant (one node per 250 m × 250 m, as
 //! in the channel/mobility benches) with a workload that *scales with
@@ -40,11 +47,15 @@ use pcmac_bench::support::{
 };
 use pcmac_engine::{Duration, Milliwatts};
 
-/// Node counts under comparison (full mode).
-const SIZES: [usize; 3] = [4000, 16000, 64000];
+/// Node counts under comparison (full mode). The 131072 row is the
+/// scale-ceiling probe: it exists to show the owner-only memory model
+/// holding its budget past N = 100k, at a reduced duration (see
+/// [`row_duration`]).
+const SIZES: [usize; 4] = [4000, 16000, 64000, 131_072];
 
-/// Node counts in `PCMAC_BENCH_QUICK` mode.
-const QUICK_SIZES: [usize; 2] = [1000, 4000];
+/// Node counts in `PCMAC_BENCH_QUICK` mode — the classic smoke sizes
+/// plus the scale-ceiling row at a further-reduced duration.
+const QUICK_SIZES: [usize; 3] = [1000, 4000, 131_072];
 
 /// Shard counts per size; `0` encodes the single-threaded reference.
 const SHARDS: [usize; 5] = [0, 1, 2, 4, 8];
@@ -73,11 +84,38 @@ fn host_cores() -> usize {
         .unwrap_or(1)
 }
 
+/// Simulated duration per row: 400 ms at the classic sizes; the
+/// N ≥ 100k scale rows run shorter — they probe construction cost,
+/// steady-state throughput, and the memory ceiling, which saturate
+/// quickly — and quick mode trims them further.
+fn row_duration(n: usize) -> Duration {
+    if n >= 100_000 {
+        if quick_mode() {
+            // Long enough for the first staggered flows (starting at
+            // 20 ms) to finish AODV discovery plus the MAC handshake —
+            // 25 ms measured zero deliveries.
+            Duration::from_millis(60)
+        } else {
+            Duration::from_millis(120)
+        }
+    } else {
+        Duration::from_millis(400)
+    }
+}
+
+/// Per-shard halo allowance for the memory budget: the hot arrays a
+/// shard keeps for the whole population (≈ 32 bytes of mirrors and
+/// scratch per node) plus a fixed 16 MiB of per-thread slack (stacks,
+/// queue growth, allocator retention).
+fn halo_allowance_bytes(n: usize) -> u64 {
+    n as u64 * 32 + 16 * 1024 * 1024
+}
+
 /// N static nodes at constant density, one single-hop CBR flow per 250
 /// nodes spread over the whole field, under the given execution mode.
 fn scenario(n: usize, shards: usize) -> ScenarioConfig {
     let side = field_side(n);
-    let duration = Duration::from_millis(400);
+    let duration = row_duration(n);
     let mut cfg = ScenarioConfig::two_nodes(Variant::Basic, 100.0, 1000.0, 1);
     cfg.name = format!("parallel-bench-{n}-{shards}");
     cfg.field = (side, side);
@@ -132,7 +170,48 @@ criterion_group!(
     targets = bench_parallel
 );
 
+/// Child-process entry for the per-row RSS probe: run one row, print
+/// the process's `VmHWM`, exit. Selected by `PCMAC_BENCH_RSS_CHILD`
+/// (`"<n>:<shards>"`, `0` = single) before any benchmarking starts.
+fn rss_child(spec: &str) {
+    let (n, shards) = spec.split_once(':').expect("spec is <n>:<shards>");
+    let n: usize = n.parse().expect("node count");
+    let shards: usize = shards.parse().expect("shard count");
+    let r = Simulator::new(scenario(n, shards)).run();
+    black_box(r.events);
+    match pcmac_bench::support::peak_rss_kb() {
+        Some(kb) => println!("VMHWM_KB={kb}"),
+        None => println!("VMHWM_KB=unsupported"),
+    }
+}
+
+/// Peak RSS (bytes) of one row, measured in a fresh child process so
+/// the high-water mark belongs to that row alone. `None` when the
+/// platform offers no `VmHWM` or the child fails.
+fn measure_peak_rss(n: usize, shards: usize) -> Option<u64> {
+    let exe = std::env::current_exe().ok()?;
+    let out = std::process::Command::new(exe)
+        .env("PCMAC_BENCH_RSS_CHILD", format!("{n}:{shards}"))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    let kb: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("VMHWM_KB="))?
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
 fn main() {
+    if let Some(spec) = std::env::var_os("PCMAC_BENCH_RSS_CHILD") {
+        rss_child(spec.to_str().expect("utf-8 rss spec"));
+        return;
+    }
     parallel();
 
     let quick = quick_mode();
@@ -152,14 +231,15 @@ fn main() {
     // the inverse wall-time ratio.
     let mut speedups: Vec<(usize, usize, f64)> = Vec::new();
     println!(
-        "\n{:>6} {:>8} {:>13} {:>14} {:>9}",
-        "N", "shards", "wall", "events/sec", "speedup"
+        "\n{:>6} {:>8} {:>13} {:>14} {:>9} {:>11}",
+        "N", "shards", "wall", "events/sec", "speedup", "peak RSS"
     );
     for &n in sizes() {
         // One reference run per size for the events/sec numerator; every
         // mode simulates the identical stream (asserted below).
         let events = Simulator::new(scenario(n, 0)).run().events;
         let single_ns = mean(&format!("parallel/single/{n}"));
+        let mut single_rss = None;
         for shards in SHARDS {
             let key = if shards == 0 {
                 "single".to_string()
@@ -169,14 +249,34 @@ fn main() {
             let ns = mean(&format!("parallel/{key}/{n}"));
             let eps = events as f64 / (ns / 1e9);
             let speedup = single_ns / ns;
+            let rss = measure_peak_rss(n, shards);
+            let rss_str = rss.map_or("n/a".to_string(), |b| {
+                format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0))
+            });
             println!(
-                "{n:>6} {key:>8} {:>11.2}ms {eps:>14.0} {speedup:>8.2}x",
+                "{n:>6} {key:>8} {:>11.2}ms {eps:>14.0} {speedup:>8.2}x {rss_str:>11}",
                 ns / 1e6
             );
-            if shards > 0 {
+            if shards == 0 {
+                single_rss = rss;
+            } else {
                 speedups.push((n, shards, speedup));
+                // The owner-only memory budget: a sharded row may cost at
+                // most 1.3× of the single-mode footprint plus a per-shard
+                // halo allowance. S full replicas (the PR 8 model) blow
+                // this immediately at these sizes.
+                if let (Some(rss), Some(single)) = (rss, single_rss) {
+                    let budget =
+                        (1.3 * (single + shards as u64 * halo_allowance_bytes(n)) as f64) as u64;
+                    if rss > budget {
+                        failures.push(format!(
+                            "memory budget exceeded at N={n} shards={shards}: peak RSS                              {rss} B > budget {budget} B (single {single} B +                              {shards} x halo allowance {} B, x1.3)",
+                            halo_allowance_bytes(n)
+                        ));
+                    }
+                }
             }
-            rows.push(serde_json::Value::Map(vec![
+            let mut row = vec![
                 ("n".into(), serde_json::Value::U64(n as u64)),
                 ("shards".into(), serde_json::Value::U64(shards as u64)),
                 (
@@ -191,7 +291,11 @@ fn main() {
                 ("wall_ns".into(), serde_json::Value::F64(ns)),
                 ("events_per_sec".into(), serde_json::Value::F64(eps)),
                 ("speedup_vs_single".into(), serde_json::Value::F64(speedup)),
-            ]));
+            ];
+            if let Some(b) = rss {
+                row.push(("peak_rss_bytes".into(), serde_json::Value::U64(b)));
+            }
+            rows.push(serde_json::Value::Map(row));
         }
     }
 
@@ -271,10 +375,11 @@ fn main() {
                 serde_json::Value::Str(
                     "whole-run events per wall-second at constant density (16 nodes/km2, \
                      floor = CSThresh, one nearest-neighbour CBR flow per 250 nodes, \
-                     10 us delay floor on every row): region-sharded execution at 1/2/4/8 \
-                     worker threads vs the single-threaded reference; \
+                     10 us delay floor on every row): owner-only region-sharded execution \
+                     at 1/2/4/8 worker threads vs the single-threaded reference; \
                      speedup = single wall / sharded wall (event streams are bit-identical; \
-                     speedups are bounded by host_cores)"
+                     speedups are bounded by host_cores); peak_rss_bytes = per-row child \
+                     process VmHWM (the N >= 100k rows run a reduced duration)"
                         .into(),
                 ),
             ),

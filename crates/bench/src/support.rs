@@ -37,6 +37,18 @@ pub fn density_per_km2(n: usize) -> f64 {
     n as f64 / (side_km * side_km)
 }
 
+/// Peak resident set size of the calling process in kilobytes —
+/// `VmHWM` from `/proc/self/status`. `None` where procfs is absent.
+///
+/// `VmHWM` is a high-water mark: it never decreases within a process,
+/// so a harness that wants *per-row* peaks must run each row in a
+/// fresh child process and read the child's value at exit.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// `n` positions scattered uniformly over a `side` × `side` field from
 /// a labelled RNG stream.
 pub fn scatter(seed: u64, label: &str, n: usize, side: f64) -> Vec<Point> {

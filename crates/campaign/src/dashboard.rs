@@ -97,6 +97,10 @@ impl MetricsArtifact {
 pub struct Snapshot {
     /// `(file stem, row label, speedup)` per `BENCH_*.json` result row.
     pub bench_speedups: Vec<(String, String, f64)>,
+    /// `(file stem, row label, peak RSS bytes)` per bench result row
+    /// carrying a `peak_rss_bytes` field (the parallel bench's per-row
+    /// child-process `VmHWM` probes).
+    pub bench_memory: Vec<(String, String, u64)>,
     /// `(file stem, mean events/sec across runs)` per `METRICS_*.json`.
     pub events_per_sec: Vec<(String, f64)>,
     /// Raw parsed artifacts for rendering: `(file name, value)`.
@@ -125,6 +129,7 @@ pub fn scan(dir: &Path) -> std::io::Result<Snapshot> {
             match serde_json::from_str::<Value>(&text) {
                 Ok(v) => {
                     collect_bench_speedups(&name, &v, &mut snap.bench_speedups);
+                    collect_bench_memory(&name, &v, &mut snap.bench_memory);
                     snap.benches.push((name, v));
                 }
                 Err(e) => eprintln!("skipping {name}: {e}"),
@@ -173,6 +178,30 @@ fn collect_bench_speedups(file: &str, v: &Value, out: &mut Vec<(String, String, 
                 }
             }
         }
+    }
+}
+
+/// Pull every `peak_rss_bytes` field out of a bench artifact's result
+/// rows, labelled like [`collect_bench_speedups`] so current and
+/// baseline rows pair up in the gate.
+fn collect_bench_memory(file: &str, v: &Value, out: &mut Vec<(String, String, u64)>) {
+    let Some(rows) = v.get("results").and_then(Value::as_seq) else {
+        return;
+    };
+    for row in rows {
+        let Some(bytes) = row.get("peak_rss_bytes").and_then(Value::as_u64) else {
+            continue;
+        };
+        let mut label = String::new();
+        for key in ["n", "mobility", "shards"] {
+            if let Some(val) = row.get(key) {
+                if !label.is_empty() {
+                    label.push(' ');
+                }
+                let _ = write!(label, "{key}={}", scalar_str(val));
+            }
+        }
+        out.push((file.to_string(), label, bytes));
     }
 }
 
@@ -303,26 +332,69 @@ fn render_generic_table(md: &mut String, rows: &[Value]) {
         return;
     };
     let cols: Vec<&str> = first.iter().map(|(k, _)| k.as_str()).collect();
+    let headers: Vec<&str> = cols
+        .iter()
+        .map(|&c| {
+            if c == "peak_rss_bytes" {
+                "peak RSS (MiB)"
+            } else {
+                c
+            }
+        })
+        .collect();
     md.push('\n');
-    let _ = writeln!(md, "| {} |", cols.join(" | "));
+    let _ = writeln!(md, "| {} |", headers.join(" | "));
     let _ = writeln!(md, "|{}", "---|".repeat(cols.len()));
     for row in rows {
         let cells: Vec<String> = cols
             .iter()
-            .map(|c| row.get(c).map(scalar_str).unwrap_or_else(|| "-".into()))
+            .map(|&c| match row.get(c) {
+                Some(v) if c == "peak_rss_bytes" => v
+                    .as_u64()
+                    .map(|b| format!("{:.1}", b as f64 / (1024.0 * 1024.0)))
+                    .unwrap_or_else(|| scalar_str(v)),
+                Some(v) => scalar_str(v),
+                None => "-".into(),
+            })
             .collect();
         let _ = writeln!(md, "| {} |", cells.join(" | "));
     }
 }
 
+/// Ceiling for per-row peak-RSS growth against the baseline artifact:
+/// a bench row using over 20% more memory than the committed baseline
+/// fails the gate regardless of the (speed-oriented) `band_pct` — the
+/// owner-only shard memory model is a headline claim, and a silent
+/// creep back toward full replicas would not show up in speedups.
+const MEMORY_BAND_PCT: f64 = 20.0;
+
 /// Compare the perf-bearing numbers of `current` against `baseline`:
 /// every bench speedup and every METRICS events/sec mean must stay
-/// within `band_pct` percent of the baseline value. Returns one message
-/// per regression (empty = gate passes). Rows present on only one side
-/// are ignored — adding a bench size or a campaign must not fail CI.
+/// within `band_pct` percent of the baseline value, and every bench
+/// row's peak RSS must stay under [`MEMORY_BAND_PCT`] percent *above*
+/// its baseline. Returns one message per regression (empty = gate
+/// passes). Rows present on only one side are ignored — adding a bench
+/// size or a campaign must not fail CI.
 pub fn compare(current: &Snapshot, baseline: &Snapshot, band_pct: f64) -> Vec<String> {
     let floor = 1.0 - band_pct / 100.0;
     let mut regressions = Vec::new();
+    for (file, label, base) in &baseline.bench_memory {
+        let Some((_, _, cur)) = current
+            .bench_memory
+            .iter()
+            .find(|(f, l, _)| f == file && l == label)
+        else {
+            continue;
+        };
+        let ceiling = (*base as f64 * (1.0 + MEMORY_BAND_PCT / 100.0)) as u64;
+        if *base > 0 && *cur > ceiling {
+            regressions.push(format!(
+                "{file} {label}: peak RSS {} MiB grew more than {MEMORY_BAND_PCT:.0}% above                  the baseline {} MiB",
+                *cur / (1024 * 1024),
+                *base / (1024 * 1024),
+            ));
+        }
+    }
     for (file, label, base) in &baseline.bench_speedups {
         let Some((_, _, cur)) = current
             .bench_speedups
@@ -368,6 +440,49 @@ mod tests {
             events_per_sec: vec![("METRICS_churn.json".into(), eps)],
             ..Snapshot::default()
         }
+    }
+
+    fn snap_with_memory(bytes: u64) -> Snapshot {
+        Snapshot {
+            bench_memory: vec![(
+                "BENCH_parallel.json".into(),
+                "n=64000 shards=8".into(),
+                bytes,
+            )],
+            ..Snapshot::default()
+        }
+    }
+
+    #[test]
+    fn memory_gate_fails_only_past_twenty_percent_growth() {
+        let base = snap_with_memory(100 * 1024 * 1024);
+        let ok = snap_with_memory(115 * 1024 * 1024);
+        assert!(compare(&ok, &base, 10.0).is_empty());
+        let shrink = snap_with_memory(40 * 1024 * 1024);
+        assert!(
+            compare(&shrink, &base, 10.0).is_empty(),
+            "shrinking never gates"
+        );
+        let bad = snap_with_memory(130 * 1024 * 1024);
+        let regressions = compare(&bad, &base, 10.0);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("peak RSS"));
+    }
+
+    #[test]
+    fn bench_memory_rows_are_collected_and_labelled() {
+        let v: Value = serde_json::from_str(
+            r#"{"bench":"parallel","results":[
+                {"n":4000,"shards":0,"peak_rss_bytes":1048576},
+                {"n":4000,"shards":8,"peak_rss_bytes":2097152},
+                {"n":16000,"shards":4}]}"#,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        collect_bench_memory("BENCH_parallel.json", &v, &mut out);
+        assert_eq!(out.len(), 2, "rows without the field are skipped");
+        assert_eq!(out[0].1, "n=4000 shards=0");
+        assert_eq!(out[1].2, 2_097_152);
     }
 
     #[test]

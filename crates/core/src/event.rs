@@ -117,6 +117,29 @@ pub enum SimEvent {
 }
 
 impl SimEvent {
+    /// The node an event addresses, if any. `None` for the replicated
+    /// global events (impairment edges, the metrics probe), which every
+    /// shard dispatches. Used by the dispatcher to sync the addressed
+    /// node's struct-of-arrays mirrors after handling the event.
+    pub fn node_index(&self) -> Option<usize> {
+        match self {
+            SimEvent::ArrivalStart { node, .. }
+            | SimEvent::ArrivalEnd { node, .. }
+            | SimEvent::TxEnd { node }
+            | SimEvent::CtrlArrivalStart { node, .. }
+            | SimEvent::CtrlArrivalEnd { node, .. }
+            | SimEvent::CtrlTxEnd { node }
+            | SimEvent::MacTimer { node, .. }
+            | SimEvent::AodvTimer { node, .. }
+            | SimEvent::TrafficEmit { node, .. }
+            | SimEvent::NodeDown { node }
+            | SimEvent::NodeUp { node } => Some(node.index()),
+            SimEvent::ImpairmentStart { .. }
+            | SimEvent::ImpairmentEnd { .. }
+            | SimEvent::MetricsProbe => None,
+        }
+    }
+
     /// Content-derived same-instant ordering key: `(class << 96) |
     /// (node << 64) | discriminator`.
     ///

@@ -59,6 +59,7 @@ pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod sim;
+pub(crate) mod soa;
 pub mod trace;
 
 pub use config::{

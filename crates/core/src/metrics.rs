@@ -623,7 +623,7 @@ impl MetricsState {
             discoveries_failed: 0,
             discovery_latency: None,
         };
-        let mut latencies: Vec<f64> = Vec::new();
+        let mut latencies = pcmac_stats::StreamingQuantile::new();
         let mut energies: Vec<f64> = Vec::with_capacity(nodes.len());
         for node in nodes {
             let c = &node.mac.counters;
@@ -645,10 +645,10 @@ impl MetricsState {
             routing.rerr_sent += a.rerr_sent;
             routing.discoveries_failed += a.discoveries_failed;
             routing.discoveries_started += node.aodv.discoveries_started();
-            latencies.extend_from_slice(node.aodv.discovery_latencies_s());
+            latencies.merge(node.aodv.discovery_latency());
             energies.push(node.energy.radiated_mj());
         }
-        routing.discovery_latency = LatencySummary::from_samples(&latencies);
+        routing.discovery_latency = LatencySummary::from_streaming(&latencies);
 
         let energy_max = energies.iter().copied().fold(0.0, f64::max);
         let energy_mean = if energies.is_empty() {

@@ -3,9 +3,8 @@
 use std::sync::Arc;
 
 use pcmac_aodv::{AodvAgent, AodvConfig};
-use pcmac_engine::{NodeId, Point, RngStream, SimTime};
+use pcmac_engine::{NodeId, RngStream, SimTime};
 use pcmac_mac::{CtrlFrame, DcfMac, Frame, MacConfig};
-use pcmac_mobility::Mobility;
 use pcmac_phy::energy::EnergyModel;
 use pcmac_phy::radio::RadioConfig;
 use pcmac_phy::{EnergyMeter, Radio};
@@ -102,13 +101,15 @@ impl TrafficSource {
     }
 }
 
-/// One station: radios, MAC, routing, traffic endpoints, movement, meter.
+/// One station: radios, MAC, routing, traffic endpoints, meter.
+/// Movement and the other dispatch-hot per-node scalars live in the
+/// simulator's struct-of-arrays state, not here — `Node` is the *cold*
+/// half (protocol machines, tables, counters) that a region shard only
+/// materialises for nodes it owns.
 #[derive(Debug)]
 pub struct Node {
     /// Station address.
     pub id: NodeId,
-    /// Movement model.
-    pub mobility: Mobility,
     /// Data-channel radio.
     pub radio: Radio<Arc<Frame>>,
     /// Power-control-channel radio (only exercised under PCMAC).
@@ -129,17 +130,13 @@ impl Node {
     /// Assemble a node.
     pub fn new(
         id: NodeId,
-        start_pos: Point,
-        mobility: Mobility,
         radio_cfg: RadioConfig,
         mac_cfg: MacConfig,
         aodv_cfg: AodvConfig,
         seed: u64,
     ) -> Self {
-        let _ = start_pos; // position lives in `mobility`
         Node {
             id,
-            mobility,
             radio: Radio::new(radio_cfg.clone()),
             ctrl_radio: Radio::new(radio_cfg),
             mac: DcfMac::new(id, mac_cfg, seed),

@@ -5,24 +5,31 @@
 //!
 //! The field is split into vertical column bands — one region per worker
 //! thread, boundaries snapped to spatial-index columns, balanced by node
-//! count ([`pcmac_shard::partition_columns`]). Every worker builds the
-//! *full* scenario replica (construction is deterministic, so replicas
-//! are identical), then discards the build-time events of nodes it does
-//! not own ([`Simulator`]'s `prepare_shard`). At runtime a shard
-//! dispatches only events addressing its own nodes; when an owned node
-//! transmits, the sender loop runs exactly as in single mode — mobility
-//! is a pure function of `(seed, t)` and gains are pure functions of
-//! positions, so the shard computes every receiver's power and delay
-//! bit-identically — and arrivals destined for foreign nodes are shipped
-//! to their owner as ready-made events instead of being scheduled
-//! locally.
+//! count ([`pcmac_shard::partition_columns`]). Every worker builds an
+//! *owner-only* shard directly (`Simulator::new_shard`): cold per-node
+//! state — radios, MAC queues, routing tables — is materialised only for
+//! owned nodes, and the struct-of-arrays hot state plus the spatial
+//! index are pruned to the owned band and a boundary halo sized by the
+//! maximum transmission reach. Shard memory is O(N/S + halo), not O(N).
+//! Construction is deterministic, so the shards agree exactly on the
+//! global picture they share (positions, ownership, event ranks). At
+//! runtime a shard dispatches only events addressing its own nodes; when
+//! an owned node transmits, the sender loop runs exactly as in single
+//! mode — the halo guarantees the pruned index returns the full
+//! candidate set, and gains are pure functions of positions, so the
+//! shard computes every receiver's power and delay bit-identically — and
+//! arrivals destined for foreign nodes are shipped to their owner as
+//! ready-made events instead of being scheduled locally.
 //!
 //! # The synchronization protocol
 //!
-//! Conservative barrier-epoch windows. Every propagation delay is
-//! floored at δ = [`ScenarioConfig::delay_floor`] (the scenario's
-//! *lookahead*), and arrivals are the only cross-region channel, so an
-//! event at `t` can only influence foreign events at `t ≥ t + δ`:
+//! Conservative barrier-epoch windows. The per-run lookahead δ is
+//! derived by `Simulator::derived_lookahead_ns`: at least the configured
+//! [`ScenarioConfig::delay_floor`], widened for static scenarios to the
+//! propagation time across the narrowest inter-band gap (arrivals are
+//! the only cross-region channel, and every cross-band arrival must
+//! cross that gap), so an event at `t` can only influence foreign events
+//! at `t ≥ t + δ`:
 //!
 //! 1. each shard publishes the due time of its next event;
 //! 2. barrier; the window start `ws` is the global minimum — when every
@@ -74,9 +81,8 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
     let shards = shards.max(1);
     let cfg = sim.cfg().clone();
     let end = SimTime::ZERO + cfg.duration;
-    let floor_ns = cfg.delay_floor().as_nanos();
     assert!(
-        floor_ns > 0,
+        cfg.delay_floor().as_nanos() > 0,
         "sharded execution requires a positive delay floor (validated at build)"
     );
     let owner: Arc<Vec<u32>> = Arc::new(partition_columns(
@@ -85,6 +91,7 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
         sim.shard_cell_size(),
         shards,
     ));
+    let lookahead_ns = sim.derived_lookahead_ns(&owner, shards);
     let collect_trace = observer.is_some();
 
     let peeks: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
@@ -95,22 +102,36 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
         .collect();
     let barrier = SpinBarrier::new(shards);
 
+    // Split the caller's full replica into S owner-only shards on this
+    // thread, *recycling* its cold per-node state: each shard's build
+    // moves the already-constructed boxes of its owned nodes out of the
+    // donor vec instead of allocating a second copy. This keeps the
+    // process peak at one full build — freeing the parent and
+    // reallocating in S worker threads would double resident memory,
+    // because worker-arena allocations cannot reuse what the main
+    // thread's arena freed.
+    let shard_sims: Vec<Simulator> = {
+        let mut sim = sim;
+        let mut donor = sim.take_cold_nodes();
+        drop(sim);
+        (0..shards)
+            .map(|k| {
+                Simulator::new_shard(
+                    cfg.clone(),
+                    k as u32,
+                    shards,
+                    Arc::clone(&owner),
+                    &mut donor,
+                )
+            })
+            .collect()
+    };
+
     let results: Vec<(ShardParts, TracedEvents)> = std::thread::scope(|scope| {
-        let mut seed_sim = Some(sim);
         let mut handles = Vec::with_capacity(shards);
-        for k in 0..shards {
-            let cfg = cfg.clone();
-            let owner = Arc::clone(&owner);
+        for (k, mut s) in shard_sims.into_iter().enumerate() {
             let (barrier, peeks, mail) = (&barrier, &peeks, &mail);
-            let first = seed_sim.take();
             handles.push(scope.spawn(move || {
-                // Shard 0 reuses the caller's simulator; the rest
-                // build their own replica (deterministic, identical).
-                let mut s = match first {
-                    Some(s) => s,
-                    None => Simulator::new(cfg),
-                };
-                s.prepare_shard(k as u32, shards, owner);
                 let mut trace = collect_trace.then(Vec::new);
                 loop {
                     peeks[k].store(s.shard_peek_ns(end), Ordering::SeqCst);
@@ -123,7 +144,7 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
                     if ws == u64::MAX {
                         break; // every queue drained past the end
                     }
-                    s.run_window(ws.saturating_add(floor_ns), end, trace.as_mut());
+                    s.run_window(ws.saturating_add(lookahead_ns), end, trace.as_mut());
                     for (to, batch) in s.take_outboxes().into_iter().enumerate() {
                         if !batch.is_empty() {
                             *mail[to][k].lock().expect("mailbox") = batch;
@@ -165,12 +186,12 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
 
     // Per-node state: each node's owner holds the authoritative replica.
     let n = owner.len();
-    let mut pools: Vec<Vec<Option<Node>>> = parts
+    let mut pools: Vec<Vec<Option<Box<Node>>>> = parts
         .iter_mut()
-        .map(|p| std::mem::take(&mut p.nodes).into_iter().map(Some).collect())
+        .map(|p| std::mem::take(&mut p.nodes))
         .collect();
     let nodes: Vec<Node> = (0..n)
-        .map(|i| pools[owner[i] as usize][i].take().expect("owned node"))
+        .map(|i| *pools[owner[i] as usize][i].take().expect("owned node"))
         .collect();
 
     let fault_parts: Vec<FaultState> = parts.iter_mut().filter_map(|p| p.faults.take()).collect();

@@ -90,6 +90,26 @@ impl LatencySummary {
             max_s: sorted[n - 1],
         })
     }
+
+    /// Summarise a streaming estimator. While the population still fits
+    /// the estimator's exact window this defers to
+    /// [`LatencySummary::from_samples`] over the verbatim samples —
+    /// bit-identical to the historical grow-a-`Vec` path — and beyond it
+    /// reads the estimator's deterministic bucket summary.
+    pub fn from_streaming(q: &pcmac_stats::StreamingQuantile) -> Option<LatencySummary> {
+        if q.count() == 0 {
+            return None;
+        }
+        if q.is_exact() {
+            return LatencySummary::from_samples(q.exact_samples());
+        }
+        Some(LatencySummary {
+            count: q.count(),
+            mean_s: q.mean_s(),
+            p95_s: q.quantile_s(0.95),
+            max_s: q.max_s(),
+        })
+    }
 }
 
 /// How the network behaved around the fault window. Present on a

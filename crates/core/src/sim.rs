@@ -63,6 +63,7 @@ use crate::fault::FaultConfig;
 use crate::metrics::{Drop as PacketDrop, MetricsState};
 use crate::node::{Node, TrafficSource};
 use crate::report::{LatencySummary, ResilienceReport, RunReport};
+use crate::soa::HotState;
 
 /// Speed of light (m/s) for propagation delays.
 const C: f64 = 299_792_458.0;
@@ -172,7 +173,7 @@ pub(crate) struct FaultState {
     /// Open route-repair observations: (node, destination, first failure).
     pending_repairs: Vec<(u32, u32, SimTime)>,
     repairs_started: u64,
-    repair_latencies_s: Vec<f64>,
+    repair_latency: pcmac_stats::StreamingQuantile,
     /// Phase-classification facts in processing order, each keyed by the
     /// global `(time, rank)` of the event that produced it. Classifying
     /// lazily at report time (instead of against a live, mutating fault
@@ -223,7 +224,7 @@ impl FaultState {
             base.recoveries += part.recoveries;
             base.energy_deaths += part.energy_deaths;
             base.repairs_started += part.repairs_started;
-            base.repair_latencies_s.extend(part.repair_latencies_s);
+            base.repair_latency.merge(&part.repair_latency);
             base.pending_repairs.extend(part.pending_repairs);
             base.records.extend(part.records);
         }
@@ -287,8 +288,8 @@ impl FaultState {
             energy_deaths: self.energy_deaths,
             dead_nodes_end: self.down.iter().filter(|d| **d).count() as u64,
             repairs_started: self.repairs_started,
-            repairs_completed: self.repair_latencies_s.len() as u64,
-            repair_latency: LatencySummary::from_samples(&self.repair_latencies_s),
+            repairs_completed: self.repair_latency.count(),
+            repair_latency: LatencySummary::from_streaming(&self.repair_latency),
             reconverged_after_s: match (reconverged_at, we) {
                 (Some(t), Some(e)) => Some((t - e).as_secs_f64()),
                 _ => None,
@@ -351,7 +352,7 @@ pub(crate) enum Shipment {
 /// queue drains (see `parallel::run_sharded`).
 pub(crate) struct ShardParts {
     /// The shard's full node replica (only owned entries are merged).
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Option<Box<Node>>>,
     /// Application packets emitted by owned sources.
     pub(crate) sent_packets: u64,
     /// Non-probe events scheduled on this shard's queue.
@@ -365,8 +366,13 @@ pub(crate) struct ShardParts {
 pub struct Simulator {
     cfg: ScenarioConfig,
     queue: EventQueue<SimEvent>,
-    nodes: Vec<Node>,
-    positions: Vec<Point>,
+    /// Cold per-node state, present only for owned nodes (`None` for
+    /// nodes another region shard owns; always all-present in single
+    /// mode). Boxed so a shard's vector of absentees stays thin.
+    nodes: Vec<Option<Box<Node>>>,
+    /// Struct-of-arrays hot per-node state: positions, movement,
+    /// tracked/alive flags, carrier/queue mirrors, tx-key counters.
+    hot: HotState,
     positions_at: Option<SimTime>,
     any_mobile: bool,
     propagation: PropagationModel,
@@ -381,18 +387,9 @@ pub struct Simulator {
     lazy_refresh: bool,
     /// Metres of drift the index tolerates before a deadline refresh.
     pad_m: f64,
-    /// Last instant each node was sampled *exactly* (lazy mode).
-    sampled_at: Vec<SimTime>,
-    /// Active refresh deadline per node (lazy + grid mode).
-    deadline: Vec<SimTime>,
     /// Min-heap of `(deadline, node)` refresh entries; an entry earlier
     /// than its node's recorded deadline is superseded and re-arms.
     refresh_heap: BinaryHeap<Reverse<(SimTime, u32)>>,
-    /// Per-node transmission-key counters: key = `(node << 32) | counter`.
-    /// Keyed per node (not globally) so a region shard — which executes
-    /// only its own nodes' transmissions — mints the *same* key for a
-    /// given transmission as the single-threaded reference does.
-    tx_key_ctr: Vec<u32>,
     /// Propagation-delay floor in nanoseconds (0 = exact delays).
     delay_floor_ns: u64,
     /// `(time, rank)` of the event currently being dispatched — the
@@ -418,6 +415,9 @@ pub struct Simulator {
     /// Candidate-receiver scratch (used only between a position refresh
     /// and the arrival-scheduling loop, which never re-enters).
     candidates: Vec<u32>,
+    /// Batched gain scratch, parallel to `candidates` after
+    /// [`Simulator::fill_gains`].
+    gains: Vec<f64>,
 }
 
 impl Simulator {
@@ -429,11 +429,56 @@ impl Simulator {
     /// expansion) validate first and surface the same list as a
     /// `Result` instead.
     pub fn new(cfg: ScenarioConfig) -> Self {
+        Self::build(cfg, None, &mut [])
+    }
+
+    /// Build shard `id` of a `shards`-way region run directly in
+    /// owner-only form: cold [`Node`] state, traffic sources, and
+    /// build-time events (first emissions, crashes, churn) materialise
+    /// only for owned nodes, and the spatial index is pruned to the
+    /// tracked set (owned + halo). Replicated machinery (impairment
+    /// bursts, the probe chain) is scheduled everywhere.
+    ///
+    /// `donor` recycles cold state from an already-built full replica
+    /// (see [`Simulator::take_cold_nodes`]): owned entries found there
+    /// are *moved* in instead of constructed, so splitting one full
+    /// simulator into S shards allocates no second copy of any node —
+    /// the process peak stays at one full build. A freshly built box
+    /// and a donated one are identical by construction (per-node RNG
+    /// streams derive from the node id; the donor's attached traffic
+    /// sources are cleared and re-attached below).
+    pub(crate) fn new_shard(
+        cfg: ScenarioConfig,
+        id: u32,
+        shards: usize,
+        owner: Arc<Vec<u32>>,
+        donor: &mut [Option<Box<Node>>],
+    ) -> Self {
+        Self::build(cfg, Some((id, shards, owner)), donor)
+    }
+
+    /// Move the cold per-node state out, leaving `None`s — the donor
+    /// side of the no-realloc shard split in [`Simulator::new_shard`].
+    pub(crate) fn take_cold_nodes(&mut self) -> Vec<Option<Box<Node>>> {
+        std::mem::take(&mut self.nodes)
+    }
+
+    fn build(
+        cfg: ScenarioConfig,
+        shard_plan: Option<(u32, usize, Arc<Vec<u32>>)>,
+        donor: &mut [Option<Box<Node>>],
+    ) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("{e}");
         }
         let n = cfg.nodes.count();
-        let mut nodes = Vec::with_capacity(n);
+        let owned = |i: usize| {
+            shard_plan
+                .as_ref()
+                .is_none_or(|(id, _, owner)| owner[i] == *id)
+        };
+        let mut nodes: Vec<Option<Box<Node>>> = Vec::with_capacity(n);
+        let mut mobility = Vec::with_capacity(n);
         let mut positions = Vec::with_capacity(n);
         let mut any_mobile = false;
 
@@ -447,7 +492,7 @@ impl Simulator {
         };
 
         for (i, start) in starts.iter().enumerate() {
-            let mobility = match &cfg.nodes {
+            let m = match &cfg.nodes {
                 NodeSetup::UniformWaypoint { speed, pause, .. }
                 | NodeSetup::WaypointFrom { speed, pause, .. } => {
                     any_mobile = true;
@@ -462,15 +507,31 @@ impl Simulator {
                 }
                 NodeSetup::Static(_) => Mobility::Static(*start),
             };
-            nodes.push(Node::new(
-                NodeId(i as u32),
-                *start,
-                mobility,
-                cfg.radio.clone(),
-                cfg.mac.clone(),
-                cfg.aodv.clone(),
-                cfg.seed,
-            ));
+            mobility.push(m);
+            // Cold state only for owned nodes: this is the owner-only
+            // memory model — a shard never assembles the radios, MAC
+            // queues, and routing tables of nodes another region
+            // dispatches.
+            let cold = if owned(i) {
+                Some(match donor.get_mut(i).and_then(Option::take) {
+                    Some(mut b) => {
+                        // Re-attached (identically) by the flow loop
+                        // below, like a fresh box's.
+                        b.sources.clear();
+                        b
+                    }
+                    None => Box::new(Node::new(
+                        NodeId(i as u32),
+                        cfg.radio.clone(),
+                        cfg.mac.clone(),
+                        cfg.aodv.clone(),
+                        cfg.seed,
+                    )),
+                })
+            } else {
+                None
+            };
+            nodes.push(cold);
             positions.push(*start);
         }
 
@@ -480,9 +541,14 @@ impl Simulator {
         for spec in &cfg.flows {
             let home = spec.src.index();
             assert!(home < nodes.len(), "flow source out of range");
+            // Source RNG streams derive per flow id, so skipping the
+            // foreign homes perturbs nothing an owned source draws.
+            let Some(home_node) = nodes[home].as_deref_mut() else {
+                continue;
+            };
             let mut src = TrafficSource::from_spec(spec, cfg.seed);
             if let Some(t0) = src.next_time() {
-                let source_idx = nodes[home].sources.len();
+                let source_idx = home_node.sources.len();
                 sched_into(
                     &mut queue,
                     t0,
@@ -492,7 +558,7 @@ impl Simulator {
                     },
                 );
             }
-            nodes[home].sources.push(src);
+            home_node.sources.push(src);
         }
 
         // Fault plan: precompute the entire crash/recover/impairment
@@ -506,23 +572,30 @@ impl Simulator {
             let mut ends: Vec<f64> = Vec::new();
             if let Some(crashes) = &plan.crashes {
                 for cw in crashes {
-                    sched_into(
-                        &mut queue,
-                        at(cw.at_s),
-                        SimEvent::NodeDown {
-                            node: NodeId(cw.node),
-                        },
-                    );
+                    // The fault *window* is global — every shard derives
+                    // identical phase boundaries — but the events
+                    // themselves are owner-only.
+                    if owned(cw.node as usize) {
+                        sched_into(
+                            &mut queue,
+                            at(cw.at_s),
+                            SimEvent::NodeDown {
+                                node: NodeId(cw.node),
+                            },
+                        );
+                    }
                     starts.push(cw.at_s);
                     match cw.recover_s {
                         Some(r) => {
-                            sched_into(
-                                &mut queue,
-                                at(r),
-                                SimEvent::NodeUp {
-                                    node: NodeId(cw.node),
-                                },
-                            );
+                            if owned(cw.node as usize) {
+                                sched_into(
+                                    &mut queue,
+                                    at(r),
+                                    SimEvent::NodeUp {
+                                        node: NodeId(cw.node),
+                                    },
+                                );
+                            }
                             ends.push(r.min(dur_s));
                         }
                         None => ends.push(dur_s),
@@ -535,7 +608,7 @@ impl Simulator {
                 if w1 > w0 {
                     starts.push(w0);
                     ends.push(w1);
-                    for i in 0..n {
+                    for i in (0..n).filter(|&i| owned(i)) {
                         let mut rng = RngStream::derive_sub(cfg.seed, "faults.churn", i as u64);
                         let node = NodeId(i as u32);
                         let mut t = w0;
@@ -595,7 +668,7 @@ impl Simulator {
                 energy_deaths: 0,
                 pending_repairs: Vec::new(),
                 repairs_started: 0,
-                repair_latencies_s: Vec::new(),
+                repair_latency: pcmac_stats::StreamingQuantile::new(),
                 records: Vec::new(),
             }
         });
@@ -683,8 +756,8 @@ impl Simulator {
         if lazy_refresh {
             sampled_at = vec![SimTime::ZERO; n];
             deadline = vec![SimTime::MAX; n];
-            for (i, node) in nodes.iter().enumerate() {
-                let d = node.mobility.stale_after(SimTime::ZERO, pad_m);
+            for (i, m) in mobility.iter().enumerate() {
+                let d = m.stale_after(SimTime::ZERO, pad_m);
                 deadline[i] = d;
                 if d != SimTime::MAX {
                     refresh_heap.push(Reverse((d, i as u32)));
@@ -693,6 +766,31 @@ impl Simulator {
         }
 
         let delay_floor_ns = cfg.delay_floor().as_nanos();
+
+        // Region shards keep hot state only for owned nodes plus the
+        // boundary halo; the spatial index is pruned to match, so grid
+        // queries (always issued from owned transmitters) stay exact
+        // while bucket memory shrinks to O(N/S + halo).
+        let (tracked, shard) = match shard_plan {
+            None => (vec![true; n], None),
+            Some((id, shards, owner)) => {
+                let tracked = compute_tracked(&owner, id, &positions, any_mobile, max_reach);
+                (
+                    tracked,
+                    Some(ShardCtx {
+                        id,
+                        owner,
+                        outbox: vec![Vec::new(); shards],
+                        transitions: vec![Vec::new(); n],
+                    }),
+                )
+            }
+        };
+        let mut grid = grid;
+        if shard.is_some() {
+            grid.retain_nodes(|i| tracked[i as usize]);
+        }
+
         Simulator {
             use_grid,
             lazy_refresh,
@@ -700,19 +798,27 @@ impl Simulator {
             cfg,
             queue,
             nodes,
-            positions,
+            hot: HotState {
+                positions,
+                mobility,
+                tracked,
+                alive: vec![true; n],
+                busy: vec![false; n],
+                queue_len: vec![0; n],
+                tx_power_mw: vec![0.0; n],
+                sampled_at,
+                deadline,
+                tx_key_ctr: vec![0; n],
+            },
             positions_at: None,
             any_mobile,
             propagation,
             grid,
             gain_cache,
-            sampled_at,
-            deadline,
             refresh_heap,
-            tx_key_ctr: vec![0; n],
             delay_floor_ns,
             cur: (SimTime::ZERO, 0),
-            shard: None,
+            shard,
             sent_packets: 0,
             faults,
             metrics,
@@ -721,6 +827,7 @@ impl Simulator {
             mac_pool: BufPool::default(),
             aodv_pool: BufPool::default(),
             candidates: Vec::new(),
+            gains: Vec::new(),
         }
     }
 
@@ -758,6 +865,43 @@ impl Simulator {
         self.queue.schedule_ranked(at, ev.rank(), ev);
     }
 
+    /// The cold state of node `i`.
+    ///
+    /// # Panics
+    /// If this shard does not hold node `i`'s cold state — events only
+    /// ever address owned nodes, so a miss here is a sharding bug.
+    #[inline]
+    fn node(&self, i: usize) -> &Node {
+        self.nodes[i]
+            .as_deref()
+            .expect("event dispatched for a node this shard does not own")
+    }
+
+    /// Mutable [`Simulator::node`].
+    #[inline]
+    fn node_mut(&mut self, i: usize) -> &mut Node {
+        self.nodes[i]
+            .as_deref_mut()
+            .expect("event dispatched for a node this shard does not own")
+    }
+
+    /// Refresh node `i`'s hot mirrors from the authoritative cold
+    /// state; a no-op for nodes whose cold state lives elsewhere.
+    #[inline]
+    fn sync_hot(&mut self, i: usize) {
+        if let Some(node) = self.nodes[i].as_deref() {
+            self.hot.busy[i] = node.radio.carrier_busy();
+            self.hot.queue_len[i] = node.mac.queue_len() as u32;
+        }
+    }
+
+    /// How many nodes this simulator keeps hot state fresh for (owned +
+    /// halo in a region shard; all N otherwise) — the shard-memory
+    /// observable the bench memory budget is written against.
+    pub fn tracked_nodes(&self) -> usize {
+        self.hot.tracked.iter().filter(|t| **t).count()
+    }
+
     fn run_single(mut self, observer: &mut dyn FnMut(&SimEvent, SimTime)) -> RunReport {
         let wall_start = std::time::Instant::now();
         let end = SimTime::ZERO + self.cfg.duration;
@@ -770,7 +914,11 @@ impl Simulator {
             observer(&ev.event, ev.at);
             self.dispatch(ev.event, ev.at);
         }
-        for node in &mut self.nodes {
+        let mut nodes: Vec<Node> = std::mem::take(&mut self.nodes)
+            .into_iter()
+            .map(|b| *b.expect("single mode owns every node"))
+            .collect();
+        for node in &mut nodes {
             node.energy.finish(end);
         }
         let resilience = self.faults.take().map(FaultState::into_report);
@@ -783,11 +931,11 @@ impl Simulator {
         let mut probes_scheduled = 0;
         let metrics = self.metrics.take().map(|m| {
             probes_scheduled = m.probes_scheduled;
-            m.finish(&self.nodes, cache_stats)
+            m.finish(&nodes, cache_stats)
         });
         RunReport::build(
             &self.cfg,
-            &self.nodes,
+            &nodes,
             self.sent_packets,
             self.queue.scheduled_total() - probes_scheduled,
             wall_start.elapsed().as_secs_f64(),
@@ -801,6 +949,20 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn dispatch(&mut self, ev: SimEvent, now: SimTime) {
+        let target = ev.node_index();
+        self.dispatch_inner(ev, now);
+        // Every mutation of a node's radio/MAC state happens while an
+        // event addressed to that node dispatches (cross-node effects
+        // only travel as scheduled events), so syncing here keeps the
+        // hot mirrors exact whenever the queue is observed. The one
+        // global mutation — an impairment edge shifting every noise
+        // floor — resyncs inline in `set_impairment`.
+        if let Some(i) = target {
+            self.sync_hot(i);
+        }
+    }
+
+    fn dispatch_inner(&mut self, ev: SimEvent, now: SimTime) {
         match ev {
             SimEvent::ArrivalStart {
                 node,
@@ -813,11 +975,11 @@ impl Simulator {
                 // Radio state *before* the arrival, for the PHY drop
                 // taxonomy (reads only; skipped entirely when off).
                 let pre = self.metrics.as_ref().map(|_| {
-                    let r = &self.nodes[i].radio;
+                    let r = &self.node(i).radio;
                     (r.is_transmitting(), r.is_receiving())
                 });
                 let mut rad = self.rad_pool.take();
-                self.nodes[i]
+                self.node_mut(i)
                     .radio
                     .on_arrival_start(key, power, end, &frame, &mut rad);
                 if let (Some((was_tx, was_rx)), Some(m)) = (pre, &mut self.metrics) {
@@ -858,7 +1020,7 @@ impl Simulator {
             SimEvent::ArrivalEnd { node, key } => {
                 let i = node.index();
                 let mut rad = self.rad_pool.take();
-                self.nodes[i].radio.on_arrival_end(key, &mut rad);
+                self.node_mut(i).radio.on_arrival_end(key, &mut rad);
                 if let Some(m) = &mut self.metrics {
                     for ev in &rad {
                         if let RadioEvent::RxEnd { ok, .. } = ev {
@@ -879,13 +1041,12 @@ impl Simulator {
             SimEvent::TxEnd { node } => {
                 let i = node.index();
                 let mut rad = self.rad_pool.take();
-                self.nodes[i].radio.end_tx(&mut rad);
-                self.nodes[i]
-                    .energy
-                    .set_mode(now, RadioMode::Idle, Milliwatts::ZERO);
+                let node = self.node_mut(i);
+                node.radio.end_tx(&mut rad);
+                node.energy.set_mode(now, RadioMode::Idle, Milliwatts::ZERO);
                 self.forward_radio_events(i, rad, now);
                 let mut acts = self.mac_pool.take();
-                self.nodes[i].mac.on_tx_end(now, &mut acts);
+                self.node_mut(i).mac.on_tx_end(now, &mut acts);
                 self.apply_mac_actions(i, acts, now);
             }
             SimEvent::CtrlArrivalStart {
@@ -896,14 +1057,14 @@ impl Simulator {
                 frame,
             } => {
                 let mut rad = self.ctrl_pool.take();
-                self.nodes[node.index()]
+                self.node_mut(node.index())
                     .ctrl_radio
                     .on_arrival_start(key, power, end, &frame, &mut rad);
                 self.forward_ctrl_events(node.index(), rad, now);
             }
             SimEvent::CtrlArrivalEnd { node, key } => {
                 let mut rad = self.ctrl_pool.take();
-                self.nodes[node.index()]
+                self.node_mut(node.index())
                     .ctrl_radio
                     .on_arrival_end(key, &mut rad);
                 self.forward_ctrl_events(node.index(), rad, now);
@@ -911,22 +1072,22 @@ impl Simulator {
             SimEvent::CtrlTxEnd { node } => {
                 let i = node.index();
                 let mut rad = self.ctrl_pool.take();
-                self.nodes[i].ctrl_radio.end_tx(&mut rad);
+                self.node_mut(i).ctrl_radio.end_tx(&mut rad);
                 // The tolerance broadcast happens while the data radio is
                 // mid-reception; energy for it was accounted at start.
                 self.ctrl_pool.put(rad);
-                self.nodes[i].mac.on_ctrl_tx_end(now);
+                self.node_mut(i).mac.on_ctrl_tx_end(now);
             }
             SimEvent::MacTimer { node, kind, token } => {
                 let i = node.index();
                 let mut acts = self.mac_pool.take();
-                self.nodes[i].mac.on_timer(kind, token, now, &mut acts);
+                self.node_mut(i).mac.on_timer(kind, token, now, &mut acts);
                 self.apply_mac_actions(i, acts, now);
             }
             SimEvent::AodvTimer { node, dst, token } => {
                 let i = node.index();
                 let mut acts = self.aodv_pool.take();
-                self.nodes[i]
+                self.node_mut(i)
                     .aodv
                     .on_discovery_timeout(dst, token, now, &mut acts);
                 self.apply_aodv_actions(i, acts, now);
@@ -934,7 +1095,7 @@ impl Simulator {
             SimEvent::TrafficEmit { node, source } => {
                 let i = node.index();
                 let (packet, next) = {
-                    let src = &mut self.nodes[i].sources[source];
+                    let src = &mut self.node_mut(i).sources[source];
                     let packet = src.emit(now);
                     (packet, src.next_time())
                 };
@@ -958,7 +1119,7 @@ impl Simulator {
                     }
                 }
                 let mut acts = self.aodv_pool.take();
-                self.nodes[i].aodv.send(packet, now, &mut acts);
+                self.node_mut(i).aodv.send(packet, now, &mut acts);
                 self.apply_aodv_actions(i, acts, now);
             }
             SimEvent::NodeDown { node } => self.on_node_down(node.index(), now),
@@ -977,7 +1138,7 @@ impl Simulator {
         let mut live = 0u64;
         let mut busy = 0u64;
         let mut queue_sum = 0u64;
-        for (i, node) in self.nodes.iter().enumerate() {
+        for i in 0..self.hot.alive.len() {
             // Each region shard samples its own nodes; the per-shard
             // integer sums add up to exactly the single-threaded sample.
             if let Some(ctx) = &self.shard {
@@ -985,14 +1146,31 @@ impl Simulator {
                     continue;
                 }
             }
-            if self.faults.as_ref().is_some_and(|f| f.down[i]) {
+            // The probe is the natural audit point for the hot mirrors:
+            // debug builds cross-check them against the cold state.
+            debug_assert_eq!(
+                self.hot.alive[i],
+                !self.faults.as_ref().is_some_and(|f| f.down[i]),
+                "alive mirror diverged for node {i}"
+            );
+            debug_assert_eq!(
+                self.hot.busy[i],
+                self.node(i).radio.carrier_busy(),
+                "carrier mirror diverged for node {i}"
+            );
+            debug_assert_eq!(
+                self.hot.queue_len[i] as usize,
+                self.node(i).mac.queue_len(),
+                "queue mirror diverged for node {i}"
+            );
+            if !self.hot.alive[i] {
                 continue;
             }
             live += 1;
-            if node.radio.carrier_busy() {
+            if self.hot.busy[i] {
                 busy += 1;
             }
-            queue_sum += node.mac.queue_len() as u64;
+            queue_sum += self.hot.queue_len[i] as u64;
         }
         let Some(m) = &mut self.metrics else { return };
         m.record_probe(now, live, busy, queue_sum);
@@ -1027,6 +1205,7 @@ impl Simulator {
         }
         fs.down[i] = true;
         fs.crashes += 1;
+        self.hot.alive[i] = false;
         if let Some(ctx) = &mut self.shard {
             ctx.transitions[i].push((now, rank, true));
         }
@@ -1044,16 +1223,17 @@ impl Simulator {
             fs.recoveries += 1;
             fs.plan.expire_routes == Some(true)
         };
+        self.hot.alive[i] = true;
         if let Some(ctx) = &mut self.shard {
             ctx.transitions[i].push((now, self.cur.1, false));
         }
         if expire {
             // Reboot semantics: routing state is volatile and is lost
             // with the node; the experimenter's counters survive.
-            let counters = self.nodes[i].aodv.counters;
-            self.nodes[i].aodv =
+            let counters = self.node(i).aodv.counters;
+            self.node_mut(i).aodv =
                 pcmac_aodv::AodvAgent::new(NodeId(i as u32), self.cfg.aodv.clone());
-            self.nodes[i].aodv.counters = counters;
+            self.node_mut(i).aodv.counters = counters;
         }
     }
 
@@ -1077,9 +1257,15 @@ impl Simulator {
         if noise != fs.noise_mult {
             fs.noise_mult = noise;
             let floor = self.cfg.radio.noise_floor * noise;
-            for node in &mut self.nodes {
+            for node in self.nodes.iter_mut().flatten() {
                 node.radio.set_noise_floor(floor);
                 node.ctrl_radio.set_noise_floor(floor);
+            }
+            // A noise-floor shift can flip carrier sense on any radio
+            // without an event addressed to it — the one mutation the
+            // per-event sync in `dispatch` cannot see. Resync everyone.
+            for i in 0..self.nodes.len() {
+                self.sync_hot(i);
             }
         }
     }
@@ -1143,7 +1329,7 @@ impl Simulator {
             .position(|&(n, d, _)| (n, d) == key)
         {
             let (_, _, t0) = fs.pending_repairs.swap_remove(idx);
-            fs.repair_latencies_s.push((now - t0).as_secs_f64());
+            fs.repair_latency.record((now - t0).as_secs_f64());
         }
     }
 
@@ -1160,7 +1346,7 @@ impl Simulator {
         for ev in events.drain(..) {
             let mut acts = self.mac_pool.take();
             {
-                let node = &mut self.nodes[i];
+                let node = self.node_mut(i);
                 let noise = node.radio.noise_power();
                 node.mac.set_noise(noise);
                 match ev {
@@ -1200,7 +1386,7 @@ impl Simulator {
                 ..
             } = ev
             {
-                self.nodes[i].mac.on_ctrl_rx(frame, power, now);
+                self.node_mut(i).mac.on_ctrl_rx(frame, power, now);
             }
         }
         self.ctrl_pool.put(events);
@@ -1227,7 +1413,9 @@ impl Simulator {
                 }
                 MacAction::Deliver { packet, from } => {
                     let mut acts = self.aodv_pool.take();
-                    self.nodes[i].aodv.on_packet(packet, from, now, &mut acts);
+                    self.node_mut(i)
+                        .aodv
+                        .on_packet(packet, from, now, &mut acts);
                     self.apply_aodv_actions(i, acts, now);
                 }
                 MacAction::LinkFailure { packet, next_hop } => {
@@ -1236,16 +1424,16 @@ impl Simulator {
                     }
                     // Purge other frames queued for the dead hop first, so
                     // the routing agent can salvage or drop them too.
-                    let drained = self.nodes[i].mac.drain_next_hop(next_hop);
+                    let drained = self.node_mut(i).mac.drain_next_hop(next_hop);
                     let mut acts = self.aodv_pool.take();
-                    self.nodes[i]
+                    self.node_mut(i)
                         .aodv
                         .on_link_failure(packet, next_hop, now, &mut acts);
                     for qp in drained {
                         if self.faults.is_some() && !qp.packet.payload.is_routing() {
                             self.note_repair_start(i, qp.packet.dst, now);
                         }
-                        self.nodes[i]
+                        self.node_mut(i)
                             .aodv
                             .on_link_failure(qp.packet, next_hop, now, &mut acts);
                     }
@@ -1283,7 +1471,9 @@ impl Simulator {
                         self.note_repair_complete(i, packet.dst, now);
                     }
                     let mut acts = self.mac_pool.take();
-                    self.nodes[i].mac.enqueue(packet, next_hop, now, &mut acts);
+                    self.node_mut(i)
+                        .mac
+                        .enqueue(packet, next_hop, now, &mut acts);
                     self.apply_mac_actions(i, acts, now);
                 }
                 AodvAction::DeliverLocal { packet } => {
@@ -1302,7 +1492,7 @@ impl Simulator {
                             m.note_delivered(packet.id);
                         }
                     }
-                    self.nodes[i].sink.deliver(&packet, now);
+                    self.node_mut(i).sink.deliver(&packet, now);
                 }
                 AodvAction::Arm { dst, delay, token } => {
                     self.sched(
@@ -1315,7 +1505,7 @@ impl Simulator {
                     );
                 }
                 AodvAction::PeerReset { peer } => {
-                    self.nodes[i].mac.reset_peer_state(peer);
+                    self.node_mut(i).mac.reset_peer_state(peer);
                 }
                 AodvAction::Drop { packet, reason } => {
                     // Counted inside the agent; only the fate map cares
@@ -1357,10 +1547,10 @@ impl Simulator {
         if self.positions_at == Some(now) {
             return;
         }
-        for i in 0..self.nodes.len() {
-            let p = self.nodes[i].mobility.position(now);
-            if p != self.positions[i] {
-                self.positions[i] = p;
+        for i in 0..self.hot.positions.len() {
+            let p = self.hot.mobility[i].position(now);
+            if p != self.hot.positions[i] {
+                self.hot.positions[i] = p;
                 if self.use_grid {
                     self.grid.update(i as u32, p);
                     if let GainCacheState::Sparse(c) = &mut self.gain_cache {
@@ -1385,11 +1575,12 @@ impl Simulator {
             }
             self.refresh_heap.pop();
             let i = node as usize;
-            if t < self.deadline[i] {
+            if t < self.hot.deadline[i] {
                 if let Some(m) = &mut self.metrics {
                     m.hot.refresh_rearms += 1;
                 }
-                self.refresh_heap.push(Reverse((self.deadline[i], node)));
+                self.refresh_heap
+                    .push(Reverse((self.hot.deadline[i], node)));
                 continue;
             }
             if let Some(m) = &mut self.metrics {
@@ -1400,8 +1591,8 @@ impl Simulator {
             // waypoint model allows; the +1 ns floor keeps degenerate
             // horizons (pad/speed rounding to zero) from re-firing at the
             // same instant forever.
-            let d = self.deadline[i].max(now + Duration::from_nanos(1));
-            self.deadline[i] = d;
+            let d = self.hot.deadline[i].max(now + Duration::from_nanos(1));
+            self.hot.deadline[i] = d;
             self.refresh_heap.push(Reverse((d, node)));
         }
     }
@@ -1412,24 +1603,24 @@ impl Simulator {
     /// freshly sampled nodes cannot drift past the pad for another
     /// `pad_m / speed`.
     fn sample_exact(&mut self, i: usize, now: SimTime) {
-        if self.sampled_at[i] == now {
+        if self.hot.sampled_at[i] == now {
             return;
         }
-        self.sampled_at[i] = now;
+        self.hot.sampled_at[i] = now;
         if let Some(m) = &mut self.metrics {
             m.hot.exact_samples += 1;
         }
-        let p = self.nodes[i].mobility.position(now);
-        if p != self.positions[i] {
-            self.positions[i] = p;
+        let p = self.hot.mobility[i].position(now);
+        if p != self.hot.positions[i] {
+            self.hot.positions[i] = p;
             self.grid.update(i as u32, p);
             if let GainCacheState::Sparse(c) = &mut self.gain_cache {
                 c.note_move(i as u32, self.grid.node_cell(i as u32));
             }
         }
-        let d = self.nodes[i].mobility.stale_after(now, self.pad_m);
-        if d > self.deadline[i] {
-            self.deadline[i] = d;
+        let d = self.hot.mobility[i].stale_after(now, self.pad_m);
+        if d > self.hot.deadline[i] {
+            self.hot.deadline[i] = d;
         }
     }
 
@@ -1452,7 +1643,7 @@ impl Simulator {
                 radius += self.pad_m * REFRESH_PAD_SLACK;
             }
             self.grid.query_circle(
-                self.positions[i],
+                self.hot.positions[i],
                 radius,
                 Some(i as u32),
                 &mut self.candidates,
@@ -1469,23 +1660,54 @@ impl Simulator {
             }
         } else {
             self.candidates
-                .extend((0..self.nodes.len() as u32).filter(|&j| j as usize != i));
+                .extend((0..self.hot.positions.len() as u32).filter(|&j| j as usize != i));
         }
     }
 
-    /// Gain from node `i` to node `j`: replayed from the dense table
-    /// (static) or the block-sparse cache (generation-checked), else
-    /// evaluated live. All three paths return bit-identical values.
-    #[inline]
-    fn link_gain(&mut self, i: usize, j: usize) -> f64 {
+    /// Drop owned receivers that are currently crashed from the
+    /// candidate list. Runs *before* the batched gain fill, exactly where
+    /// the scalar reference applied its inline `down` skip — so the
+    /// sparse cache sees the same lookup sequence (and mints the same
+    /// hit/miss/flush counters) as the per-pair path did.
+    fn cull_down_receivers(&mut self) {
+        let Some(fs) = &self.faults else { return };
+        let shard = self.shard.as_ref();
+        let mut candidates = std::mem::take(&mut self.candidates);
+        candidates.retain(|&j| {
+            let owned = shard.is_none_or(|c| c.owner[j as usize] == c.id);
+            !(owned && fs.down[j as usize])
+        });
+        self.candidates = candidates;
+    }
+
+    /// Batch-evaluate the gains from node `i` to every candidate into
+    /// `self.gains` (parallel to `self.candidates`): replayed from the
+    /// dense table (static), streamed through the block-sparse cache
+    /// (generation-checked), or evaluated live in one contiguous pass.
+    /// All three paths produce bit-identical values to per-pair calls.
+    fn fill_gains(&mut self, i: usize) {
         match &mut self.gain_cache {
-            GainCacheState::Dense(cache) => cache.gain(i, j),
+            GainCacheState::Dense(cache) => {
+                self.gains.clear();
+                self.gains.reserve(self.candidates.len());
+                self.gains
+                    .extend(self.candidates.iter().map(|&j| cache.gain(i, j as usize)));
+            }
             GainCacheState::Sparse(cache) => {
                 let prop = &self.propagation;
-                let pos = &self.positions;
-                cache.gain_with(i as u32, j as u32, || prop.gain(pos[i], pos[j]))
+                let pos = &self.hot.positions;
+                let mut gains = std::mem::take(&mut self.gains);
+                cache.gains_with_into(i as u32, &self.candidates, &mut gains, |j| {
+                    prop.gain(pos[i], pos[j as usize])
+                });
+                self.gains = gains;
             }
-            GainCacheState::Live => self.propagation.gain(self.positions[i], self.positions[j]),
+            GainCacheState::Live => self.propagation.gains_into_indexed(
+                self.hot.positions[i],
+                &self.hot.positions,
+                &self.candidates,
+                &mut self.gains,
+            ),
         }
     }
 
@@ -1496,8 +1718,8 @@ impl Simulator {
     /// matches the single-threaded run.
     #[inline]
     fn tx_key(&mut self, i: usize) -> u64 {
-        let k = ((i as u64) << 32) | self.tx_key_ctr[i] as u64;
-        self.tx_key_ctr[i] += 1;
+        let k = ((i as u64) << 32) | self.hot.tx_key_ctr[i] as u64;
+        self.hot.tx_key_ctr[i] += 1;
         k
     }
 
@@ -1517,14 +1739,14 @@ impl Simulator {
     }
 
     fn transmit_frame(&mut self, i: usize, frame: Frame, power: Milliwatts, now: SimTime) {
-        let airtime = self.nodes[i].mac.config().timing.frame_airtime(&frame);
+        let airtime = self.node(i).mac.config().timing.frame_airtime(&frame);
         let end = now + airtime;
         let down = self.node_is_down(i);
 
         let mut rad = self.rad_pool.take();
-        self.nodes[i].radio.start_tx(end, &mut rad);
+        self.node_mut(i).radio.start_tx(end, &mut rad);
         if !down {
-            self.nodes[i]
+            self.node_mut(i)
                 .energy
                 .set_mode(now, RadioMode::Transmit, power);
         }
@@ -1542,23 +1764,23 @@ impl Simulator {
             return;
         }
         self.commit_energy(i, power, airtime, end);
+        self.hot.tx_power_mw[i] = power.value();
         if let Some(m) = &mut self.metrics {
-            m.note_data_tx(power.value());
+            m.note_data_tx(self.hot.tx_power_mw[i]);
         }
 
         self.collect_receivers(i, power, now);
+        self.cull_down_receivers();
         let impair = self.faults.as_ref().map_or(1.0, |f| f.impair_gain);
         let frame = Arc::new(frame);
         let key = self.tx_key(i);
-        let src_pos = self.positions[i];
+        let src_pos = self.hot.positions[i];
+        self.fill_gains(i);
         for c in 0..self.candidates.len() {
             let j = self.candidates[c] as usize;
             let owned = self.owns(j);
-            if owned && self.node_is_down(j) {
-                continue; // crashed receivers hear nothing new
-            }
-            let dst_pos = self.positions[j];
-            let pr = power * (self.link_gain(i, j) * impair);
+            let dst_pos = self.hot.positions[j];
+            let pr = power * (self.gains[c] * impair);
             if pr.value() < self.cfg.interference_floor.value() {
                 continue;
             }
@@ -1601,11 +1823,11 @@ impl Simulator {
     }
 
     fn transmit_ctrl(&mut self, i: usize, frame: CtrlFrame, power: Milliwatts, now: SimTime) {
-        let airtime = CtrlFrame::airtime(self.nodes[i].mac.config().pcmac.ctrl_rate_bps);
+        let airtime = CtrlFrame::airtime(self.node(i).mac.config().pcmac.ctrl_rate_bps);
         let end = now + airtime;
 
         let mut rad = self.ctrl_pool.take();
-        self.nodes[i].ctrl_radio.start_tx(end, &mut rad);
+        self.node_mut(i).ctrl_radio.start_tx(end, &mut rad);
         self.ctrl_pool.put(rad);
         // The ctrl broadcast radiates too (the data radio may be mid-rx;
         // energy is attributed per-channel, transmit wins for the overlap).
@@ -1623,17 +1845,16 @@ impl Simulator {
         }
 
         self.collect_receivers(i, power, now);
+        self.cull_down_receivers();
         let impair = self.faults.as_ref().map_or(1.0, |f| f.impair_gain);
         let key = self.tx_key(i);
-        let src_pos = self.positions[i];
+        let src_pos = self.hot.positions[i];
+        self.fill_gains(i);
         for c in 0..self.candidates.len() {
             let j = self.candidates[c] as usize;
             let owned = self.owns(j);
-            if owned && self.node_is_down(j) {
-                continue;
-            }
-            let dst_pos = self.positions[j];
-            let pr = power * (self.link_gain(i, j) * impair);
+            let dst_pos = self.hot.positions[j];
+            let pr = power * (self.gains[c] * impair);
             if pr.value() < self.cfg.interference_floor.value() {
                 continue;
             }
@@ -1693,27 +1914,7 @@ impl Simulator {
     /// Initial x-coordinates (positions are exact at t = 0), the input
     /// to the column partition.
     pub(crate) fn start_xs(&self) -> Vec<f64> {
-        self.positions.iter().map(|p| p.x).collect()
-    }
-
-    /// Turn this full replica into shard `id` of `shards`: discard the
-    /// build-time events of nodes other regions own (impairments and the
-    /// probe chain stay replicated — their handlers are global or
-    /// owner-filtered) and install the shard context.
-    pub(crate) fn prepare_shard(&mut self, id: u32, shards: usize, owner: Arc<Vec<u32>>) {
-        let n = self.nodes.len();
-        self.queue.retain(|ev| match ev {
-            SimEvent::TrafficEmit { node, .. }
-            | SimEvent::NodeDown { node }
-            | SimEvent::NodeUp { node } => owner[node.index()] == id,
-            _ => true,
-        });
-        self.shard = Some(ShardCtx {
-            id,
-            owner,
-            outbox: vec![Vec::new(); shards],
-            transitions: vec![Vec::new(); n],
-        });
+        self.hot.positions.iter().map(|p| p.x).collect()
     }
 
     /// Next event time in nanoseconds for the window negotiation:
@@ -1723,6 +1924,51 @@ impl Simulator {
             Some(t) if t <= end => t.as_nanos(),
             _ => u64::MAX,
         }
+    }
+
+    /// The conservative lookahead (ns) a region run may use: at least
+    /// the configured delay floor, and — for static scenarios — one less
+    /// than the propagation time across the narrowest gap between
+    /// adjacent ownership bands, since the earliest cross-shard effect
+    /// of any event is an arrival that must cross that gap. Mobile
+    /// scenarios fall back to the floor (bands do not confine moving
+    /// positions); a single populated band has no cross-shard traffic at
+    /// all, so the whole run is one window.
+    pub(crate) fn derived_lookahead_ns(&self, owner: &[u32], shards: usize) -> u64 {
+        let floor = self.delay_floor_ns;
+        if self.any_mobile {
+            return floor;
+        }
+        let mut min_x = vec![f64::INFINITY; shards];
+        let mut max_x = vec![f64::NEG_INFINITY; shards];
+        for (i, p) in self.hot.positions.iter().enumerate() {
+            let s = owner[i] as usize;
+            min_x[s] = min_x[s].min(p.x);
+            max_x[s] = max_x[s].max(p.x);
+        }
+        let mut gap = f64::INFINITY;
+        let mut prev: Option<usize> = None;
+        for (k, (&lo, &hi)) in min_x.iter().zip(&max_x).enumerate() {
+            if lo > hi {
+                continue; // empty band
+            }
+            if let Some(p) = prev {
+                gap = gap.min(lo - max_x[p]);
+            }
+            prev = Some(k);
+        }
+        if gap == f64::INFINITY {
+            // One populated band: nothing ever crosses a boundary.
+            return self.cfg.duration.as_nanos().max(floor);
+        }
+        if gap <= 0.0 {
+            return floor;
+        }
+        // An arrival crossing `gap` metres is delayed at least
+        // `floor(gap_ns)` ns (the scheduler rounds), so any lookahead at
+        // or under `gap_ns - 1` can never miss a cross-shard effect.
+        let gap_ns = (gap / C * 1e9).floor() as u64;
+        gap_ns.saturating_sub(1).max(floor)
     }
 
     /// Dispatch every local event strictly before `horizon_ns` (and not
@@ -1845,7 +2091,7 @@ impl Simulator {
     /// Finalize this shard after its queue drains: close the energy
     /// ledgers and surrender the pieces the merge needs.
     pub(crate) fn into_shard_parts(mut self, end: SimTime) -> ShardParts {
-        for node in &mut self.nodes {
+        for node in self.nodes.iter_mut().flatten() {
             node.energy.finish(end);
         }
         let cache_stats = match &self.gain_cache {
@@ -1878,4 +2124,37 @@ fn cull_radius(model: &PropagationModel, power: Milliwatts, floor: Milliwatts) -
         return f64::INFINITY;
     }
     model.max_range_for(power, floor) * RADIUS_SLACK
+}
+
+/// Which nodes shard `id` keeps hot state (and grid membership) for:
+/// owned nodes plus every node within `halo_reach` metres (in x) of the
+/// owned span — the farthest any owned transmission can matter, so grid
+/// queries from owned transmitters return exactly the full-grid
+/// candidate set. Mobile scenarios and unbounded reach track everything
+/// (no static halo is sound when positions drift across bands); the
+/// cold `Node` state stays owner-only either way, which is the dominant
+/// memory term.
+fn compute_tracked(
+    owner: &[u32],
+    id: u32,
+    positions: &[Point],
+    any_mobile: bool,
+    halo_reach: f64,
+) -> Vec<bool> {
+    if any_mobile || !halo_reach.is_finite() {
+        return vec![true; positions.len()];
+    }
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    for (i, p) in positions.iter().enumerate() {
+        if owner[i] == id {
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+        }
+    }
+    owner
+        .iter()
+        .zip(positions)
+        .map(|(&o, p)| o == id || (p.x >= min_x - halo_reach && p.x <= max_x + halo_reach))
+        .collect()
 }

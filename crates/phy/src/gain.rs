@@ -203,6 +203,72 @@ impl SparseGainCache {
         }
     }
 
+    /// Batched [`SparseGainCache::gain_with`]: resolve the gain from `i`
+    /// to every candidate in `js` in one pass, appending to `out` in
+    /// candidate order. Sequentially equivalent to calling `gain_with`
+    /// per candidate — the per-candidate flush check, hit/miss counting
+    /// and insertion order are replicated exactly, so counters and
+    /// flush epochs match the scalar path bit for bit — but the block
+    /// handle is memoized across candidates sharing the previous
+    /// candidate's cell, and the borrow/branch overhead is paid once per
+    /// candidate instead of once per closure call.
+    pub fn gains_with_into(
+        &mut self,
+        i: u32,
+        js: &[u32],
+        out: &mut Vec<f64>,
+        mut compute: impl FnMut(u32) -> f64,
+    ) {
+        out.clear();
+        out.reserve(js.len());
+        let gi = self.gen[i as usize];
+        let cell_i = self.cell[i as usize];
+        let mut cur_block_key = u64::MAX;
+        for &j in js {
+            if self.entries > self.cap {
+                self.blocks.clear();
+                self.entries = 0;
+                self.flushes += 1;
+                cur_block_key = u64::MAX; // the memoized handle died
+            }
+            let gj = self.gen[j as usize];
+            let key = pack(cell_i, self.cell[j as usize]);
+            if key != cur_block_key {
+                // Materialize the block once per run of same-cell
+                // candidates; the map lookup below re-borrows it (the
+                // borrow cannot be held across the flush check).
+                self.blocks.entry(key).or_default();
+                cur_block_key = key;
+            }
+            let block = self.blocks.get_mut(&key).expect("block just ensured");
+            let gain = match block.pairs.entry(pack(i, j)) {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let e = o.get_mut();
+                    if e.gi == gi && e.gj == gj {
+                        self.hits += 1;
+                        e.gain
+                    } else {
+                        self.misses += 1;
+                        *e = Entry {
+                            gain: compute(j),
+                            gi,
+                            gj,
+                        };
+                        e.gain
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    self.misses += 1;
+                    let gain = compute(j);
+                    v.insert(Entry { gain, gi, gj });
+                    self.entries += 1;
+                    gain
+                }
+            };
+            out.push(gain);
+        }
+    }
+
     /// Current effectiveness counters.
     pub fn stats(&self) -> SparseCacheStats {
         SparseCacheStats {
@@ -270,6 +336,39 @@ mod tests {
                            // New block, and the generation bump forces a recompute anyway.
         assert_eq!(c.gain_with(0, 1, || 0.75), 0.75);
         assert!(c.stats().blocks >= 2);
+    }
+
+    #[test]
+    fn batched_lookup_matches_scalar_path_including_counters() {
+        // Drive two caches through an identical mixed workload — scalar
+        // on one, batched on the other — across moves and flushes; the
+        // answers AND the counters must agree exactly.
+        let n = 80u32; // cap 5120 < 80·79 pairs: the flush path runs too
+        let mut scalar = SparseGainCache::new(n as usize);
+        let mut batched = SparseGainCache::new(n as usize);
+        for c in [&mut scalar, &mut batched] {
+            for node in 0..n {
+                c.set_cell(node, node / 5);
+            }
+        }
+        let gain_of = |i: u32, j: u32, round: u32| (i * 1000 + j) as f64 + round as f64 * 0.5;
+        for round in 0..100u32 {
+            let tx = round % n;
+            let js: Vec<u32> = (0..n).filter(|&j| j != tx).collect();
+            let mut want = Vec::new();
+            for &j in &js {
+                want.push(scalar.gain_with(tx, j, || gain_of(tx, j, round)));
+            }
+            let mut got = Vec::new();
+            batched.gains_with_into(tx, &js, &mut got, |j| gain_of(tx, j, round));
+            assert_eq!(got, want, "round {round}");
+            if round % 7 == 3 {
+                let mover = (round * 11) % n;
+                scalar.note_move(mover, mover % 4);
+                batched.note_move(mover, mover % 4);
+            }
+        }
+        assert_eq!(scalar.stats(), batched.stats());
     }
 
     #[test]

@@ -63,6 +63,49 @@ impl PropagationModel {
         }
     }
 
+    /// Batch-evaluate the gain from `tx` to every candidate position in
+    /// one pass, replacing `out`'s contents. The variant match is hoisted
+    /// out of the loop, so the inner iteration is a tight run over the
+    /// model's precomputed per-link terms (the two-ray crossover
+    /// constants, the shadowing base) with no per-candidate dispatch.
+    /// Values are bit-identical to per-pair [`PropagationModel::gain`]
+    /// calls — this is purely a memory-layout/dispatch optimization.
+    pub fn gains_into(&self, tx: Point, candidates: &[Point], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(candidates.len());
+        match self {
+            PropagationModel::TwoRay(m) => {
+                out.extend(candidates.iter().map(|&p| m.gain(tx, p)));
+            }
+            PropagationModel::Shadowed(m) => {
+                out.extend(candidates.iter().map(|&p| m.gain(tx, p)));
+            }
+        }
+    }
+
+    /// [`PropagationModel::gains_into`] over an index list into a shared
+    /// position array — the shape the simulator's candidate sets have
+    /// (sorted node ids from the spatial index). Avoids gathering the
+    /// candidate positions into a temporary.
+    pub fn gains_into_indexed(
+        &self,
+        tx: Point,
+        positions: &[Point],
+        idx: &[u32],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(idx.len());
+        match self {
+            PropagationModel::TwoRay(m) => {
+                out.extend(idx.iter().map(|&j| m.gain(tx, positions[j as usize])));
+            }
+            PropagationModel::Shadowed(m) => {
+                out.extend(idx.iter().map(|&j| m.gain(tx, positions[j as usize])));
+            }
+        }
+    }
+
     /// An upper bound on the radius where `p_tx` can still arrive at or
     /// above `threshold` under **any** realisation of this model — the
     /// spatial-index culling radius. For the two-ray model this is the
@@ -108,16 +151,20 @@ pub struct GainCache {
 }
 
 impl GainCache {
-    /// Evaluate `model` over all ordered pairs of `positions`.
+    /// Evaluate `model` over all ordered pairs of `positions`, one
+    /// batched [`PropagationModel::gains_into`] pass per table row (the
+    /// diagonal is zeroed afterwards, exactly as the per-pair fill
+    /// skipped it).
     pub fn build(model: &PropagationModel, positions: &[Point]) -> Self {
         let n = positions.len();
-        let mut gains = vec![0.0; n * n];
-        for (i, &a) in positions.iter().enumerate() {
-            for (j, &b) in positions.iter().enumerate() {
-                if i != j {
-                    gains[i * n + j] = model.gain(a, b);
-                }
-            }
+        let mut gains = Vec::with_capacity(n * n);
+        let mut row = Vec::with_capacity(n);
+        for &a in positions {
+            model.gains_into(a, positions, &mut row);
+            gains.extend_from_slice(&row);
+        }
+        for i in 0..n {
+            gains[i * n + i] = 0.0;
         }
         GainCache { n, gains }
     }
@@ -198,6 +245,27 @@ mod tests {
             asymmetric_pairs > 0,
             "asymmetric mode should break G_sd = G_ds"
         );
+    }
+
+    #[test]
+    fn batched_gains_match_per_pair_calls_bitwise() {
+        let pts = positions();
+        let idx: Vec<u32> = (0..pts.len() as u32).collect();
+        for model in [
+            PropagationModel::TwoRay(TwoRayGround::ns2_default()),
+            PropagationModel::Shadowed(Shadowed::new(TwoRayGround::ns2_default(), 6.0, false, 9)),
+        ] {
+            let tx = Point::new(250.0, 400.0);
+            let mut batch = Vec::new();
+            model.gains_into(tx, &pts, &mut batch);
+            let mut indexed = Vec::new();
+            model.gains_into_indexed(tx, &pts, &idx, &mut indexed);
+            assert_eq!(batch.len(), pts.len());
+            for (k, &p) in pts.iter().enumerate() {
+                assert_eq!(batch[k].to_bits(), model.gain(tx, p).to_bits());
+                assert_eq!(indexed[k].to_bits(), batch[k].to_bits());
+            }
+        }
     }
 
     #[test]
