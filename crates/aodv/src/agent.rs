@@ -96,7 +96,7 @@ pub struct AodvCounters {
     pub drops: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Discovery {
     slot: TimerSlot,
     attempts: u8,
@@ -105,7 +105,7 @@ struct Discovery {
 }
 
 /// The per-node AODV agent.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AodvAgent {
     id: NodeId,
     cfg: AodvConfig,
@@ -650,5 +650,82 @@ impl AodvAgent {
         let timeout = self.cfg.rreq_cache_timeout;
         self.rreq_cache
             .retain(|_, t0| now.saturating_since(*t0) <= timeout);
+    }
+}
+
+mod snap {
+    //! Checkpoint capture of the routing agent. `id`/`cfg` are rebuilt
+    //! from the scenario config; everything that evolves during a run —
+    //! route table, sequence counters, flood cache, pending discoveries
+    //! and the send buffer — travels through [`AodvAgent::save_state`].
+
+    use super::{AodvAgent, AodvCounters, AodvTimer, Discovery};
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for AodvTimer {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                AodvTimer::Discovery(dst) => {
+                    w.u8(0);
+                    dst.save(w);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(AodvTimer::Discovery(Snap::load(r)?)),
+                _ => Err(SnapError::Corrupt("aodv timer tag")),
+            }
+        }
+    }
+
+    pcmac_snap::snap_struct!(AodvCounters {
+        rreq_originated,
+        rreq_forwarded,
+        rrep_generated,
+        rrep_forwarded,
+        rerr_sent,
+        discoveries_failed,
+        data_forwarded,
+        data_delivered,
+        drops,
+    });
+
+    pcmac_snap::snap_struct!(Discovery {
+        slot,
+        attempts,
+        started,
+    });
+
+    impl AodvAgent {
+        /// Serialize every mutable field (everything except `id`/`cfg`).
+        pub fn save_state(&self, w: &mut SnapWriter) {
+            self.table.save(w);
+            self.own_seq.save(w);
+            self.next_rreq_id.save(w);
+            self.rreq_cache.save(w);
+            self.discoveries.save(w);
+            self.buffer.save(w);
+            self.next_ctrl_pkt.save(w);
+            self.counters.save(w);
+            self.discoveries_started.save(w);
+            self.discovery_latency.save(w);
+        }
+
+        /// Overwrite the mutable state of a freshly built agent with
+        /// captured state. `id`/`cfg` keep their built values.
+        pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+            self.table = Snap::load(r)?;
+            self.own_seq = Snap::load(r)?;
+            self.next_rreq_id = Snap::load(r)?;
+            self.rreq_cache = Snap::load(r)?;
+            self.discoveries = Snap::load(r)?;
+            self.buffer = Snap::load(r)?;
+            self.next_ctrl_pkt = Snap::load(r)?;
+            self.counters = Snap::load(r)?;
+            self.discoveries_started = Snap::load(r)?;
+            self.discovery_latency = Snap::load(r)?;
+            Ok(())
+        }
     }
 }

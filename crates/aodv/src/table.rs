@@ -27,7 +27,7 @@ pub struct Route {
 }
 
 /// Destination-indexed route table.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RouteTable {
     routes: HashMap<NodeId, Route>,
 }
@@ -164,6 +164,20 @@ impl RouteTable {
     pub fn is_empty(&self) -> bool {
         self.routes.is_empty()
     }
+}
+
+mod snap {
+    use super::{Route, RouteTable};
+
+    pcmac_snap::snap_struct!(Route {
+        next_hop,
+        hop_count,
+        dst_seq,
+        valid,
+        expires,
+    });
+
+    pcmac_snap::snap_struct!(RouteTable { routes });
 }
 
 #[cfg(test)]

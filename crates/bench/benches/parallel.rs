@@ -33,6 +33,17 @@
 //! scheduler round-trip — so the bar is reported but not enforced, and
 //! the artifact records `host_cores` so readers can interpret the rows.
 //!
+//! The full run also guards the PR 10 checkpoint subsystem: an extra
+//! `checkpoint_overhead` row re-times the N = 64000 single-mode row
+//! with periodic snapshots every 100 ms of *simulated* time, each
+//! fully serialized through the envelope (`to_bytes`) — the cost the
+//! campaign runner pays before writing to disk. The dense interval
+//! exists to measure per-snapshot cost precisely inside a 400 ms row;
+//! the enforced bar is the cost *at a 10 s simulated checkpoint
+//! interval* (the recommended production cadence): per-snapshot wall
+//! cost divided by the wall time between 10 s-cadence snapshots must
+//! stay under 5% of events/sec.
+//!
 //! With `PCMAC_BENCH_QUICK=1` (the CI perf-smoke step) the bench runs
 //! reduced sizes, only asserts that 4-shard execution stays above 0.9×
 //! of single (again only with ≥ 4 cores), and does **not** rewrite
@@ -41,7 +52,9 @@
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
-use pcmac::{ExecutionMode, NodeSetup, ScenarioConfig, Simulator, Variant};
+use pcmac::{
+    ExecutionMode, NodeSetup, RunHooks, RunOutcome, ScenarioConfig, SimSnapshot, Simulator, Variant,
+};
 use pcmac_bench::support::{
     density_per_km2, field_side, nearest_neighbour_flows, quick_mode, scatter,
 };
@@ -352,6 +365,111 @@ fn main() {
         }
         println!("\nquick mode: BENCH_parallel.json left untouched");
     } else {
+        // PR 10 guard: periodic in-run checkpoints must be close to
+        // free at the production cadence. Snapshots are taken every
+        // 100 ms of simulated time — dense enough that a 400 ms row
+        // yields a stable per-snapshot cost — and each is fully
+        // serialized in the sink (`to_bytes`), the exact cost the
+        // campaign runner pays before writing to disk. The enforced
+        // bar rescales that per-snapshot cost to the recommended 10 s
+        // simulated checkpoint interval: cost divided by the wall time
+        // between 10 s-cadence snapshots must stay under 5%.
+        let ck_n = 64_000;
+        let ck_every = Duration::from_millis(100);
+        let timed = |hooked: bool| -> (f64, u64, u64) {
+            let mut best = f64::INFINITY;
+            let (mut snaps, mut bytes) = (0u64, 0u64);
+            for _ in 0..3 {
+                let sim = Simulator::new(scenario(ck_n, 0));
+                let start = std::time::Instant::now();
+                if hooked {
+                    let seen = std::sync::Mutex::new((0u64, 0u64));
+                    let sink = |s: SimSnapshot| {
+                        let len = s.to_bytes().len() as u64;
+                        let mut g = seen.lock().unwrap();
+                        g.0 += 1;
+                        g.1 += len;
+                    };
+                    match sim.run_with_hooks(RunHooks {
+                        cancel: None,
+                        checkpoint_every: Some(ck_every),
+                        checkpoint_sink: Some(&sink),
+                    }) {
+                        RunOutcome::Completed(r) => {
+                            black_box(r.events);
+                        }
+                        RunOutcome::Cancelled(_) => unreachable!("no cancel token"),
+                    }
+                    (snaps, bytes) = seen.into_inner().unwrap();
+                } else {
+                    black_box(sim.run().events);
+                }
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            (best, snaps, bytes)
+        };
+        let (plain_s, _, _) = timed(false);
+        let (hooked_s, ck_snaps, ck_bytes) = timed(true);
+        let per_snap_s = (hooked_s - plain_s).max(0.0) / ck_snaps.max(1) as f64;
+        // Simulated seconds that elapse per wall second on this host:
+        // at a 10 s simulated cadence a snapshot lands every
+        // 10 / sim_rate wall seconds, and the overhead fraction is the
+        // per-snapshot cost spread over that spacing.
+        let sim_rate = row_duration(ck_n).as_secs_f64() / plain_s;
+        let overhead_at_10s = per_snap_s * sim_rate / 10.0;
+        println!(
+            "\ncheckpoint overhead at N={ck_n}: plain {:.0} ms, {ck_snaps} snapshots \
+             every 100 ms simulated add {:.0} ms ({:.0} ms per snapshot, \
+             {:.1} MiB serialized each); at a 10 s simulated interval: {:.2}%",
+            plain_s * 1e3,
+            (hooked_s - plain_s).max(0.0) * 1e3,
+            per_snap_s * 1e3,
+            ck_bytes as f64 / ck_snaps.max(1) as f64 / (1024.0 * 1024.0),
+            overhead_at_10s * 100.0
+        );
+        if overhead_at_10s > 0.05 {
+            failures.push(format!(
+                "checkpoint overhead bar: at a 10 s simulated checkpoint \
+                 interval, snapshots cost {:.2}% events/sec at N={ck_n} \
+                 (bar: 5%; measured {:.0} ms per snapshot, {:.2} sim-s/s)",
+                overhead_at_10s * 100.0,
+                per_snap_s * 1e3,
+                sim_rate
+            ));
+        }
+        rows.push(serde_json::Value::Map(vec![
+            (
+                "bench_section".into(),
+                serde_json::Value::Str("checkpoint_overhead".into()),
+            ),
+            ("n".into(), serde_json::Value::U64(ck_n as u64)),
+            (
+                "checkpoint_interval_sim_ms".into(),
+                serde_json::Value::U64(100),
+            ),
+            ("checkpoints".into(), serde_json::Value::U64(ck_snaps)),
+            (
+                "snapshot_bytes_total".into(),
+                serde_json::Value::U64(ck_bytes),
+            ),
+            (
+                "plain_wall_ns".into(),
+                serde_json::Value::F64(plain_s * 1e9),
+            ),
+            (
+                "checkpointed_wall_ns".into(),
+                serde_json::Value::F64(hooked_s * 1e9),
+            ),
+            (
+                "per_snapshot_wall_ns".into(),
+                serde_json::Value::F64(per_snap_s * 1e9),
+            ),
+            (
+                "overhead_frac_at_10s_interval".into(),
+                serde_json::Value::F64(overhead_at_10s),
+            ),
+        ]));
+
         // The PR 8 acceptance bar: >= 1.5x events/sec at N=16000 with
         // >= 4 shards.
         if enforce {

@@ -13,8 +13,8 @@ use std::process::ExitCode;
 
 use pcmac::{ExecutionMode, MetricsConfig, ScenarioConfig, Simulator, TraceWriter};
 use pcmac_campaign::{
-    cli, dashboard, run_campaign_with, AxesSpec, Axis, CampaignSpec, MetricsArtifact, RunOptions,
-    ScenarioSpec,
+    bisect_configs, cli, dashboard, run_campaign_with, AxesSpec, Axis, CampaignSpec,
+    MetricsArtifact, RunOptions, ScenarioSpec,
 };
 
 const USAGE: &str = "\
@@ -23,6 +23,7 @@ usage: pcmac-campaign <command> [args]
 commands:
   run <campaign.json> [--threads N] [--out FILE] [--timeout SECS]
                       [--duration SECS] [--fresh] [--metrics] [--shards N]
+                      [--checkpoint-interval SECS]
         expand the campaign, run every point x seed in parallel, print the
         aggregated table and write CAMPAIGN_<name>.json (or FILE). The
         artifact is persisted after every finished point; rerunning with
@@ -38,7 +39,12 @@ commands:
         scenario on the region-sharded parallel engine (bit-identical to
         single-threaded; supplies a 10 us delay floor when the spec sets
         none, so only specs already carrying a floor are comparable to
-        their unsharded runs).
+        their unsharded runs). --checkpoint-interval additionally
+        checkpoints every in-progress run's simulator state that often
+        (simulated seconds) into a sidecar <out>.ckpt/ directory, so a
+        killed campaign resumes mid-run from the newest checkpoint
+        instead of recomputing the cell; timed-out runs stop cleanly at
+        a checkpoint cut. Checkpoint files are host-independent.
   expand <campaign.json>
         print the grid a campaign expands to, without running it
   validate <campaign.json>
@@ -49,6 +55,14 @@ commands:
         --shards as for `run`). A
         spec with a `metrics` section reports its observability metrics;
         one with a `trace` section also writes TRACE_<name>.txt
+  bisect <a.json> <b.json> [--seed S] [--interval SECS]
+        localize the first divergent event between two ScenarioSpecs
+        that are expected to be bit-identical: run both with periodic
+        state fingerprints (every --interval simulated seconds, default
+        duration/32), binary-search the cuts for the last common state,
+        replay both from it, and report the first divergent event's
+        time, class, node, and rank. Exit 0 when the runs are
+        bit-identical, 1 with the triage report when they diverge
   dashboard [DIR] [--baseline DIR] [--band PCT] [--out FILE]
         render the BENCH_*.json / CAMPAIGN_*.json / METRICS_*.json
         artifacts in DIR (default .) into markdown (default
@@ -120,13 +134,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         spec.seeds.len(),
         spec.run_count()
     );
+    let checkpoint_every = cli::try_flag::<f64>(args, "--checkpoint-interval")?
+        .map(pcmac_engine::Duration::from_secs_f64);
+    if checkpoint_every.is_some_and(|e| e.is_zero()) {
+        return Err("--checkpoint-interval: need a positive number of simulated seconds".into());
+    }
     let opts = RunOptions {
         threads,
         timeout,
         out: Some(out.clone().into()),
         resume,
+        checkpoint_every,
+        grace: None,
     };
-    let outcome = run_campaign_with(&spec, opts, move |mut cfg| {
+    let outcome = run_campaign_with(&spec, opts, move |mut cfg, ctl| {
         // The metrics layer is behaviour-identical (proved by the
         // channel-equivalence suite), so flipping it on here cannot
         // change any campaign number.
@@ -138,7 +159,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         if let Some(s) = shards {
             apply_shards(&mut cfg, s);
         }
-        Simulator::new(cfg).run()
+        // The standard resilient run: checkpoint periodically, resume
+        // from this cell's newest valid checkpoint, stop cleanly at a
+        // cut when the watchdog cancels.
+        ctl.run(cfg)
     })
     .map_err(|e| e.to_string())?;
 
@@ -269,6 +293,40 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bisect(args: &[String]) -> Result<(), String> {
+    let (a_path, b_path) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) if !a.starts_with("--") && !b.starts_with("--") => (a, b),
+        _ => return Err(USAGE.to_string()),
+    };
+    let seed = cli::try_flag(args, "--seed")?.unwrap_or(1u64);
+    let load = |path: &str| -> Result<ScenarioConfig, String> {
+        let text = read_spec(path)?;
+        let spec = ScenarioSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        spec.materialize(seed)
+            .map_err(|e| format!("{path} is invalid:\n  - {}", e.problems.join("\n  - ")))
+    };
+    let cfg_a = load(a_path)?;
+    let cfg_b = load(b_path)?;
+    let interval = match cli::try_flag::<f64>(args, "--interval")? {
+        Some(s) if s > 0.0 => pcmac_engine::Duration::from_secs_f64(s),
+        Some(_) => return Err("--interval: need a positive number of simulated seconds".into()),
+        None => pcmac_engine::Duration::from_nanos((cfg_a.duration.as_nanos() / 32).max(1)),
+    };
+    eprintln!(
+        "bisecting `{}` vs `{}` (seed {seed}, state fingerprints every {:.3} s)",
+        cfg_a.name,
+        cfg_b.name,
+        interval.as_secs_f64()
+    );
+    let report = bisect_configs(cfg_a, cfg_b, interval);
+    print!("{}", report.render());
+    if report.identical {
+        Ok(())
+    } else {
+        Err("the runs diverge (details above)".into())
+    }
+}
+
 fn cmd_dashboard(args: &[String]) -> Result<(), String> {
     let dir = args
         .first()
@@ -345,6 +403,7 @@ fn main() -> ExitCode {
         Some("expand") => cmd_expand(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("scenario") => cmd_scenario(&args[1..]),
+        Some("bisect") => cmd_bisect(&args[1..]),
         Some("dashboard") => cmd_dashboard(&args[1..]),
         Some("example") => cmd_example(),
         _ => Err(USAGE.to_string()),

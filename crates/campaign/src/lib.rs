@@ -44,6 +44,7 @@
 //! not a Rust constructor.
 
 pub mod aggregate;
+pub mod bisect;
 pub mod campaign;
 pub mod cli;
 pub mod dashboard;
@@ -51,9 +52,10 @@ pub mod runner;
 pub mod spec;
 
 pub use aggregate::{CampaignReport, FailureKind, MetricSummary, PointFailure, PointSummary};
+pub use bisect::{bisect_configs, BisectReport, EventDivergence};
 pub use campaign::{AxesSpec, Axis, CampaignGrid, CampaignPoint, CampaignSpec, GridCell, PointKey};
 pub use dashboard::{MetricsArtifact, MetricsRun};
-pub use runner::{run_campaign, run_campaign_with, CampaignOutcome, RunOptions};
+pub use runner::{run_campaign, run_campaign_with, CampaignOutcome, JobCtl, RunOptions};
 pub use spec::{
     AodvSpec, ExecutionSpec, MobilitySpec, NodesSpec, PlacementSpec, ProtocolSpec, RadioSpec,
     ScenarioSpec, SpecError, TrafficPattern, TrafficSpec, PATCH_PATHS,

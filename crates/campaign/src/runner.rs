@@ -4,10 +4,19 @@
 //! own worker under `catch_unwind` with an optional wall-clock watchdog,
 //! so a panicking or hanging point becomes a structured
 //! [`PointFailure`] in the report instead of taking the whole sweep
-//! down. When an output path is given, the aggregated artifact is
-//! rewritten (atomically, tmp + rename) after every finished point with
+//! down. The watchdog is *cooperative*: an over-budget run is asked to
+//! stop via its [`CancelToken`], reaches a safe cut, persists a resume
+//! checkpoint, and its worker thread is joined — only a run that
+//! ignores the token past the grace period is abandoned the old way.
+//!
+//! When an output path is given, the aggregated artifact is rewritten
+//! (atomically, tmp + rename) after every finished point with
 //! `complete: Some(false)`; an interrupted campaign resumes from that
 //! partial artifact, skipping every point that already ran cleanly.
+//! With [`RunOptions::checkpoint_every`] set, each in-progress run
+//! additionally checkpoints its *simulator state* periodically to a
+//! sidecar directory, so resuming a killed campaign restarts mid-cell
+//! from the newest valid checkpoint instead of recomputing the run.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -16,7 +25,8 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pcmac::{RunReport, Simulator};
+use pcmac::{CancelToken, RunHooks, RunOutcome, RunReport, SimSnapshot, Simulator};
+use pcmac_engine::Duration as SimDuration;
 
 use crate::aggregate::{CampaignReport, FailureKind, PointFailure, PointSummary};
 use crate::campaign::{CampaignGrid, CampaignSpec};
@@ -53,6 +63,82 @@ pub struct RunOptions {
     /// matches a summary in the existing report are skipped; points
     /// with recorded failures (or no summary) re-run.
     pub resume: bool,
+    /// Checkpoint each in-progress run's simulator state every this
+    /// much *simulated* time into a sidecar directory next to `out`
+    /// (requires `out`). On resume, a run restarts from its newest
+    /// valid checkpoint; corrupt or mismatched checkpoint files fall
+    /// back to a full recompute, never a panic.
+    pub checkpoint_every: Option<SimDuration>,
+    /// How long a cancelled run gets to reach a safe cut before its
+    /// thread is abandoned. Defaults to the watchdog timeout itself,
+    /// capped at 2 s.
+    pub grace: Option<Duration>,
+}
+
+/// Per-run control handle passed to the run closure: the cancellation
+/// token the watchdog fires, plus this run's checkpoint policy.
+/// Closures that drive the simulator themselves should finish with
+/// [`JobCtl::run`], which wires all of it up.
+pub struct JobCtl {
+    /// Cancelled when the run exceeds its wall-clock budget; a
+    /// cooperative run observes it at a cut and stops cleanly.
+    pub cancel: CancelToken,
+    /// Periodic checkpoint interval in simulated time, if enabled.
+    pub checkpoint_every: Option<SimDuration>,
+    /// This run's checkpoint file, if persistence is enabled.
+    pub checkpoint_file: Option<PathBuf>,
+}
+
+impl JobCtl {
+    /// The standard resilient run: restore from this job's checkpoint
+    /// when a valid one exists (anything corrupt, truncated, or
+    /// belonging to a different scenario falls back to a fresh run —
+    /// structured, never a panic), checkpoint periodically, and stop
+    /// cleanly at a cut when cancelled — persisting the cut state so
+    /// the run resumes instead of recomputing.
+    pub fn run(&self, cfg: pcmac::ScenarioConfig) -> RunOutcome {
+        let sim = match self.load_checkpoint(&cfg) {
+            Some(snap) => Simulator::restore(cfg.clone(), &snap)
+                .unwrap_or_else(|_| Simulator::new(cfg.clone())),
+            None => Simulator::new(cfg.clone()),
+        };
+        let sink = |snap: SimSnapshot| {
+            if let Some(path) = &self.checkpoint_file {
+                // Best-effort: a failed checkpoint write only costs
+                // resume granularity, not the run.
+                let _ = write_atomic_bytes(path, &snap.to_bytes());
+            }
+        };
+        let sink_ref: &(dyn Fn(SimSnapshot) + Sync) = &sink;
+        let outcome = sim.run_with_hooks(RunHooks {
+            cancel: Some(&self.cancel),
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_sink: self.checkpoint_file.is_some().then_some(sink_ref),
+        });
+        match &outcome {
+            // A finished run's checkpoint is stale state: remove it so
+            // a later resume of the campaign cannot trip over it.
+            RunOutcome::Completed(_) => {
+                if let Some(path) = &self.checkpoint_file {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            RunOutcome::Cancelled(Some(snap)) => {
+                if let Some(path) = &self.checkpoint_file {
+                    let _ = write_atomic_bytes(path, &snap.to_bytes());
+                }
+            }
+            RunOutcome::Cancelled(None) => {}
+        }
+        outcome
+    }
+
+    /// The newest valid checkpoint for this job, if any.
+    fn load_checkpoint(&self, cfg: &pcmac::ScenarioConfig) -> Option<SimSnapshot> {
+        let bytes = std::fs::read(self.checkpoint_file.as_ref()?).ok()?;
+        let snap = SimSnapshot::from_bytes(&bytes).ok()?;
+        snap.matches(cfg).then_some(snap)
+    }
 }
 
 fn worker_count(threads: usize) -> usize {
@@ -75,7 +161,7 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignOutco
             threads,
             ..RunOptions::default()
         },
-        |cfg| Simulator::new(cfg).run(),
+        |cfg, ctl| ctl.run(cfg),
     )
 }
 
@@ -189,23 +275,28 @@ impl SweepState<'_> {
 ///
 /// * a panic inside `run` is caught and recorded as
 ///   [`FailureKind::Panicked`];
-/// * a run outliving [`RunOptions::timeout`] is abandoned (its thread
-///   keeps spinning but its late result is discarded) and recorded as
-///   [`FailureKind::TimedOut`];
+/// * a run outliving [`RunOptions::timeout`] has its [`JobCtl::cancel`]
+///   token fired; a cooperative run stops cleanly at a cut (recorded as
+///   [`FailureKind::TimedOut`] with the clean-stop cut noted, its
+///   thread joined, its checkpoint retained for resume), while a run
+///   that ignores the token past the grace period is abandoned the old
+///   way — its late result is discarded;
 /// * a spec that fails to materialize is recorded as
 ///   [`FailureKind::Invalid`].
 ///
 /// Each point's seeds are aggregated with mean / stddev / 95% CI per
 /// metric; with [`RunOptions::out`] set, the partial report is
 /// persisted after every finished point so an interrupted campaign
-/// resumes ([`RunOptions::resume`]) without recomputing clean points.
+/// resumes ([`RunOptions::resume`]) without recomputing clean points —
+/// and, with [`RunOptions::checkpoint_every`], without recomputing the
+/// finished prefix of in-progress runs.
 pub fn run_campaign_with<F>(
     spec: &CampaignSpec,
     opts: RunOptions,
     run: F,
 ) -> Result<CampaignOutcome, SpecError>
 where
-    F: Fn(pcmac::ScenarioConfig) -> RunReport + Send + Sync + 'static,
+    F: Fn(pcmac::ScenarioConfig, &JobCtl) -> RunOutcome + Send + Sync + 'static,
 {
     let grid = spec.grid()?;
     let mut state = SweepState {
@@ -240,13 +331,38 @@ where
     let run = Arc::new(run);
     let threads = worker_count(opts.threads).max(1);
     let out = opts.out.as_deref();
+    // Sidecar directory for within-run checkpoints, next to the
+    // artifact: CAMPAIGN_x.json → CAMPAIGN_x.ckpt/cellNNN_seedS.snap.
+    let ckpt_dir: Option<PathBuf> = match (&opts.out, opts.checkpoint_every) {
+        (Some(path), Some(_)) => {
+            let dir = path.with_extension("ckpt");
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| SpecError::one(format!("create {}: {e}", dir.display())))?;
+            Some(dir)
+        }
+        _ => None,
+    };
+    let budget_s = opts.timeout.map(|t| t.as_secs_f64()).unwrap_or(0.0);
+    let grace = opts.grace.unwrap_or_else(|| {
+        opts.timeout
+            .unwrap_or(Duration::from_secs(2))
+            .min(Duration::from_secs(2))
+    });
 
-    let (result_tx, result_rx) = mpsc::channel::<(usize, std::thread::Result<RunReport>)>();
-    // Jobs whose watchdog fired; late results from their (still
+    struct InFlight {
+        id: usize,
+        deadline: Option<Instant>,
+        cancel: CancelToken,
+        handle: std::thread::JoinHandle<()>,
+        /// The watchdog has fired; `deadline` is now the grace deadline.
+        cancelled: bool,
+    }
+
+    let (result_tx, result_rx) = mpsc::channel::<(usize, std::thread::Result<RunOutcome>)>();
+    // Jobs whose grace period expired; late results from their (still
     // running, but abandoned) threads are discarded on arrival.
     let mut abandoned: Vec<usize> = Vec::new();
-    // (job index, watchdog deadline) of every dispatched, unresolved run.
-    let mut in_flight: Vec<(usize, Option<Instant>)> = Vec::new();
+    let mut in_flight: Vec<InFlight> = Vec::new();
     let mut next_job = 0usize;
     let mut resolved_jobs = 0usize;
 
@@ -266,13 +382,27 @@ where
                 Ok(cfg) => {
                     let tx = result_tx.clone();
                     let run = Arc::clone(&run);
-                    std::thread::spawn(move || {
-                        let report = catch_unwind(AssertUnwindSafe(|| run(cfg)));
+                    let ctl = JobCtl {
+                        cancel: CancelToken::new(),
+                        checkpoint_every: opts.checkpoint_every,
+                        checkpoint_file: ckpt_dir
+                            .as_ref()
+                            .map(|d| d.join(format!("cell{:03}_seed{}.snap", job.cell, job.seed))),
+                    };
+                    let cancel = ctl.cancel.clone();
+                    let handle = std::thread::spawn(move || {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| run(cfg, &ctl)));
                         // The receiver outlives us unless we were
                         // abandoned; either way a failed send is fine.
-                        let _ = tx.send((id, report));
+                        let _ = tx.send((id, outcome));
                     });
-                    in_flight.push((id, opts.timeout.map(|t| Instant::now() + t)));
+                    in_flight.push(InFlight {
+                        id,
+                        deadline: opts.timeout.map(|t| Instant::now() + t),
+                        cancel,
+                        handle,
+                        cancelled: false,
+                    });
                 }
             }
         }
@@ -280,7 +410,7 @@ where
             continue; // every dispatched job resolved synchronously
         }
 
-        let next_deadline = in_flight.iter().filter_map(|&(_, d)| d).min();
+        let next_deadline = in_flight.iter().filter_map(|f| f.deadline).min();
         let received = match next_deadline {
             None => result_rx.recv().ok(),
             Some(deadline) => {
@@ -301,13 +431,36 @@ where
                     abandoned.swap_remove(pos); // late result of a timed-out run
                     continue;
                 }
-                let Some(pos) = in_flight.iter().position(|&(j, _)| j == id) else {
+                let Some(pos) = in_flight.iter().position(|f| f.id == id) else {
                     continue;
                 };
-                in_flight.swap_remove(pos);
+                let fl = in_flight.swap_remove(pos);
+                // The worker has sent its result and is exiting; the
+                // join is immediate and guarantees no resolved run ever
+                // leaks a thread past the sweep.
+                let _ = fl.handle.join();
                 let job = jobs[id];
                 match result {
-                    Ok(report) => state.record_success(job, id, report),
+                    Ok(RunOutcome::Completed(report)) => state.record_success(job, id, report),
+                    Ok(RunOutcome::Cancelled(snap)) => {
+                        // The cooperative path: the run heard its token,
+                        // stopped at a cut, and its state survives for a
+                        // resumed campaign to pick up.
+                        let cut = snap
+                            .map(|s| {
+                                format!(
+                                    "; stopped cleanly at the t = {:.3} s cut \
+                                     (checkpoint retained for resume)",
+                                    s.time().as_nanos() as f64 / 1e9
+                                )
+                            })
+                            .unwrap_or_else(|| "; stopped cleanly".into());
+                        state.record_failure(
+                            job,
+                            FailureKind::TimedOut,
+                            format!("exceeded the {budget_s:.1} s wall-clock budget{cut}"),
+                        );
+                    }
                     Err(payload) => state.record_failure(
                         job,
                         FailureKind::Panicked,
@@ -318,30 +471,42 @@ where
                 state.finish_cell_if_done(job.cell, out);
             }
             None => {
-                // Watchdog: abandon every run past its deadline. The
-                // hung thread is left behind (there is no portable way
-                // to kill it); its eventual result is ignored.
                 let now = Instant::now();
-                let mut expired = Vec::new();
-                in_flight.retain(|&(id, deadline)| {
-                    let hung = deadline.is_some_and(|d| d <= now);
-                    if hung {
-                        expired.push(id);
+                // First strike: fire the token and start the grace
+                // clock. A cooperative run reaches a cut and resolves
+                // through the ordinary result path above.
+                for f in in_flight.iter_mut() {
+                    if !f.cancelled && f.deadline.is_some_and(|d| d <= now) {
+                        f.cancel.cancel();
+                        f.cancelled = true;
+                        f.deadline = Some(now + grace);
                     }
-                    !hung
-                });
-                for id in expired {
-                    abandoned.push(id);
-                    state.record_failure(
-                        jobs[id],
-                        FailureKind::TimedOut,
-                        format!(
-                            "exceeded the {:.1} s wall-clock budget",
-                            opts.timeout.map(|t| t.as_secs_f64()).unwrap_or(0.0)
-                        ),
-                    );
-                    resolved_jobs += 1;
-                    state.finish_cell_if_done(jobs[id].cell, out);
+                }
+                // Second strike: the grace period passed without the
+                // run reaching a cut — it is stuck in non-cooperative
+                // code. Abandon it the old way (there is no portable
+                // way to kill a thread); its eventual result is
+                // discarded on arrival.
+                let mut i = 0;
+                while i < in_flight.len() {
+                    if in_flight[i].cancelled && in_flight[i].deadline.is_some_and(|d| d <= now) {
+                        let fl = in_flight.swap_remove(i);
+                        abandoned.push(fl.id);
+                        drop(fl.handle); // detached
+                        state.record_failure(
+                            jobs[fl.id],
+                            FailureKind::TimedOut,
+                            format!(
+                                "exceeded the {budget_s:.1} s wall-clock budget and ignored \
+                                 cancellation for {:.1} s; thread abandoned",
+                                grace.as_secs_f64()
+                            ),
+                        );
+                        resolved_jobs += 1;
+                        state.finish_cell_if_done(jobs[fl.id].cell, out);
+                    } else {
+                        i += 1;
+                    }
                 }
             }
         }
@@ -350,6 +515,13 @@ where
     let report = state.report(state.failures().is_empty());
     if let Some(path) = out {
         write_atomic(path, &report.to_json()).map_err(SpecError::one)?;
+    }
+    if report.complete == Some(true) {
+        if let Some(dir) = &ckpt_dir {
+            // Every run finished, so every checkpoint was consumed; the
+            // empty sidecar directory has nothing left to say.
+            let _ = std::fs::remove_dir(dir);
+        }
     }
 
     // Raw reports of this invocation, point-major / seed-minor.
@@ -384,6 +556,15 @@ fn load_partial(path: &Path, campaign: &str) -> Option<CampaignReport> {
 /// the new one, never a torn half.
 fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
     let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
+}
+
+/// [`write_atomic`] for binary checkpoint files: a reader never sees a
+/// torn snapshot, only the previous one or the new one (a kill between
+/// write and rename leaves a `.tmp` that no reader touches).
+fn write_atomic_bytes(path: &Path, contents: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension("snap.tmp");
     std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
     std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
 }

@@ -1,0 +1,164 @@
+//! Within-run checkpoint/resume through the campaign runner: a run
+//! cancelled mid-flight leaves a checkpoint in the artifact's sidecar
+//! directory, a resume pass restores from it instead of recomputing
+//! from scratch, and the final artifact is byte-identical (modulo
+//! wall-clock time) to an uninterrupted reference campaign.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pcmac::{FlowShape, RunHooks, RunOutcome, SimSnapshot, Simulator, Variant};
+use pcmac_campaign::{
+    run_campaign_with, CampaignReport, CampaignSpec, FailureKind, NodesSpec, PlacementSpec,
+    RunOptions, ScenarioSpec, TrafficPattern, TrafficSpec,
+};
+use pcmac_engine::Duration as SimDuration;
+
+/// One cell, one seed, with faults and mobility exercised so the
+/// checkpoint has non-trivial state to carry.
+fn campaign() -> CampaignSpec {
+    CampaignSpec {
+        name: "ckpt-resume".into(),
+        base: ScenarioSpec {
+            name: "ckpt-resume".into(),
+            variant: Variant::Pcmac,
+            duration_s: 3.0,
+            field: (600.0, 600.0),
+            nodes: NodesSpec {
+                count: Some(8),
+                placement: PlacementSpec::Ring { radius: 100.0 },
+                mobility: None,
+            },
+            traffic: TrafficSpec {
+                pattern: TrafficPattern::NeighbourPairs { flows: 4 },
+                bytes: 512,
+                offered_load_kbps: 200.0,
+                shape: FlowShape::Cbr,
+            },
+            power_levels_mw: None,
+            shadowing: None,
+            protocol: None,
+            radio: None,
+            aodv: None,
+            faults: None,
+            metrics: None,
+            trace: None,
+            execution: None,
+        },
+        duration_s: None,
+        seeds: vec![1],
+        axes: None,
+        sweep: None,
+    }
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pcmac-ckpt-{}-{}.json", tag, std::process::id()))
+}
+
+/// Load an artifact and strip its only volatile field.
+fn normalized(path: &std::path::Path) -> String {
+    let text = std::fs::read_to_string(path).expect("artifact readable");
+    let mut report: CampaignReport = serde_json::from_str(&text).expect("artifact parses");
+    report.wall_s = 0.0;
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+#[test]
+fn interrupted_campaign_resumes_from_checkpoint_bit_identically() {
+    let spec = campaign();
+
+    // Uninterrupted reference.
+    let ref_out = scratch("reference");
+    let _ = std::fs::remove_file(&ref_out);
+    run_campaign_with(
+        &spec,
+        RunOptions {
+            threads: 0,
+            out: Some(ref_out.clone()),
+            ..RunOptions::default()
+        },
+        |cfg, ctl| ctl.run(cfg),
+    )
+    .expect("reference campaign runs");
+
+    // Interrupted pass: checkpoint every 300 ms of simulated time,
+    // cancel deterministically at the 4th checkpoint (t = 1.2 s of a
+    // 3 s run), persisting the freshest snapshot exactly the way
+    // `JobCtl::run` does.
+    let out = scratch("resume");
+    let _ = std::fs::remove_file(&out);
+    let ckpt_dir = out.with_extension("ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let opts = RunOptions {
+        threads: 0,
+        checkpoint_every: Some(SimDuration::from_millis(300)),
+        out: Some(out.clone()),
+        ..RunOptions::default()
+    };
+    let outcome = run_campaign_with(&spec, opts, |cfg, ctl| {
+        let path = ctl
+            .checkpoint_file
+            .clone()
+            .expect("checkpoint sidecar is configured");
+        let cancel = ctl.cancel.clone();
+        let seen = AtomicUsize::new(0);
+        let sink = move |snap: SimSnapshot| {
+            std::fs::write(&path, snap.to_bytes()).expect("checkpoint write");
+            if seen.fetch_add(1, Ordering::SeqCst) + 1 == 4 {
+                cancel.cancel();
+            }
+        };
+        let outcome = Simulator::new(cfg).run_with_hooks(RunHooks {
+            cancel: Some(&ctl.cancel),
+            checkpoint_every: ctl.checkpoint_every,
+            checkpoint_sink: Some(&sink),
+        });
+        if let RunOutcome::Cancelled(Some(snap)) = &outcome {
+            let path = ctl.checkpoint_file.as_ref().unwrap();
+            std::fs::write(path, snap.to_bytes()).expect("final checkpoint write");
+        }
+        outcome
+    })
+    .expect("interrupted pass survives");
+
+    // The interruption is a structured clean stop, the artifact is
+    // partial, and the checkpoint survives in the sidecar directory
+    // under the runner's naming convention.
+    assert_eq!(outcome.report.complete, Some(false));
+    let failures = outcome.report.failures.expect("cancelled point recorded");
+    assert_eq!(failures[0].kind, FailureKind::TimedOut);
+    assert!(failures[0].error.contains("stopped cleanly"));
+    let ckpt_file = ckpt_dir.join("cell000_seed1.snap");
+    assert!(ckpt_file.exists(), "checkpoint retained for resume");
+
+    // Resume pass: the standard `JobCtl::run` path must pick the
+    // checkpoint up, finish the run from t = 1.2 s, and produce a
+    // summary bit-identical to the uninterrupted reference.
+    let opts = RunOptions {
+        threads: 0,
+        checkpoint_every: Some(SimDuration::from_millis(300)),
+        out: Some(out.clone()),
+        resume: true,
+        ..RunOptions::default()
+    };
+    let ckpt_probe = ckpt_file.clone();
+    let resumed = run_campaign_with(&spec, opts, move |cfg, ctl| {
+        assert!(
+            ckpt_probe.exists(),
+            "the resume pass starts from the retained checkpoint"
+        );
+        ctl.run(cfg)
+    })
+    .expect("resume pass runs");
+    assert_eq!(resumed.report.complete, Some(true));
+
+    // The consumed checkpoint and its sidecar directory are gone.
+    assert!(!ckpt_file.exists(), "finished run deletes its checkpoint");
+    assert!(!ckpt_dir.exists(), "empty sidecar directory removed");
+
+    // Final artifact == uninterrupted artifact, modulo wall time.
+    assert_eq!(normalized(&out), normalized(&ref_out));
+
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(&ref_out);
+}

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use pcmac::{FlowShape, ScenarioConfig, Simulator, Variant};
+use pcmac::{FlowShape, ScenarioConfig, Variant};
 use pcmac_campaign::{
     run_campaign_with, AxesSpec, CampaignReport, CampaignSpec, FailureKind, NodesSpec,
     PlacementSpec, RunOptions, ScenarioSpec, TrafficPattern, TrafficSpec,
@@ -77,20 +77,25 @@ fn runner_survives_panics_and_hangs_then_resumes() {
     let opts = RunOptions {
         threads: 2,
         timeout: Some(Duration::from_millis(400)),
+        // A non-cooperative sleeper only gets a short grace before it
+        // is abandoned, keeping the test fast.
+        grace: Some(Duration::from_millis(200)),
         out: Some(out.clone()),
         resume: false,
+        ..RunOptions::default()
     };
     let spec = hostile_campaign();
-    let outcome = run_campaign_with(&spec, opts, |cfg| {
+    let outcome = run_campaign_with(&spec, opts, |cfg, ctl| {
         let load = load_of(&cfg);
         if load == 75.0 && cfg.seed == 1 {
             panic!("injected panic at load 75 seed 1");
         }
         if load == 100.0 && cfg.seed == 2 {
-            // Far beyond the watchdog budget: the runner must abandon it.
+            // Far beyond the watchdog budget, and deaf to the cancel
+            // token: the runner must abandon it after the grace period.
             std::thread::sleep(Duration::from_secs(20));
         }
-        Simulator::new(cfg).run()
+        ctl.run(cfg)
     })
     .expect("the sweep itself survives hostile points");
 
@@ -140,15 +145,16 @@ fn runner_survives_panics_and_hangs_then_resumes() {
         timeout: Some(Duration::from_secs(30)),
         out: Some(out.clone()),
         resume: true,
+        ..RunOptions::default()
     };
-    let outcome = run_campaign_with(&spec, opts, move |cfg| {
+    let outcome = run_campaign_with(&spec, opts, move |cfg, ctl| {
         counter.fetch_add(1, Ordering::SeqCst);
         assert_ne!(
             load_of(&cfg),
             50.0,
             "the finished cell must not be recomputed on resume"
         );
-        Simulator::new(cfg).run()
+        ctl.run(cfg)
     })
     .expect("resume pass runs");
 
@@ -191,8 +197,9 @@ fn fresh_run_ignores_a_finished_artifact() {
         timeout: None,
         out: Some(out.clone()),
         resume: false,
+        ..RunOptions::default()
     };
-    let first = run_campaign_with(&spec, opts, |cfg| Simulator::new(cfg).run()).expect("runs");
+    let first = run_campaign_with(&spec, opts, |cfg, ctl| ctl.run(cfg)).expect("runs");
     assert_eq!(first.report.complete, Some(true));
 
     // `resume: true` against a COMPLETE artifact recomputes everything:
@@ -204,10 +211,11 @@ fn fresh_run_ignores_a_finished_artifact() {
         timeout: None,
         out: Some(out.clone()),
         resume: true,
+        ..RunOptions::default()
     };
-    let second = run_campaign_with(&spec, opts, move |cfg| {
+    let second = run_campaign_with(&spec, opts, move |cfg, ctl| {
         counter.fetch_add(1, Ordering::SeqCst);
-        Simulator::new(cfg).run()
+        ctl.run(cfg)
     })
     .expect("runs");
     assert_eq!(counted.load(Ordering::SeqCst), 2);

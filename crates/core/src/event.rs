@@ -177,3 +177,159 @@ impl SimEvent {
         (class << 96) | ((node as u128) << 64) | disc as u128
     }
 }
+
+mod snap {
+    //! Checkpoint capture of pending events. Tags reuse the rank classes
+    //! so the wire format and the ordering key can never drift apart.
+
+    use super::SimEvent;
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for SimEvent {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                SimEvent::ArrivalEnd { node, key } => {
+                    w.u8(0);
+                    node.save(w);
+                    w.u64(*key);
+                }
+                SimEvent::CtrlArrivalEnd { node, key } => {
+                    w.u8(1);
+                    node.save(w);
+                    w.u64(*key);
+                }
+                SimEvent::TxEnd { node } => {
+                    w.u8(2);
+                    node.save(w);
+                }
+                SimEvent::CtrlTxEnd { node } => {
+                    w.u8(3);
+                    node.save(w);
+                }
+                SimEvent::ArrivalStart {
+                    node,
+                    key,
+                    power,
+                    end,
+                    frame,
+                } => {
+                    w.u8(4);
+                    node.save(w);
+                    w.u64(*key);
+                    power.save(w);
+                    end.save(w);
+                    frame.save(w);
+                }
+                SimEvent::CtrlArrivalStart {
+                    node,
+                    key,
+                    power,
+                    end,
+                    frame,
+                } => {
+                    w.u8(5);
+                    node.save(w);
+                    w.u64(*key);
+                    power.save(w);
+                    end.save(w);
+                    frame.save(w);
+                }
+                SimEvent::MacTimer { node, kind, token } => {
+                    w.u8(6);
+                    node.save(w);
+                    kind.save(w);
+                    token.save(w);
+                }
+                SimEvent::AodvTimer { node, dst, token } => {
+                    w.u8(7);
+                    node.save(w);
+                    dst.save(w);
+                    token.save(w);
+                }
+                SimEvent::TrafficEmit { node, source } => {
+                    w.u8(8);
+                    node.save(w);
+                    source.save(w);
+                }
+                SimEvent::NodeDown { node } => {
+                    w.u8(9);
+                    node.save(w);
+                }
+                SimEvent::NodeUp { node } => {
+                    w.u8(10);
+                    node.save(w);
+                }
+                SimEvent::ImpairmentStart { index } => {
+                    w.u8(11);
+                    index.save(w);
+                }
+                SimEvent::ImpairmentEnd { index } => {
+                    w.u8(12);
+                    index.save(w);
+                }
+                SimEvent::MetricsProbe => w.u8(13),
+            }
+        }
+
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(match r.u8()? {
+                0 => SimEvent::ArrivalEnd {
+                    node: Snap::load(r)?,
+                    key: r.u64()?,
+                },
+                1 => SimEvent::CtrlArrivalEnd {
+                    node: Snap::load(r)?,
+                    key: r.u64()?,
+                },
+                2 => SimEvent::TxEnd {
+                    node: Snap::load(r)?,
+                },
+                3 => SimEvent::CtrlTxEnd {
+                    node: Snap::load(r)?,
+                },
+                4 => SimEvent::ArrivalStart {
+                    node: Snap::load(r)?,
+                    key: r.u64()?,
+                    power: Snap::load(r)?,
+                    end: Snap::load(r)?,
+                    frame: Snap::load(r)?,
+                },
+                5 => SimEvent::CtrlArrivalStart {
+                    node: Snap::load(r)?,
+                    key: r.u64()?,
+                    power: Snap::load(r)?,
+                    end: Snap::load(r)?,
+                    frame: Snap::load(r)?,
+                },
+                6 => SimEvent::MacTimer {
+                    node: Snap::load(r)?,
+                    kind: Snap::load(r)?,
+                    token: Snap::load(r)?,
+                },
+                7 => SimEvent::AodvTimer {
+                    node: Snap::load(r)?,
+                    dst: Snap::load(r)?,
+                    token: Snap::load(r)?,
+                },
+                8 => SimEvent::TrafficEmit {
+                    node: Snap::load(r)?,
+                    source: Snap::load(r)?,
+                },
+                9 => SimEvent::NodeDown {
+                    node: Snap::load(r)?,
+                },
+                10 => SimEvent::NodeUp {
+                    node: Snap::load(r)?,
+                },
+                11 => SimEvent::ImpairmentStart {
+                    index: Snap::load(r)?,
+                },
+                12 => SimEvent::ImpairmentEnd {
+                    index: Snap::load(r)?,
+                },
+                13 => SimEvent::MetricsProbe,
+                _ => return Err(SnapError::Corrupt("event tag")),
+            })
+        }
+    }
+}

@@ -59,6 +59,7 @@ pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod sim;
+pub mod snapshot;
 pub(crate) mod soa;
 pub mod trace;
 
@@ -76,7 +77,11 @@ pub use metrics::{
 pub use report::{LatencySummary, ResilienceReport, RunReport};
 pub use runner::{run_parallel, run_parallel_iter};
 pub use sim::Simulator;
+pub use snapshot::{CancelToken, RunHooks, RunOutcome, SimSnapshot};
 pub use trace::{TraceFilter, TraceWriter};
+
+// Checkpoint files surface the snap crate's structured errors.
+pub use pcmac_snap::SnapError;
 
 // The protocol selector is the most-used re-export.
 pub use pcmac_mac::Variant;

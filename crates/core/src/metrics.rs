@@ -332,12 +332,150 @@ struct RawSample {
     delivered_cum: u64,
 }
 
+/// Portable checkpoint image of [`MetricsState`]: everything that
+/// cannot be rebuilt from the scenario config. Captured by
+/// [`MetricsState::capture`], re-applied by
+/// [`MetricsState::restore_from`].
+#[derive(Debug, Clone)]
+pub(crate) struct MetricsSnap {
+    probes_scheduled: u64,
+    samples: Vec<RawSample>,
+    sent: u64,
+    delivered_cum: u64,
+    duplicate_deliveries: u64,
+    fates: HashMap<u64, Fate>,
+    phy: PhyMetrics,
+    rx_overlap: Vec<bool>,
+    data_tx_by_level: Vec<u64>,
+    data_tx_unclassified: u64,
+    ctrl_tx: u64,
+    hot: HotPathProfile,
+}
+
+mod snap {
+    //! Wire format for the metrics checkpoint section.
+
+    use super::{Drop, Fate, HotPathProfile, MetricsSnap, PhyMetrics, RawSample};
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for Drop {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(match self {
+                Drop::EmitDead => 0,
+                Drop::MacQueueFull => 1,
+                Drop::NoRoute => 2,
+                Drop::BufferOverflow => 3,
+                Drop::BufferTimeout => 4,
+                Drop::TtlExpired => 5,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(match r.u8()? {
+                0 => Drop::EmitDead,
+                1 => Drop::MacQueueFull,
+                2 => Drop::NoRoute,
+                3 => Drop::BufferOverflow,
+                4 => Drop::BufferTimeout,
+                5 => Drop::TtlExpired,
+                _ => return Err(SnapError::Corrupt("drop tag")),
+            })
+        }
+    }
+
+    impl Snap for Fate {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                Fate::InFlight => w.u8(0),
+                Fate::Delivered => w.u8(1),
+                Fate::Dropped { reason, t, rank } => {
+                    w.u8(2);
+                    reason.save(w);
+                    t.save(w);
+                    w.u128(*rank);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(match r.u8()? {
+                0 => Fate::InFlight,
+                1 => Fate::Delivered,
+                2 => Fate::Dropped {
+                    reason: Snap::load(r)?,
+                    t: Snap::load(r)?,
+                    rank: r.u128()?,
+                },
+                _ => return Err(SnapError::Corrupt("fate tag")),
+            })
+        }
+    }
+
+    impl Snap for HotPathProfile {
+        fn save(&self, w: &mut SnapWriter) {
+            // The sparse-cache stats are only attached at `finish`, never
+            // while a run is live, so the checkpoint image omits them.
+            debug_assert!(self.sparse_cache.is_none());
+            w.u64(self.grid_queries);
+            w.u64(self.grid_candidates);
+            w.u64(self.refresh_pops);
+            w.u64(self.refresh_rearms);
+            w.u64(self.exact_samples);
+            w.u64(self.probes);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(HotPathProfile {
+                grid_queries: r.u64()?,
+                grid_candidates: r.u64()?,
+                refresh_pops: r.u64()?,
+                refresh_rearms: r.u64()?,
+                exact_samples: r.u64()?,
+                probes: r.u64()?,
+                sparse_cache: None,
+            })
+        }
+    }
+
+    pcmac_snap::snap_struct!(PhyMetrics {
+        arrivals,
+        decoded_ok,
+        collided,
+        capture_wins,
+        captured_away,
+        below_rx_thresh,
+        missed_while_tx,
+        impaired_arrivals,
+    });
+
+    pcmac_snap::snap_struct!(RawSample {
+        t,
+        live,
+        busy,
+        queue_sum,
+        sent_cum,
+        delivered_cum,
+    });
+
+    pcmac_snap::snap_struct!(MetricsSnap {
+        probes_scheduled,
+        samples,
+        sent,
+        delivered_cum,
+        duplicate_deliveries,
+        fates,
+        phy,
+        rx_overlap,
+        data_tx_by_level,
+        data_tx_unclassified,
+        ctrl_tx,
+        hot,
+    });
+}
+
 /// Live collection state owned by the simulator (`Some` exactly when
 /// the scenario enabled metrics). The simulator mutates the public
 /// counters inline on its hot paths and calls the `note_*` methods at
 /// the packet-fate sites; [`MetricsState::finish`] folds everything
 /// into the serializable [`SimMetrics`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct MetricsState {
     interval: Duration,
     /// `MetricsProbe` events scheduled so far — subtracted from the
@@ -470,6 +608,79 @@ impl MetricsState {
             sent_cum: self.sent,
             delivered_cum: self.delivered_cum,
         });
+    }
+
+    /// Capture everything the constructor cannot rebuild from the
+    /// scenario config into a portable checkpoint image. For sharded
+    /// runs the caller merges the per-shard states first, so the image
+    /// is the same single-equivalent view either way.
+    pub(crate) fn capture(&self) -> MetricsSnap {
+        MetricsSnap {
+            probes_scheduled: self.probes_scheduled,
+            samples: self.samples.clone(),
+            sent: self.sent,
+            delivered_cum: self.delivered_cum,
+            duplicate_deliveries: self.duplicate_deliveries,
+            fates: self.fates.clone(),
+            phy: self.phy,
+            rx_overlap: self.rx_overlap.clone(),
+            data_tx_by_level: self.data_tx_by_level.clone(),
+            data_tx_unclassified: self.data_tx_unclassified,
+            ctrl_tx: self.ctrl_tx,
+            hot: self.hot,
+        }
+    }
+
+    /// Overlay a checkpoint image on a freshly-built state. Exactly one
+    /// execution lane restores as `primary` (the single-threaded run, or
+    /// region shard 0) and receives the cumulative counters and samples;
+    /// the other shards keep zeros so the final [`MetricsState::merge`]
+    /// sums back to the uninterrupted totals. Per-packet fates and the
+    /// rx-overlap flags replicate everywhere: fate resolution is
+    /// idempotent under merge, and each shard needs the full map to
+    /// classify post-restore duplicate deliveries the same way an
+    /// uninterrupted run would.
+    pub(crate) fn restore_from(
+        &mut self,
+        snap: &MetricsSnap,
+        primary: bool,
+    ) -> Result<(), &'static str> {
+        if snap.rx_overlap.len() != self.rx_overlap.len() {
+            return Err("metrics node count");
+        }
+        if snap.data_tx_by_level.len() != self.data_tx_by_level.len() {
+            return Err("metrics power-level count");
+        }
+        self.probes_scheduled = snap.probes_scheduled;
+        self.fates = snap.fates.clone();
+        self.rx_overlap = snap.rx_overlap.clone();
+        if primary {
+            self.samples = snap.samples.clone();
+            self.sent = snap.sent;
+            self.delivered_cum = snap.delivered_cum;
+            self.duplicate_deliveries = snap.duplicate_deliveries;
+            self.phy = snap.phy;
+            self.data_tx_by_level = snap.data_tx_by_level.clone();
+            self.data_tx_unclassified = snap.data_tx_unclassified;
+            self.ctrl_tx = snap.ctrl_tx;
+            self.hot = snap.hot;
+        } else {
+            // Zero-valued shadows at the captured instants keep the
+            // pairwise sample merge aligned.
+            self.samples = snap
+                .samples
+                .iter()
+                .map(|s| RawSample {
+                    t: s.t,
+                    live: 0,
+                    busy: 0,
+                    queue_sum: 0,
+                    sent_cum: 0,
+                    delivered_cum: 0,
+                })
+                .collect();
+        }
+        Ok(())
     }
 
     /// Fold per-region-shard collection states into the global one.

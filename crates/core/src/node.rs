@@ -146,4 +146,68 @@ impl Node {
             energy: EnergyMeter::new(EnergyModel::radiated_only(), SimTime::ZERO),
         }
     }
+
+    /// Serialize the complete per-node state (radios, MAC, routing,
+    /// sources, sink, meter) into `w`. The node id is implied by the
+    /// node's index in the scenario and is not written.
+    pub(crate) fn save_state(&self, w: &mut pcmac_snap::SnapWriter) {
+        use pcmac_snap::Snap;
+        self.radio.save(w);
+        self.ctrl_radio.save(w);
+        self.mac.save_state(w);
+        self.aodv.save_state(w);
+        self.sources.save(w);
+        self.sink.save(w);
+        self.energy.save(w);
+    }
+
+    /// Overwrite this node's state from a blob written by
+    /// [`Node::save_state`]. The node must have been built from the same
+    /// scenario configuration.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut pcmac_snap::SnapReader<'_>,
+    ) -> Result<(), pcmac_snap::SnapError> {
+        use pcmac_snap::Snap;
+        self.radio = Snap::load(r)?;
+        self.ctrl_radio = Snap::load(r)?;
+        self.mac.load_state(r)?;
+        self.aodv.load_state(r)?;
+        self.sources = Snap::load(r)?;
+        self.sink = Snap::load(r)?;
+        self.energy = Snap::load(r)?;
+        Ok(())
+    }
+}
+
+mod snap {
+    use super::TrafficSource;
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for TrafficSource {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                TrafficSource::Cbr(s) => {
+                    w.u8(0);
+                    s.save(w);
+                }
+                TrafficSource::Poisson(s) => {
+                    w.u8(1);
+                    s.save(w);
+                }
+                TrafficSource::OnOff(s) => {
+                    w.u8(2);
+                    s.save(w);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(TrafficSource::Cbr(Snap::load(r)?)),
+                1 => Ok(TrafficSource::Poisson(Snap::load(r)?)),
+                2 => Ok(TrafficSource::OnOff(Snap::load(r)?)),
+                _ => Err(SnapError::Corrupt("traffic source tag")),
+            }
+        }
+    }
 }

@@ -51,7 +51,7 @@
 //! replay (fault records, trace), all in fixed shard order with no
 //! wall-clock input anywhere.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pcmac_phy::SparseCacheStats;
@@ -63,7 +63,8 @@ use crate::event::SimEvent;
 use crate::metrics::MetricsState;
 use crate::node::Node;
 use crate::report::RunReport;
-use crate::sim::{FaultState, ShardParts, Shipment, Simulator};
+use crate::sim::{FaultState, ShardParts, Shipment, Simulator, SnapContribution};
+use crate::snapshot::{next_grid_point, RunHooks, RunOutcome, SimSnapshot};
 
 /// A shard's buffered dispatch stream: `(time, rank, event)` per event.
 type TracedEvents = Vec<(SimTime, u128, SimEvent)>;
@@ -77,8 +78,31 @@ type EventObserver<'a> = Option<&'a mut dyn FnMut(&SimEvent, SimTime)>;
 /// run (per-shard streams are buffered and replayed in global
 /// `(time, rank)` order — the exact single-threaded dispatch order).
 pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver<'_>) -> RunReport {
+    match run_sharded_core(sim, shards, observer, &RunHooks::default()) {
+        RunOutcome::Completed(report) => report,
+        RunOutcome::Cancelled(_) => unreachable!("no cancel token was supplied"),
+    }
+}
+
+/// [`run_sharded`] with durability hooks: cooperative cancellation and
+/// periodic collective checkpoints (see `Simulator::run_with_hooks`).
+pub(crate) fn run_sharded_hooked(
+    sim: Simulator,
+    shards: usize,
+    hooks: &RunHooks<'_>,
+) -> RunOutcome {
+    run_sharded_core(sim, shards, None, hooks)
+}
+
+fn run_sharded_core(
+    mut sim: Simulator,
+    shards: usize,
+    observer: EventObserver<'_>,
+    hooks: &RunHooks<'_>,
+) -> RunOutcome {
     let wall_start = std::time::Instant::now();
     let shards = shards.max(1);
+    let resume = sim.take_resume();
     let cfg = sim.cfg().clone();
     let end = SimTime::ZERO + cfg.duration;
     assert!(
@@ -101,6 +125,24 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
         .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
         .collect();
     let barrier = SpinBarrier::new(shards);
+
+    // Collective-snapshot coordination: each shard parks an owned-clone
+    // contribution, one barrier guarantees completeness, then shard 0
+    // merges and hands the result off — no second barrier, because
+    // contributions are owned data with no references into the lanes
+    // that produced them (late mergers just arrive staggered at the
+    // next epoch barrier, which the generation-based SpinBarrier
+    // tolerates).
+    let contribs: Mutex<Vec<Option<SnapContribution>>> =
+        Mutex::new((0..shards).map(|_| None).collect());
+    let cancel_snap: Mutex<Option<SimSnapshot>> = Mutex::new(None);
+    // Shard 0 samples the cancel token once per epoch before the peek
+    // barrier; every shard reads the agreed value after it, so all
+    // lanes take the same branch at the same epoch.
+    let cancel_epoch = AtomicBool::new(false);
+    let every_ns = hooks.checkpoint_every.map(|e| e.as_nanos().max(1));
+    let start_now = resume.as_ref().map_or(SimTime::ZERO, |s| s.time());
+    let cp0_ns = every_ns.map(|e| next_grid_point(start_now, e).as_nanos());
 
     // Split the caller's full replica into S owner-only shards on this
     // thread, *recycling* its cold per-node state: each shard's build
@@ -127,13 +169,48 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
             .collect()
     };
 
-    let results: Vec<(ShardParts, TracedEvents)> = std::thread::scope(|scope| {
+    let results: Vec<Option<(ShardParts, TracedEvents)>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(shards);
         for (k, mut s) in shard_sims.into_iter().enumerate() {
             let (barrier, peeks, mail) = (&barrier, &peeks, &mail);
+            let (contribs, cancel_snap, cancel_epoch) = (&contribs, &cancel_snap, &cancel_epoch);
+            let (cfg, owner) = (&cfg, &owner);
+            let resume = resume.clone();
             handles.push(scope.spawn(move || {
+                // Overlay a parked restore *after* the owner-only build
+                // (the build re-initialises the donated cold state, so a
+                // pre-split overlay would be lost).
+                if let Some(snap) = resume.as_deref() {
+                    s.apply_restore(snap)
+                        .expect("snapshot validated by Simulator::restore");
+                }
+                // One collective snapshot at `cut_ns`: park this lane's
+                // contribution, wait for everyone, shard 0 merges.
+                let snap_at = |s: &Simulator, cut_ns: u64| -> Option<SimSnapshot> {
+                    let cut = SimTime::from_nanos(cut_ns);
+                    contribs.lock().expect("contribs")[k] = Some(s.snap_contribution(cut));
+                    barrier.wait();
+                    if k == 0 {
+                        let parts: Vec<SnapContribution> = contribs
+                            .lock()
+                            .expect("contribs")
+                            .iter_mut()
+                            .map(|c| c.take().expect("every shard contributed"))
+                            .collect();
+                        Some(Simulator::merge_contributions(cfg, cut, owner, parts))
+                    } else {
+                        None
+                    }
+                };
                 let mut trace = collect_trace.then(Vec::new);
+                let mut next_cp_ns = cp0_ns;
                 loop {
+                    if k == 0 {
+                        cancel_epoch.store(
+                            hooks.cancel.is_some_and(|c| c.is_cancelled()),
+                            Ordering::SeqCst,
+                        );
+                    }
                     peeks[k].store(s.shard_peek_ns(end), Ordering::SeqCst);
                     barrier.wait();
                     let ws = peeks
@@ -144,7 +221,40 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
                     if ws == u64::MAX {
                         break; // every queue drained past the end
                     }
-                    s.run_window(ws.saturating_add(lookahead_ns), end, trace.as_mut());
+                    // Periodic checkpoints: every grid instant this
+                    // epoch reaches, before any of its events dispatch —
+                    // the same cuts, in the same order, as single mode.
+                    while let Some(cp) = next_cp_ns {
+                        if ws < cp {
+                            break;
+                        }
+                        if let Some(snap) = snap_at(&s, cp) {
+                            if let Some(sink) = hooks.checkpoint_sink {
+                                sink(snap);
+                            }
+                        }
+                        next_cp_ns =
+                            Some(cp.saturating_add(every_ns.expect("grid implies interval")));
+                    }
+                    if cancel_epoch.load(Ordering::SeqCst) {
+                        // Stop at the agreed epoch top — the same cut a
+                        // single-threaded run takes: the next
+                        // undispatched instant.
+                        let snap = snap_at(&s, ws);
+                        if k == 0 {
+                            *cancel_snap.lock().expect("cancel snapshot") = snap;
+                        }
+                        return None;
+                    }
+                    let mut horizon = ws.saturating_add(lookahead_ns);
+                    if let Some(cp) = next_cp_ns {
+                        // Clamp the window at the next grid instant so
+                        // it stays an epoch boundary — that is what
+                        // makes checkpoint cuts land on the same
+                        // absolute simulated instants as in single mode.
+                        horizon = horizon.min(cp);
+                    }
+                    s.run_window(horizon, end, trace.as_mut());
                     for (to, batch) in s.take_outboxes().into_iter().enumerate() {
                         if !batch.is_empty() {
                             *mail[to][k].lock().expect("mailbox") = batch;
@@ -157,7 +267,7 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
                         .collect();
                     s.accept_shipments(incoming);
                 }
-                (s.into_shard_parts(end), trace.unwrap_or_default())
+                Some((s.into_shard_parts(end), trace.unwrap_or_default()))
             }));
         }
         handles
@@ -165,6 +275,16 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
             .map(|h| h.join().expect("shard worker panicked"))
             .collect()
     });
+
+    if results.iter().any(Option::is_none) {
+        // Cancellation is an epoch-wide agreement: every lane bailed at
+        // the same cut, and shard 0 parked the merged snapshot.
+        return RunOutcome::Cancelled(cancel_snap.into_inner().expect("cancel snapshot"));
+    }
+    let results: Vec<(ShardParts, TracedEvents)> = results
+        .into_iter()
+        .map(|r| r.expect("all lanes agreed on completion"))
+        .collect();
 
     let mut parts = Vec::with_capacity(shards);
     let mut traces = Vec::with_capacity(shards);
@@ -237,7 +357,7 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
         }
     }
 
-    RunReport::build(
+    RunOutcome::Completed(RunReport::build(
         &cfg,
         &nodes,
         sent,
@@ -245,5 +365,5 @@ pub(crate) fn run_sharded(sim: Simulator, shards: usize, observer: EventObserver
         wall_start.elapsed().as_secs_f64(),
         resilience,
         metrics,
-    )
+    ))
 }

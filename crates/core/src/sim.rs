@@ -63,7 +63,9 @@ use crate::fault::FaultConfig;
 use crate::metrics::{Drop as PacketDrop, MetricsState};
 use crate::node::{Node, TrafficSource};
 use crate::report::{LatencySummary, ResilienceReport, RunReport};
+use crate::snapshot::SimSnapshot;
 use crate::soa::HotState;
+use pcmac_snap::{SnapError, SnapReader, SnapWriter};
 
 /// Speed of light (m/s) for propagation delays.
 const C: f64 = 299_792_458.0;
@@ -145,7 +147,7 @@ impl<T> BufPool<T> {
 /// consistent and a later recovery resumes cleanly; arrivals already
 /// in flight at the crash instant still land, keeping the radio's
 /// interference bookkeeping exact.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct FaultState {
     plan: FaultConfig,
     /// `true` while the node is down.
@@ -297,6 +299,169 @@ impl FaultState {
             residual_energy_mj: residual,
         }
     }
+
+    /// Capture everything the build cannot reconstruct from the fault
+    /// plan into a portable checkpoint image. Repair observations and
+    /// classification records are sorted into their canonical key order
+    /// so a sharded capture and a single-threaded one produce identical
+    /// bytes.
+    pub(crate) fn capture(&self) -> FaultSnap {
+        let mut pending_repairs = self.pending_repairs.clone();
+        pending_repairs.sort_by_key(|&(node, dst, t)| (node, dst, t));
+        let mut records = self.records.clone();
+        records.sort_by_key(|&(t, r, _)| (t, r));
+        FaultSnap {
+            down: self.down.clone(),
+            burst_active: self.burst_active.clone(),
+            impair_gain: self.impair_gain,
+            noise_mult: self.noise_mult,
+            committed_mj: self.committed_mj.clone(),
+            energy_dead: self.energy_dead.clone(),
+            window_start: self.window_start,
+            window_end: self.window_end,
+            run_end: self.run_end,
+            crashes: self.crashes,
+            recoveries: self.recoveries,
+            energy_deaths: self.energy_deaths,
+            pending_repairs,
+            repairs_started: self.repairs_started,
+            repair_latency: self.repair_latency.clone(),
+            records,
+        }
+    }
+
+    /// Overlay a checkpoint image on a freshly-built state. Per-node
+    /// flags and the global impairment products replicate everywhere
+    /// (every lane needs them to dispatch correctly); cumulative
+    /// counters, the latency sketch, and the classification records load
+    /// only into the `primary` lane (single-threaded, or region shard 0)
+    /// so the post-run merge sums back to the uninterrupted totals. Open
+    /// repair observations route to the lane owning their node per
+    /// `shard` (`None` keeps them all).
+    pub(crate) fn restore_from(
+        &mut self,
+        snap: &FaultSnap,
+        primary: bool,
+        shard: Option<(&[u32], u32)>,
+    ) -> Result<(), &'static str> {
+        if snap.down.len() != self.down.len()
+            || snap.committed_mj.len() != self.committed_mj.len()
+            || snap.energy_dead.len() != self.energy_dead.len()
+        {
+            return Err("fault node count");
+        }
+        if snap.burst_active.len() != self.burst_active.len() {
+            return Err("fault burst count");
+        }
+        self.down = snap.down.clone();
+        self.burst_active = snap.burst_active.clone();
+        self.impair_gain = snap.impair_gain;
+        self.noise_mult = snap.noise_mult;
+        self.committed_mj = snap.committed_mj.clone();
+        self.energy_dead = snap.energy_dead.clone();
+        self.window_start = snap.window_start;
+        self.window_end = snap.window_end;
+        self.run_end = snap.run_end;
+        self.pending_repairs = snap
+            .pending_repairs
+            .iter()
+            .copied()
+            .filter(|&(node, _, _)| shard.is_none_or(|(owner, id)| owner[node as usize] == id))
+            .collect();
+        if primary {
+            self.crashes = snap.crashes;
+            self.recoveries = snap.recoveries;
+            self.energy_deaths = snap.energy_deaths;
+            self.repairs_started = snap.repairs_started;
+            self.repair_latency = snap.repair_latency.clone();
+            self.records = snap.records.clone();
+        }
+        Ok(())
+    }
+}
+
+/// Portable checkpoint image of [`FaultState`] — everything except the
+/// static plan, which restore rebuilds from the scenario config.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultSnap {
+    down: Vec<bool>,
+    burst_active: Vec<bool>,
+    impair_gain: f64,
+    noise_mult: f64,
+    committed_mj: Vec<f64>,
+    energy_dead: Vec<bool>,
+    window_start: Option<SimTime>,
+    window_end: Option<SimTime>,
+    run_end: SimTime,
+    crashes: u64,
+    recoveries: u64,
+    energy_deaths: u64,
+    /// Sorted by `(node, dst, first_failure)` at capture.
+    pending_repairs: Vec<(u32, u32, SimTime)>,
+    repairs_started: u64,
+    repair_latency: pcmac_stats::StreamingQuantile,
+    /// Sorted by the global `(time, rank)` key at capture.
+    records: Vec<(SimTime, u128, FaultRecord)>,
+}
+
+impl FaultSnap {
+    /// Nodes down at the cut (used to seed alive flags and shard
+    /// transition logs on restore).
+    pub(crate) fn down(&self) -> &[bool] {
+        &self.down
+    }
+}
+
+mod fault_snap {
+    use super::{FaultRecord, FaultSnap};
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for FaultRecord {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                FaultRecord::Sent => w.u8(0),
+                FaultRecord::Delivered { created_at } => {
+                    w.u8(1);
+                    created_at.save(w);
+                }
+                FaultRecord::EnergyDeath { death_at } => {
+                    w.u8(2);
+                    death_at.save(w);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(match r.u8()? {
+                0 => FaultRecord::Sent,
+                1 => FaultRecord::Delivered {
+                    created_at: Snap::load(r)?,
+                },
+                2 => FaultRecord::EnergyDeath {
+                    death_at: Snap::load(r)?,
+                },
+                _ => return Err(SnapError::Corrupt("fault record tag")),
+            })
+        }
+    }
+
+    pcmac_snap::snap_struct!(FaultSnap {
+        down,
+        burst_active,
+        impair_gain,
+        noise_mult,
+        committed_mj,
+        energy_dead,
+        window_start,
+        window_end,
+        run_end,
+        crashes,
+        recoveries,
+        energy_deaths,
+        pending_repairs,
+        repairs_started,
+        repair_latency,
+        records,
+    });
 }
 
 /// Per-shard execution context: which nodes this simulator dispatches,
@@ -399,6 +564,11 @@ pub struct Simulator {
     /// Region-shard context (`Some` iff this simulator is one shard of a
     /// sharded run).
     shard: Option<ShardCtx>,
+    /// A snapshot waiting to be applied. Single-threaded restores apply
+    /// immediately and never stash one; sharded restores park it here so
+    /// `parallel::run_sharded` can overlay each owner-only shard *after*
+    /// the shard build (which re-initialises the donated cold state).
+    resume: Option<Arc<crate::snapshot::SimSnapshot>>,
     sent_packets: u64,
     /// Fault-injection runtime state (`Some` iff the scenario has a
     /// fault plan).
@@ -819,6 +989,7 @@ impl Simulator {
             delay_floor_ns,
             cur: (SimTime::ZERO, 0),
             shard,
+            resume: None,
             sent_packets: 0,
             faults,
             metrics,
@@ -855,6 +1026,25 @@ impl Simulator {
             ExecutionMode::Single => self.run_single(&mut observer),
             ExecutionMode::Sharded { shards } => {
                 crate::parallel::run_sharded(self, shards, Some(&mut observer))
+            }
+        }
+    }
+
+    /// Like [`Simulator::run`], with in-run durability controls: a
+    /// cooperative [`CancelToken`](crate::CancelToken) observed at cut
+    /// boundaries, and periodic checkpoints on an absolute simulated-time
+    /// grid delivered to a sink. Both work identically under single and
+    /// sharded execution — checkpoints land at the same simulated
+    /// instants with bit-identical state, and a cancelled run returns a
+    /// final snapshot instead of a report.
+    pub fn run_with_hooks(
+        self,
+        hooks: crate::snapshot::RunHooks<'_>,
+    ) -> crate::snapshot::RunOutcome {
+        match self.cfg.execution_mode() {
+            ExecutionMode::Single => self.run_single_hooked(&hooks),
+            ExecutionMode::Sharded { shards } => {
+                crate::parallel::run_sharded_hooked(self, shards, &hooks)
             }
         }
     }
@@ -914,6 +1104,64 @@ impl Simulator {
             observer(&ev.event, ev.at);
             self.dispatch(ev.event, ev.at);
         }
+        self.finalize_single(wall_start, end)
+    }
+
+    /// Single-threaded run with cancellation and periodic checkpoints.
+    /// The cut logic mirrors the sharded epoch loop exactly: whenever the
+    /// next event's time reaches a checkpoint grid instant, every grid
+    /// instant up to it is snapshotted *before* the event dispatches, so
+    /// both execution modes checkpoint at identical simulated times.
+    fn run_single_hooked(
+        mut self,
+        hooks: &crate::snapshot::RunHooks<'_>,
+    ) -> crate::snapshot::RunOutcome {
+        use crate::snapshot::RunOutcome;
+        let wall_start = std::time::Instant::now();
+        let end = SimTime::ZERO + self.cfg.duration;
+        let every_ns = hooks.checkpoint_every.map(|e| e.as_nanos().max(1));
+        let mut next_cp_ns =
+            every_ns.map(|e| crate::snapshot::next_grid_point(self.queue.now(), e).as_nanos());
+        let mut ticks: u64 = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let mut crossed_grid = false;
+            while let Some(cp) = next_cp_ns {
+                if t.as_nanos() < cp {
+                    break;
+                }
+                if let Some(sink) = hooks.checkpoint_sink {
+                    sink(self.snapshot_at(SimTime::from_nanos(cp)));
+                }
+                next_cp_ns = Some(cp.saturating_add(every_ns.expect("grid implies interval")));
+                crossed_grid = true;
+            }
+            // The token costs an atomic load; amortise it across a batch
+            // of dispatches, but always look right after a checkpoint —
+            // a watchdog that cancels from the sink must be heard even
+            // when few events remain. A cut here is safe at any event
+            // boundary: `t` is the next undispatched instant, so
+            // everything before it is fully processed.
+            if (crossed_grid || ticks & 0xFF == 0)
+                && hooks
+                    .cancel
+                    .is_some_and(crate::snapshot::CancelToken::is_cancelled)
+            {
+                return RunOutcome::Cancelled(Some(self.snapshot_at(t)));
+            }
+            ticks += 1;
+            let ev = self.queue.pop().expect("peeked");
+            self.cur = (ev.at, ev.rank);
+            self.dispatch(ev.event, ev.at);
+        }
+        RunOutcome::Completed(self.finalize_single(wall_start, end))
+    }
+
+    /// Close the ledgers and build the report after the single-threaded
+    /// event loop drains (shared by the plain and hooked run paths).
+    fn finalize_single(mut self, wall_start: std::time::Instant, end: SimTime) -> RunReport {
         let mut nodes: Vec<Node> = std::mem::take(&mut self.nodes)
             .into_iter()
             .map(|b| *b.expect("single mode owns every node"))
@@ -1891,6 +2139,396 @@ impl Simulator {
                 });
             }
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Checkpoint capture and restore (see the `snapshot` module docs)
+// ----------------------------------------------------------------------
+
+/// What one execution lane (the single-threaded simulator, or one region
+/// shard) contributes to a collective snapshot at a cut. Contributions
+/// are owned clones — merging them needs no further synchronization with
+/// the lanes that produced them.
+pub(crate) struct SnapContribution {
+    /// This lane's full pending population in `(time, rank, insertion)`
+    /// order.
+    pending: Vec<(SimTime, u128, SimEvent)>,
+    /// Raw events ever scheduled on this lane's queue.
+    scheduled_total: u64,
+    /// Probe events scheduled on this lane (every lane schedules its own
+    /// replica of the probe chain).
+    probes_scheduled: u64,
+    sent_packets: u64,
+    /// Cold-state blobs for owned nodes (`None` where the cold state
+    /// lives on another shard).
+    node_blobs: Vec<Option<Vec<u8>>>,
+    tx_key_ctr: Vec<u32>,
+    faults: Option<FaultState>,
+    metrics: Option<MetricsState>,
+    /// Mobility models advanced to the cut; primary lane only (every
+    /// lane holds the identical full replica).
+    mobility: Option<Vec<Mobility>>,
+}
+
+impl Simulator {
+    /// Capture the complete deterministic state at the current instant —
+    /// every event dispatched so far is reflected, every pending event is
+    /// recorded. Restoring the snapshot (under this or any equivalent
+    /// execution mode) and running to the end is bit-identical to never
+    /// having stopped.
+    ///
+    /// # Panics
+    /// If called on one shard of a sharded run (shards snapshot
+    /// *collectively* at epoch boundaries; see `parallel`).
+    pub fn snapshot(&self) -> SimSnapshot {
+        assert!(
+            self.shard.is_none(),
+            "snapshot() captures the full simulator, not one region shard"
+        );
+        self.snapshot_at(self.queue.now())
+    }
+
+    /// Single-lane capture at `cut` (every event strictly before `cut`
+    /// has been dispatched; callers guarantee `cut` is at most the next
+    /// pending event's time).
+    pub(crate) fn snapshot_at(&self, cut: SimTime) -> SimSnapshot {
+        let owner = vec![0u32; self.cfg.nodes.count()];
+        let contrib = self.snap_contribution(cut);
+        Self::merge_contributions(&self.cfg, cut, &owner, vec![contrib])
+    }
+
+    /// This lane's share of a snapshot at `cut`.
+    pub(crate) fn snap_contribution(&self, cut: SimTime) -> SnapContribution {
+        let pending: Vec<(SimTime, u128, SimEvent)> = self
+            .queue
+            .pending_in_order()
+            .into_iter()
+            .map(|(t, r, e)| (t, r, e.clone()))
+            .collect();
+        // One scratch writer for every node: per-node `SnapWriter`s pay
+        // allocator growth 64k times over at scale.
+        let mut scratch = SnapWriter::new();
+        let node_blobs: Vec<Option<Vec<u8>>> = self
+            .nodes
+            .iter()
+            .map(|b| {
+                b.as_deref().map(|node| {
+                    scratch.clear();
+                    node.save_state(&mut scratch);
+                    scratch.payload().to_vec()
+                })
+            })
+            .collect();
+        // Advance the mobility clones exactly to the cut: waypoint
+        // queries are non-decreasing and idempotent, so this is the
+        // state an uninterrupted run carries at `cut` regardless of when
+        // each node was last sampled.
+        let primary = self.shard.as_ref().is_none_or(|c| c.id == 0);
+        let mobility = primary.then(|| {
+            let mut m = self.hot.mobility.clone();
+            for mm in &mut m {
+                let _ = mm.position(cut);
+            }
+            m
+        });
+        SnapContribution {
+            pending,
+            scheduled_total: self.queue.scheduled_total(),
+            probes_scheduled: self.metrics.as_ref().map_or(0, |m| m.probes_scheduled),
+            sent_packets: self.sent_packets,
+            node_blobs,
+            tx_key_ctr: self.hot.tx_key_ctr.clone(),
+            faults: self.faults.clone(),
+            metrics: self.metrics.clone(),
+            mobility,
+        }
+    }
+
+    /// Fold per-lane contributions into the canonical (single-equivalent)
+    /// snapshot. `owner` maps each node to the contributing lane holding
+    /// its state (all zeros for a single-threaded capture).
+    pub(crate) fn merge_contributions(
+        cfg: &ScenarioConfig,
+        cut: SimTime,
+        owner: &[u32],
+        mut parts: Vec<SnapContribution>,
+    ) -> SimSnapshot {
+        let s = parts.len() as u64;
+        let n = owner.len();
+        let n_bursts = cfg
+            .faults
+            .as_ref()
+            .and_then(|f| f.impairments.as_ref())
+            .map_or(0, Vec::len) as u64;
+        let probes_scheduled = parts[0].probes_scheduled;
+        debug_assert!(parts.iter().all(|p| p.probes_scheduled == probes_scheduled));
+        // Canonical scheduled total: replicated machinery — the
+        // impairment edges every shard schedules, each shard's own probe
+        // chain — counted once, exactly like the merged event count.
+        let scheduled_total = parts
+            .iter()
+            .map(|p| p.scheduled_total - p.probes_scheduled)
+            .sum::<u64>()
+            - (s - 1) * 2 * n_bursts
+            + probes_scheduled;
+        let sent_packets = parts.iter().map(|p| p.sent_packets).sum();
+        // Canonical pending population: the primary lane contributes
+        // everything (it holds one replica of the impairment/probe
+        // events); other shards contribute their node-addressed events.
+        // The sort is stable, so events sharing a full `(time, rank)`
+        // key — necessarily same-node, hence same-lane — keep their
+        // queue-insertion order.
+        let mut pending = std::mem::take(&mut parts[0].pending);
+        for p in parts.iter_mut().skip(1) {
+            pending.extend(
+                p.pending
+                    .drain(..)
+                    .filter(|(_, _, e)| e.node_index().is_some()),
+            );
+        }
+        pending.sort_by_key(|&(at, rank, _)| (at, rank));
+        let mut nodes = vec![Vec::new(); n];
+        let mut tx_key_ctr = vec![0u32; n];
+        for (i, &o) in owner.iter().enumerate() {
+            let p = &mut parts[o as usize];
+            nodes[i] = p.node_blobs[i].take().expect("owner holds the node");
+            tx_key_ctr[i] = p.tx_key_ctr[i];
+        }
+        let mobility = parts[0].mobility.take().expect("primary carries mobility");
+        let fault_parts: Vec<FaultState> =
+            parts.iter_mut().filter_map(|p| p.faults.take()).collect();
+        let faults =
+            (!fault_parts.is_empty()).then(|| FaultState::merge(fault_parts, owner).capture());
+        let metric_parts: Vec<MetricsState> =
+            parts.iter_mut().filter_map(|p| p.metrics.take()).collect();
+        let metrics =
+            (!metric_parts.is_empty()).then(|| MetricsState::merge(metric_parts).capture());
+        SimSnapshot {
+            cfg_digest: crate::snapshot::config_digest(cfg),
+            time: cut,
+            scheduled_total,
+            sent_packets,
+            probes_scheduled,
+            pending,
+            mobility,
+            tx_key_ctr,
+            nodes,
+            faults,
+            metrics,
+        }
+    }
+
+    /// Bring a snapshot back to life under `cfg`. The configuration must
+    /// describe the same scenario the snapshot was captured from
+    /// ([`SimSnapshot::matches`]); execution strategy, channel-index,
+    /// refresh and cache modes may differ freely — a snapshot taken
+    /// single-threaded restores into a sharded run and vice versa.
+    /// Running the result to the end is bit-identical to the
+    /// uninterrupted run.
+    pub fn restore(cfg: ScenarioConfig, snap: &SimSnapshot) -> Result<Simulator, SnapError> {
+        if !snap.matches(&cfg) {
+            return Err(SnapError::CfgMismatch);
+        }
+        let n = cfg.nodes.count();
+        if snap.nodes.len() != n || snap.mobility.len() != n || snap.tx_key_ctr.len() != n {
+            return Err(SnapError::Corrupt("snapshot node count"));
+        }
+        if (snap.pending.len() as u64) > snap.scheduled_total {
+            return Err(SnapError::Corrupt("pending exceeds scheduled total"));
+        }
+        let sharded = matches!(cfg.execution_mode(), ExecutionMode::Sharded { .. });
+        let mut sim = Simulator::new(cfg);
+        if sharded {
+            // Shard builds re-initialise the donated cold state, so the
+            // overlay must happen per shard, after each shard is built;
+            // park the snapshot for `parallel::run_sharded` to apply.
+            // Validate the blobs now so worker threads cannot hit a
+            // corrupt one mid-run.
+            for (blob, node) in snap.nodes.iter().zip(sim.nodes.iter_mut()) {
+                let mut r = SnapReader::over(blob);
+                node.as_deref_mut()
+                    .expect("full build owns every node")
+                    .load_state(&mut r)?;
+                if !r.is_exhausted() {
+                    return Err(SnapError::Corrupt("node blob trailing bytes"));
+                }
+            }
+            sim.resume = Some(Arc::new(snap.clone()));
+        } else {
+            sim.apply_restore(snap)?;
+        }
+        Ok(sim)
+    }
+
+    /// Take the parked snapshot, if any (the sharded-restore handoff).
+    pub(crate) fn take_resume(&mut self) -> Option<Arc<SimSnapshot>> {
+        self.resume.take()
+    }
+
+    /// Overlay `snap` on this freshly-built simulator (single-threaded,
+    /// or one owner-only region shard). Exactly one lane — single mode,
+    /// or shard 0 — restores as primary and receives the cumulative
+    /// counters; see `FaultState::restore_from` / `MetricsState::
+    /// restore_from` for the replication roles.
+    pub(crate) fn apply_restore(&mut self, snap: &SimSnapshot) -> Result<(), SnapError> {
+        let n = self.cfg.nodes.count();
+        let cut = snap.time;
+        let shard_info: Option<(Arc<Vec<u32>>, u32)> = self
+            .shard
+            .as_ref()
+            .map(|ctx| (Arc::clone(&ctx.owner), ctx.id));
+        let primary = self.shard.as_ref().is_none_or(|c| c.id == 0);
+
+        // The event queue: restart the sequence counter at the cut and
+        // re-schedule this lane's slice of the canonical pending set in
+        // canonical order, so insertion sequence numbers break same-key
+        // ties exactly as they did in the original run.
+        let pending_bursts = snap
+            .pending
+            .iter()
+            .filter(|(_, _, e)| {
+                matches!(
+                    e,
+                    SimEvent::ImpairmentStart { .. } | SimEvent::ImpairmentEnd { .. }
+                )
+            })
+            .count() as u64;
+        let pending_probes = snap
+            .pending
+            .iter()
+            .filter(|(_, _, e)| matches!(e, SimEvent::MetricsProbe))
+            .count() as u64;
+        let n_bursts = self
+            .cfg
+            .faults
+            .as_ref()
+            .and_then(|f| f.impairments.as_ref())
+            .map_or(0, Vec::len) as u64;
+        let base = if primary {
+            // The canonical total already counts this lane's replicated
+            // events exactly once.
+            snap.scheduled_total
+                .checked_sub(snap.pending.len() as u64)
+                .ok_or(SnapError::Corrupt("pending exceeds scheduled total"))?
+        } else {
+            // A foreign shard's scheduled total counts only the
+            // replicated machinery it scheduled at build — both edges of
+            // every impairment burst and its own probe-chain replica —
+            // minus whatever is still pending (and re-scheduled below).
+            (2 * n_bursts)
+                .checked_sub(pending_bursts)
+                .and_then(|b| {
+                    snap.probes_scheduled
+                        .checked_sub(pending_probes)
+                        .map(|p| b + p)
+                })
+                .ok_or(SnapError::Corrupt("replicated pending exceeds schedule"))?
+        };
+        self.queue = pcmac_engine::EventQueue::restored(cut, base);
+        for (at, rank, ev) in &snap.pending {
+            let mine = match ev.node_index() {
+                Some(j) => shard_info
+                    .as_ref()
+                    .is_none_or(|(owner, id)| owner[j] == *id),
+                None => true, // replicated events live on every lane
+            };
+            if mine {
+                self.queue.schedule_ranked(*at, *rank, ev.clone());
+            }
+        }
+
+        // Cold per-node state, owned nodes only.
+        for (blob, node) in snap.nodes.iter().zip(self.nodes.iter_mut()) {
+            if let Some(node) = node.as_deref_mut() {
+                let mut r = SnapReader::over(blob);
+                node.load_state(&mut r)?;
+                if !r.is_exhausted() {
+                    return Err(SnapError::Corrupt("node blob trailing bytes"));
+                }
+            }
+        }
+
+        // Hot state: mobility models arrive advanced exactly to the cut,
+        // so sampling them at the cut is exact and free of history.
+        self.hot.mobility = snap.mobility.clone();
+        self.hot.tx_key_ctr = snap.tx_key_ctr.clone();
+        if self.any_mobile {
+            for i in 0..n {
+                let p = self.hot.mobility[i].position(cut);
+                self.hot.positions[i] = p;
+                if self.use_grid {
+                    self.grid.update(i as u32, p);
+                    if let GainCacheState::Sparse(c) = &mut self.gain_cache {
+                        c.note_move(i as u32, self.grid.node_cell(i as u32));
+                    }
+                }
+            }
+            self.positions_at = Some(cut);
+        }
+        if self.lazy_refresh {
+            // One live deadline chain per node, re-seeded from the cut
+            // (positions are exact there, like at t = 0 for a fresh
+            // build).
+            self.refresh_heap.clear();
+            for i in 0..n {
+                self.hot.sampled_at[i] = cut;
+                let d = self.hot.mobility[i].stale_after(cut, self.pad_m);
+                self.hot.deadline[i] = d;
+                if d != SimTime::MAX {
+                    self.refresh_heap.push(Reverse((d, i as u32)));
+                }
+            }
+        }
+        self.sent_packets = if primary { snap.sent_packets } else { 0 };
+        self.cur = (cut, 0);
+
+        // The fault layer.
+        match (self.faults.as_mut(), snap.faults.as_ref()) {
+            (Some(fs), Some(fsnap)) => {
+                let shard = self
+                    .shard
+                    .as_ref()
+                    .map(|ctx| (ctx.owner.as_slice(), ctx.id));
+                fs.restore_from(fsnap, primary, shard)
+                    .map_err(SnapError::Corrupt)?;
+            }
+            (None, None) => {}
+            _ => return Err(SnapError::Corrupt("fault section presence")),
+        }
+        if let Some(fsnap) = snap.faults.as_ref() {
+            let down = fsnap.down();
+            for (alive, &d) in self.hot.alive.iter_mut().zip(down.iter()).take(n) {
+                *alive = !d;
+            }
+            // Seed the shard transition logs: a node down at the cut
+            // must cull in-window arrivals from transmissions after it,
+            // exactly as the flip event recorded pre-cut would have.
+            if let Some(ctx) = &mut self.shard {
+                let seed = SimTime::from_nanos(cut.as_nanos().saturating_sub(1));
+                for (i, t) in ctx.transitions.iter_mut().enumerate() {
+                    if down[i] && ctx.owner[i] == ctx.id {
+                        t.push((seed, u128::MAX, true));
+                    }
+                }
+            }
+        }
+
+        // The metrics layer.
+        match (self.metrics.as_mut(), snap.metrics.as_ref()) {
+            (Some(ms), Some(msnap)) => {
+                ms.restore_from(msnap, primary)
+                    .map_err(SnapError::Corrupt)?;
+            }
+            (None, None) => {}
+            _ => return Err(SnapError::Corrupt("metrics section presence")),
+        }
+
+        // Re-derive the hot mirrors from the restored cold state.
+        for i in 0..n {
+            self.sync_hot(i);
+        }
+        Ok(())
     }
 }
 

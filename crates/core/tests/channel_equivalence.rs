@@ -807,3 +807,279 @@ proptest! {
         );
     }
 }
+
+// ----------------------------------------------------------------------
+// Checkpoint / restore (PR 10)
+// ----------------------------------------------------------------------
+
+use pcmac::{RunHooks, RunOutcome, SimSnapshot};
+use std::sync::Mutex;
+
+/// Run `cfg` to completion while checkpointing every `every`, returning
+/// the completed report and every checkpoint in capture order.
+fn run_with_checkpoints(cfg: ScenarioConfig, every: Duration) -> (RunReport, Vec<SimSnapshot>) {
+    let sink = Mutex::new(Vec::new());
+    let push = |s: SimSnapshot| sink.lock().unwrap().push(s);
+    let outcome = Simulator::new(cfg).run_with_hooks(RunHooks {
+        cancel: None,
+        checkpoint_every: Some(every),
+        checkpoint_sink: Some(&push),
+    });
+    let report = match outcome {
+        RunOutcome::Completed(r) => r,
+        RunOutcome::Cancelled(_) => panic!("no cancel token was supplied"),
+    };
+    (report, sink.into_inner().unwrap())
+}
+
+/// A faulted, metrics-on mobile scenario — the densest state a snapshot
+/// has to carry (crashes, churn, impairments, energy budgets, probe
+/// chains, waypoint RNGs all live at the cut).
+fn snapshot_scenario(seed: u64, n: usize) -> ScenarioConfig {
+    let mut cfg = random_scenario(
+        Variant::ALL[seed as usize % 4],
+        seed,
+        n,
+        1500.0,
+        Milliwatts(1.559e-10),
+        true,
+        None,
+    );
+    cfg.faults = Some(fault_plan(n));
+    cfg.metrics = Some(MetricsConfig {
+        probe_interval_s: 0.25,
+    });
+    cfg
+}
+
+/// The PR 10 acceptance bar: snapshot at a fuzzed mid-run grid time
+/// under every refresh × cache × shard-count combination (faulted,
+/// metrics-on, mobile), restore in-process, run to the end — the result
+/// must be bit-identical (mode-invariant observables) to the
+/// uninterrupted reference. The capture run itself must also be
+/// unperturbed by checkpointing, and every checkpoint must survive a
+/// serialization round trip unchanged.
+#[test]
+fn checkpoint_restore_is_bit_identical_across_matrix() {
+    for seed in [5u64, 29] {
+        let cfg = snapshot_scenario(seed, 16);
+        let reference = Simulator::new(with_execution(cfg.clone(), None)).run();
+        assert!(
+            reference.events > 0,
+            "degenerate run is a vacuous comparison"
+        );
+        let ref_fp = mode_invariant_fingerprint(&reference);
+        // Fuzz the checkpoint grid per seed so cuts land at arbitrary
+        // mid-run instants, not a hand-picked friendly time.
+        let every = Duration::from_millis(110 + (seed * 37) % 140);
+        for (refresh, cache) in [
+            (MobilityRefreshMode::Lazy, GainCacheMode::Sparse),
+            (MobilityRefreshMode::Eager, GainCacheMode::Off),
+        ] {
+            for shards in [None, Some(1), Some(2), Some(4)] {
+                let moded = with_execution(with_modes(cfg.clone(), refresh, cache), shards);
+                let (hooked, snaps) = run_with_checkpoints(moded.clone(), every);
+                assert_eq!(
+                    mode_invariant_fingerprint(&hooked),
+                    ref_fp,
+                    "checkpointing perturbed the run (seed {seed} shards {shards:?})"
+                );
+                assert!(
+                    snaps.len() >= 4,
+                    "a 2 s run on a {every:?} grid must checkpoint repeatedly"
+                );
+                for s in &snaps {
+                    assert_eq!(
+                        s.time().as_nanos() % every.as_nanos(),
+                        0,
+                        "checkpoints land on the absolute grid"
+                    );
+                }
+                let snap = &snaps[snaps.len() / 2];
+                let bytes = snap.to_bytes();
+                let back = SimSnapshot::from_bytes(&bytes).expect("round trip");
+                assert_eq!(
+                    back.state_fingerprint(),
+                    snap.state_fingerprint(),
+                    "serialization round trip changed behavioral state"
+                );
+                let resumed = Simulator::restore(moded.clone(), &back)
+                    .expect("snapshot matches its own scenario")
+                    .run();
+                assert_eq!(
+                    mode_invariant_fingerprint(&resumed),
+                    ref_fp,
+                    "restore-then-run diverged (seed {seed} refresh {refresh:?} \
+                     cache {cache:?} shards {shards:?} cut {:?})",
+                    snap.time()
+                );
+            }
+        }
+    }
+}
+
+/// Snapshots are execution-mode-portable: the behavioral state captured
+/// at a grid instant is identical whether the run was single-threaded or
+/// region-sharded, and a snapshot taken under one shard count restores
+/// and completes under any other.
+#[test]
+fn snapshots_move_across_execution_modes() {
+    let cfg = snapshot_scenario(29, 16);
+    let every = Duration::from_millis(200);
+    let reference = Simulator::new(with_execution(cfg.clone(), None)).run();
+    let ref_fp = mode_invariant_fingerprint(&reference);
+
+    let (_, single_snaps) = run_with_checkpoints(with_execution(cfg.clone(), None), every);
+    let (_, sharded_snaps) = run_with_checkpoints(with_execution(cfg.clone(), Some(4)), every);
+    assert_eq!(
+        single_snaps.len(),
+        sharded_snaps.len(),
+        "both modes must cut at the same grid instants"
+    );
+    for (a, b) in single_snaps.iter().zip(&sharded_snaps) {
+        assert_eq!(a.time(), b.time());
+        assert_eq!(
+            a.state_fingerprint(),
+            b.state_fingerprint(),
+            "single and 4-shard captures disagree at t = {:?}",
+            a.time()
+        );
+    }
+
+    // 1-shard capture → 4-shard resume, and 4-shard capture → single
+    // resume: the cross-mode acceptance criterion.
+    let (_, one_shard_snaps) = run_with_checkpoints(with_execution(cfg.clone(), Some(1)), every);
+    let mid = &one_shard_snaps[one_shard_snaps.len() / 2];
+    let resumed_4 = Simulator::restore(with_execution(cfg.clone(), Some(4)), mid)
+        .expect("snapshots move across shard counts")
+        .run();
+    assert_eq!(
+        mode_invariant_fingerprint(&resumed_4),
+        ref_fp,
+        "1-shard snapshot resumed under 4 shards diverged"
+    );
+    let mid = &sharded_snaps[sharded_snaps.len() / 2];
+    let resumed_single = Simulator::restore(with_execution(cfg, None), mid)
+        .expect("snapshots move across execution modes")
+        .run();
+    assert_eq!(
+        mode_invariant_fingerprint(&resumed_single),
+        ref_fp,
+        "4-shard snapshot resumed single-threaded diverged"
+    );
+}
+
+/// Cooperative cancellation stops cleanly at a cut with a resumable
+/// snapshot — in both execution modes — and resuming from it completes
+/// the run bit-identically.
+#[test]
+fn cancelled_runs_leave_resumable_snapshots() {
+    let cfg = snapshot_scenario(5, 16);
+    let reference = Simulator::new(with_execution(cfg.clone(), None)).run();
+    let ref_fp = mode_invariant_fingerprint(&reference);
+    for shards in [None, Some(4)] {
+        let moded = with_execution(cfg.clone(), shards);
+        // Cancel from inside the run, mid-flight: the second checkpoint
+        // pulls the trigger, so the cancellation cut lands at an
+        // arbitrary later instant.
+        let token = pcmac::CancelToken::new();
+        let seen = Mutex::new(0u32);
+        let trip = |_s: SimSnapshot| {
+            let mut n = seen.lock().unwrap();
+            *n += 1;
+            if *n == 2 {
+                token.cancel();
+            }
+        };
+        let outcome = Simulator::new(moded.clone()).run_with_hooks(RunHooks {
+            cancel: Some(&token),
+            checkpoint_every: Some(Duration::from_millis(300)),
+            checkpoint_sink: Some(&trip),
+        });
+        let snap = match outcome {
+            RunOutcome::Cancelled(Some(s)) => s,
+            RunOutcome::Cancelled(None) => panic!("queue was not empty at the cut"),
+            RunOutcome::Completed(_) => panic!("token was cancelled mid-run"),
+        };
+        assert!(
+            snap.time() > SimTime::ZERO && snap.time() < SimTime::ZERO + cfg.duration,
+            "cancellation cut should land mid-run, got {:?}",
+            snap.time()
+        );
+        let resumed = Simulator::restore(moded, &snap)
+            .expect("cancellation snapshot restores")
+            .run();
+        assert_eq!(
+            mode_invariant_fingerprint(&resumed),
+            ref_fp,
+            "resume after cancellation diverged (shards {shards:?})"
+        );
+    }
+}
+
+/// Corrupt or foreign checkpoint artifacts surface structured errors —
+/// truncation at any byte offset, bit rot, wrong magic, future versions,
+/// a mismatched scenario — and never panic.
+#[test]
+fn corrupt_checkpoints_fail_structurally() {
+    let cfg = snapshot_scenario(5, 12);
+    let (_, snaps) = run_with_checkpoints(
+        with_execution(cfg.clone(), None),
+        Duration::from_millis(400),
+    );
+    let bytes = snaps[snaps.len() / 2].to_bytes();
+
+    // Truncation at several offsets: inside the magic, the header, the
+    // length field, and at assorted payload depths.
+    for cut in [
+        0usize,
+        1,
+        3,
+        5,
+        9,
+        15,
+        bytes.len() / 4,
+        bytes.len() / 2,
+        bytes.len() - 1,
+    ] {
+        assert!(
+            SimSnapshot::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} must be rejected",
+            bytes.len()
+        );
+    }
+    // Bit rot in the payload trips the checksum.
+    let mut rotten = bytes.clone();
+    let mid = rotten.len() / 2;
+    rotten[mid] ^= 0x40;
+    assert!(
+        SimSnapshot::from_bytes(&rotten).is_err(),
+        "bit rot must be rejected"
+    );
+    // Not a snapshot at all.
+    let mut alien = bytes.clone();
+    alien[0] ^= 0xFF;
+    assert!(
+        SimSnapshot::from_bytes(&alien).is_err(),
+        "bad magic must be rejected"
+    );
+    // A future format version.
+    let mut future = bytes.clone();
+    future[4] = future[4].wrapping_add(1);
+    assert!(
+        SimSnapshot::from_bytes(&future).is_err(),
+        "future versions must be rejected"
+    );
+
+    // A valid snapshot of a *different* scenario must refuse to restore.
+    let snap = SimSnapshot::from_bytes(&bytes).expect("pristine bytes parse");
+    let other = with_execution(snapshot_scenario(29, 12), None);
+    assert!(
+        !snap.matches(&other),
+        "distinct scenarios must have distinct digests"
+    );
+    assert!(
+        Simulator::restore(other, &snap).is_err(),
+        "cfg-mismatched restore must fail, not corrupt state"
+    );
+}

@@ -32,6 +32,7 @@ pub mod grid;
 pub mod ids;
 pub mod queue;
 pub mod rng;
+pub mod snap_impls;
 pub mod time;
 pub mod timer;
 pub mod units;

@@ -199,6 +199,32 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
     }
+
+    /// Every pending event in canonical pop order — `(at, rank, seq)`
+    /// ascending. The sequence numbers themselves are not returned: they
+    /// are queue-local scheduling history, and two queues holding the
+    /// same events in the same *relative* order behave identically. Used
+    /// by checkpointing to capture the queue content-deterministically.
+    pub fn pending_in_order(&self) -> Vec<(SimTime, u128, &E)> {
+        let mut refs: Vec<&ScheduledEvent<E>> = self.heap.iter().collect();
+        refs.sort_by_key(|e| (e.at, e.rank, e.seq));
+        refs.into_iter().map(|e| (e.at, e.rank, &e.event)).collect()
+    }
+
+    /// An empty queue whose clock starts at `now` and whose
+    /// [`EventQueue::scheduled_total`] starts at `base_total` — the
+    /// restore-side counterpart of [`EventQueue::pending_in_order`].
+    /// Re-scheduling the captured events in their canonical order hands
+    /// them fresh ascending sequence numbers, preserving tie order, and
+    /// brings the schedule count back to its pre-capture value.
+    pub fn restored(now: SimTime, base_total: u64) -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now,
+            scheduled_total: base_total,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -62,6 +62,19 @@ impl RngStream {
         }
     }
 
+    /// The raw 256-bit generator state, for checkpointing.
+    pub fn state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuild a stream from a state captured by [`RngStream::state`];
+    /// the restored stream continues the sequence exactly.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        RngStream {
+            rng: SmallRng::from_state(s),
+        }
+    }
+
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {

@@ -18,6 +18,12 @@ impl TimerToken {
     pub fn value(&self) -> u64 {
         self.0
     }
+
+    /// Rebuild a token from a generation captured by
+    /// [`TimerToken::value`] (checkpoint restore).
+    pub fn from_value(v: u64) -> Self {
+        TimerToken(v)
+    }
 }
 
 /// The per-logical-timer state: a generation counter plus an armed flag.
@@ -50,6 +56,16 @@ impl TimerSlot {
     /// `true` if a timer is currently pending.
     pub fn is_armed(&self) -> bool {
         self.armed
+    }
+
+    /// The live generation counter (checkpoint capture).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Rebuild a slot from captured state (checkpoint restore).
+    pub fn from_parts(generation: u64, armed: bool) -> Self {
+        TimerSlot { generation, armed }
     }
 
     /// Called when a timer event pops: returns `true` (and disarms the slot)

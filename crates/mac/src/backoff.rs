@@ -10,7 +10,7 @@
 use pcmac_engine::{Duration, RngStream};
 
 /// Contention window and slot counter.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Backoff {
     cw_min: u32,
     cw_max: u32,
@@ -87,6 +87,17 @@ impl Backoff {
     pub fn remaining_time(&self, slot: Duration) -> Duration {
         slot * self.slots as u64
     }
+}
+
+mod snap {
+    use super::Backoff;
+
+    pcmac_snap::snap_struct!(Backoff {
+        cw_min,
+        cw_max,
+        cw,
+        slots,
+    });
 }
 
 #[cfg(test)]

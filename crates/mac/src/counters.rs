@@ -66,6 +66,30 @@ impl MacCounters {
     }
 }
 
+mod snap {
+    use super::MacCounters;
+
+    pcmac_snap::snap_struct!(MacCounters {
+        rts_sent,
+        cts_sent,
+        data_sent,
+        broadcast_sent,
+        ack_sent,
+        cts_timeouts,
+        ack_timeouts,
+        retry_drops,
+        queue_drops,
+        delivered,
+        duplicates,
+        rx_errors,
+        implicit_retx,
+        implicit_give_ups,
+        ctrl_broadcasts,
+        ctrl_deferrals,
+        power_step_ups,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

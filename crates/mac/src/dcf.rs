@@ -97,7 +97,7 @@ pub enum MacAction {
 
 /// What our radio is currently transmitting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TxKind {
+pub(crate) enum TxKind {
     Rts,
     Cts,
     DataUnicast { needs_ack: bool },
@@ -107,7 +107,7 @@ enum TxKind {
 
 /// Where we are in an exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     /// No exchange of our own in flight (access engine may run).
     Idle,
     /// Our frame is on the air.
@@ -120,7 +120,7 @@ enum Phase {
 
 /// The packet currently being worked on.
 #[derive(Debug, Clone)]
-struct TxJob {
+pub(crate) struct TxJob {
     packet: Packet,
     next_hop: NodeId,
     /// Sequence number once allocated (first transmission attempt).
@@ -128,7 +128,7 @@ struct TxJob {
 }
 
 /// The 802.11 DCF MAC (all four protocol variants).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DcfMac {
     id: NodeId,
     cfg: MacConfig,
@@ -1159,5 +1159,167 @@ impl DcfMac {
         };
         self.phase = Phase::Tx(kind);
         out.push(MacAction::TxFrame { frame, power });
+    }
+}
+
+mod snap {
+    //! Checkpoint capture of the MAC state machine.
+    //!
+    //! `id` and `cfg` are rebuilt from the scenario config on restore, so
+    //! [`DcfMac::save_state`] / [`DcfMac::load_state`] transfer only the
+    //! mutable state: backoff RNG position, timers, queue, the exchange in
+    //! progress and the power-control tables. The cut always falls between
+    //! events, never inside a `MacAction` burst, so this is the complete
+    //! reachable state.
+
+    use super::{DcfMac, MacTimerKind, Phase, TxJob, TxKind};
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for MacTimerKind {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(match self {
+                MacTimerKind::Defer => 0,
+                MacTimerKind::Backoff => 1,
+                MacTimerKind::CtsTimeout => 2,
+                MacTimerKind::AckTimeout => 3,
+                MacTimerKind::Response => 4,
+                MacTimerKind::NavExpire => 5,
+                MacTimerKind::CtrlRetry => 6,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(MacTimerKind::Defer),
+                1 => Ok(MacTimerKind::Backoff),
+                2 => Ok(MacTimerKind::CtsTimeout),
+                3 => Ok(MacTimerKind::AckTimeout),
+                4 => Ok(MacTimerKind::Response),
+                5 => Ok(MacTimerKind::NavExpire),
+                6 => Ok(MacTimerKind::CtrlRetry),
+                _ => Err(SnapError::Corrupt("mac timer tag")),
+            }
+        }
+    }
+
+    impl Snap for TxKind {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                TxKind::Rts => w.u8(0),
+                TxKind::Cts => w.u8(1),
+                TxKind::DataUnicast { needs_ack } => {
+                    w.u8(2);
+                    needs_ack.save(w);
+                }
+                TxKind::DataBroadcast => w.u8(3),
+                TxKind::Ack => w.u8(4),
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(TxKind::Rts),
+                1 => Ok(TxKind::Cts),
+                2 => Ok(TxKind::DataUnicast {
+                    needs_ack: Snap::load(r)?,
+                }),
+                3 => Ok(TxKind::DataBroadcast),
+                4 => Ok(TxKind::Ack),
+                _ => Err(SnapError::Corrupt("tx kind tag")),
+            }
+        }
+    }
+
+    impl Snap for Phase {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                Phase::Idle => w.u8(0),
+                Phase::Tx(kind) => {
+                    w.u8(1);
+                    kind.save(w);
+                }
+                Phase::WaitCts => w.u8(2),
+                Phase::WaitAck => w.u8(3),
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(Phase::Idle),
+                1 => Ok(Phase::Tx(Snap::load(r)?)),
+                2 => Ok(Phase::WaitCts),
+                3 => Ok(Phase::WaitAck),
+                _ => Err(SnapError::Corrupt("mac phase tag")),
+            }
+        }
+    }
+
+    pcmac_snap::snap_struct!(TxJob {
+        packet,
+        next_hop,
+        seq,
+    });
+
+    impl DcfMac {
+        /// Serialize every mutable field (everything except `id`/`cfg`).
+        pub fn save_state(&self, w: &mut SnapWriter) {
+            self.rng.save(w);
+            self.phys_busy.save(w);
+            self.nav.save(w);
+            self.backoff.save(w);
+            self.count_start.save(w);
+            self.t_defer.save(w);
+            self.t_backoff.save(w);
+            self.t_cts.save(w);
+            self.t_ack.save(w);
+            self.t_resp.save(w);
+            self.t_nav.save(w);
+            self.t_ctrl.save(w);
+            self.queue.save(w);
+            self.current.save(w);
+            self.retransmit_override.save(w);
+            self.phase.save(w);
+            self.pending_response.save(w);
+            self.ssrc.save(w);
+            self.slrc.save(w);
+            self.rts_power.save(w);
+            self.history.save(w);
+            self.sent.save(w);
+            self.recv.save(w);
+            self.active_rx.save(w);
+            self.last_noise.save(w);
+            self.counters.save(w);
+            self.retx_hist.save(w);
+        }
+
+        /// Overwrite the mutable state of a freshly built MAC with captured
+        /// state. `id`/`cfg` keep their built values.
+        pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+            self.rng = Snap::load(r)?;
+            self.phys_busy = Snap::load(r)?;
+            self.nav = Snap::load(r)?;
+            self.backoff = Snap::load(r)?;
+            self.count_start = Snap::load(r)?;
+            self.t_defer = Snap::load(r)?;
+            self.t_backoff = Snap::load(r)?;
+            self.t_cts = Snap::load(r)?;
+            self.t_ack = Snap::load(r)?;
+            self.t_resp = Snap::load(r)?;
+            self.t_nav = Snap::load(r)?;
+            self.t_ctrl = Snap::load(r)?;
+            self.queue = Snap::load(r)?;
+            self.current = Snap::load(r)?;
+            self.retransmit_override = Snap::load(r)?;
+            self.phase = Snap::load(r)?;
+            self.pending_response = Snap::load(r)?;
+            self.ssrc = Snap::load(r)?;
+            self.slrc = Snap::load(r)?;
+            self.rts_power = Snap::load(r)?;
+            self.history = Snap::load(r)?;
+            self.sent = Snap::load(r)?;
+            self.recv = Snap::load(r)?;
+            self.active_rx = Snap::load(r)?;
+            self.last_noise = Snap::load(r)?;
+            self.counters = Snap::load(r)?;
+            self.retx_hist = Snap::load(r)?;
+            Ok(())
+        }
     }
 }

@@ -140,6 +140,102 @@ impl CtrlFrame {
     }
 }
 
+mod snap {
+    //! Checkpoint encoding of frames. Frames appear mid-air (inside radio
+    //! locks and pending arrivals) and as queued SIFS responses, so a cut
+    //! can land while any frame kind is in flight.
+
+    use super::{CtrlFrame, Frame, FrameBody, FrameKind};
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for FrameKind {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(match self {
+                FrameKind::Rts => 0,
+                FrameKind::Cts => 1,
+                FrameKind::Data => 2,
+                FrameKind::Ack => 3,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(FrameKind::Rts),
+                1 => Ok(FrameKind::Cts),
+                2 => Ok(FrameKind::Data),
+                3 => Ok(FrameKind::Ack),
+                _ => Err(SnapError::Corrupt("frame kind tag")),
+            }
+        }
+    }
+
+    impl Snap for FrameBody {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                FrameBody::Rts { sender_noise } => {
+                    w.u8(0);
+                    sender_noise.save(w);
+                }
+                FrameBody::Cts {
+                    required_data_power,
+                    last_received,
+                } => {
+                    w.u8(1);
+                    required_data_power.save(w);
+                    last_received.save(w);
+                }
+                FrameBody::Data {
+                    packet,
+                    seq,
+                    session,
+                    needs_ack,
+                } => {
+                    w.u8(2);
+                    packet.save(w);
+                    seq.save(w);
+                    session.save(w);
+                    needs_ack.save(w);
+                }
+                FrameBody::Ack => w.u8(3),
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(FrameBody::Rts {
+                    sender_noise: Snap::load(r)?,
+                }),
+                1 => Ok(FrameBody::Cts {
+                    required_data_power: Snap::load(r)?,
+                    last_received: Snap::load(r)?,
+                }),
+                2 => Ok(FrameBody::Data {
+                    packet: Snap::load(r)?,
+                    seq: Snap::load(r)?,
+                    session: Snap::load(r)?,
+                    needs_ack: Snap::load(r)?,
+                }),
+                3 => Ok(FrameBody::Ack),
+                _ => Err(SnapError::Corrupt("frame body tag")),
+            }
+        }
+    }
+
+    pcmac_snap::snap_struct!(Frame {
+        kind,
+        tx,
+        rx,
+        duration,
+        tx_power,
+        body,
+    });
+
+    pcmac_snap::snap_struct!(CtrlFrame {
+        receiver,
+        noise_tolerance,
+        remaining,
+        tx_power,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

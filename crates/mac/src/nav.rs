@@ -46,6 +46,12 @@ impl Nav {
     }
 }
 
+mod snap {
+    use super::Nav;
+
+    pcmac_snap::snap_struct!(Nav { until });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,7 +40,7 @@ pub struct ActiveRx {
 }
 
 /// The set of currently-protected receivers this node has heard about.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ActiveReceivers {
     map: HashMap<NodeId, ActiveRx>,
 }
@@ -157,7 +157,7 @@ pub enum EchoVerdict {
 }
 
 /// The sender-side table of the three-way handshake.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SentTable {
     map: HashMap<NodeId, SentEntry>,
     /// Per-session sequence counters.
@@ -249,7 +249,7 @@ impl SentTable {
 }
 
 /// Receiver-side table: last accepted (session, seq) per sender.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ReceivedTable {
     map: HashMap<NodeId, (SessionId, u32)>,
 }
@@ -280,6 +280,33 @@ impl ReceivedTable {
     pub fn reset_peer(&mut self, peer: NodeId) {
         self.map.remove(&peer);
     }
+}
+
+mod snap {
+    use super::{ActiveReceivers, ActiveRx, ReceivedTable, SentEntry, SentTable};
+
+    pcmac_snap::snap_struct!(ActiveRx {
+        tolerance,
+        gain,
+        until,
+    });
+
+    pcmac_snap::snap_struct!(ActiveReceivers { map });
+
+    pcmac_snap::snap_struct!(SentEntry {
+        session,
+        seq,
+        stored,
+        retx,
+    });
+
+    pcmac_snap::snap_struct!(SentTable {
+        map,
+        next_seq,
+        max_retx,
+    });
+
+    pcmac_snap::snap_struct!(ReceivedTable { map });
 }
 
 #[cfg(test)]

@@ -63,7 +63,7 @@ impl PowerPolicy {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct HistoryEntry {
+pub(crate) struct HistoryEntry {
     level: Milliwatts,
     updated_at: SimTime,
 }
@@ -71,7 +71,7 @@ struct HistoryEntry {
 /// The per-neighbour needed-power table (paper §III: "each mobile terminal
 /// also keeps a power history table, recording the needed power level to
 /// reach every other terminal", 3 s expiry).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PowerHistory {
     entries: HashMap<NodeId, HistoryEntry>,
     expiry: Duration,
@@ -173,6 +173,20 @@ impl PowerHistory {
         self.entries
             .retain(|_, e| now.saturating_since(e.updated_at) < expiry);
     }
+}
+
+mod snap {
+    use super::{HistoryEntry, PowerHistory};
+
+    pcmac_snap::snap_struct!(HistoryEntry { level, updated_at });
+
+    pcmac_snap::snap_struct!(PowerHistory {
+        entries,
+        expiry,
+        levels,
+        rx_thresh,
+        margin,
+    });
 }
 
 #[cfg(test)]

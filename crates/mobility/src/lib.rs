@@ -161,6 +161,51 @@ impl RandomWaypoint {
     }
 }
 
+mod snap {
+    //! Checkpoint capture of mobility. The waypoint model is a pure
+    //! function of its RNG stream and current leg, so capturing both
+    //! makes the restored trajectory identical for all queries at or
+    //! after the cut time.
+
+    use super::{Mobility, RandomWaypoint};
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    pcmac_snap::snap_struct!(RandomWaypoint {
+        rng,
+        width,
+        height,
+        speed,
+        pause,
+        from,
+        to,
+        leg_start,
+        leg_end,
+        pause_end,
+    });
+
+    impl Snap for Mobility {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                Mobility::Static(p) => {
+                    w.u8(0);
+                    p.save(w);
+                }
+                Mobility::Waypoint(m) => {
+                    w.u8(1);
+                    m.save(w);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(Mobility::Static(Snap::load(r)?)),
+                1 => Ok(Mobility::Waypoint(Snap::load(r)?)),
+                _ => Err(SnapError::Corrupt("mobility tag")),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -159,6 +159,78 @@ impl Packet {
     }
 }
 
+mod snap {
+    //! Checkpoint encoding of packets. Packets appear inside frames on the
+    //! air, interface queues, AODV buffers and PCMAC retransmission copies,
+    //! so their encoding must be exact — ids, TTLs and creation times all
+    //! feed delay accounting and duplicate suppression after restore.
+
+    use super::{Packet, Payload, Rerr, Rrep, Rreq};
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    pcmac_snap::snap_struct!(Rreq {
+        rreq_id,
+        origin,
+        origin_seq,
+        target,
+        target_seq,
+        hop_count,
+    });
+
+    pcmac_snap::snap_struct!(Rrep {
+        origin,
+        target,
+        target_seq,
+        hop_count,
+    });
+
+    pcmac_snap::snap_struct!(Rerr { unreachable });
+
+    impl Snap for Payload {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                Payload::Data { bytes } => {
+                    w.u8(0);
+                    bytes.save(w);
+                }
+                Payload::Rreq(m) => {
+                    w.u8(1);
+                    m.save(w);
+                }
+                Payload::Rrep(m) => {
+                    w.u8(2);
+                    m.save(w);
+                }
+                Payload::Rerr(m) => {
+                    w.u8(3);
+                    m.save(w);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(Payload::Data {
+                    bytes: Snap::load(r)?,
+                }),
+                1 => Ok(Payload::Rreq(Snap::load(r)?)),
+                2 => Ok(Payload::Rrep(Snap::load(r)?)),
+                3 => Ok(Payload::Rerr(Snap::load(r)?)),
+                _ => Err(SnapError::Corrupt("payload tag")),
+            }
+        }
+    }
+
+    pcmac_snap::snap_struct!(Packet {
+        id,
+        flow,
+        src,
+        dst,
+        created_at,
+        ttl,
+        payload,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

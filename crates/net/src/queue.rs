@@ -21,7 +21,7 @@ pub struct QueuedPacket {
 }
 
 /// Fixed-capacity DropTail queue with a priority lane for routing packets.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DropTailQueue {
     items: VecDeque<QueuedPacket>,
     capacity: usize,
@@ -111,6 +111,19 @@ impl DropTailQueue {
         });
         out
     }
+}
+
+mod snap {
+    use super::{DropTailQueue, QueuedPacket};
+
+    pcmac_snap::snap_struct!(QueuedPacket { packet, next_hop });
+
+    pcmac_snap::snap_struct!(DropTailQueue {
+        items,
+        capacity,
+        dropped,
+        enqueued,
+    });
 }
 
 impl Default for DropTailQueue {

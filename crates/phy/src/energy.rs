@@ -140,6 +140,49 @@ impl EnergyMeter {
     }
 }
 
+mod snap {
+    //! Checkpoint capture of the energy integrator — the accumulated
+    //! millijoule totals are `f64` bit patterns, so restored meters keep
+    //! integrating from exactly where the original left off.
+
+    use super::{EnergyMeter, EnergyModel, RadioMode};
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for RadioMode {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(match self {
+                RadioMode::Idle => 0,
+                RadioMode::Receive => 1,
+                RadioMode::Transmit => 2,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(RadioMode::Idle),
+                1 => Ok(RadioMode::Receive),
+                2 => Ok(RadioMode::Transmit),
+                _ => Err(SnapError::Corrupt("radio mode tag")),
+            }
+        }
+    }
+
+    pcmac_snap::snap_struct!(EnergyModel {
+        idle_mw,
+        rx_mw,
+        tx_electronics_mw,
+    });
+
+    pcmac_snap::snap_struct!(EnergyMeter {
+        model,
+        mode,
+        tx_power,
+        last_change,
+        total_mj,
+        tx_mj,
+        radiated_mj,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -119,7 +119,7 @@ struct Arrival {
     end: SimTime,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Lock<F> {
     Idle,
     Rx {
@@ -136,7 +136,7 @@ enum Lock<F> {
 }
 
 /// The per-node, per-channel radio.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Radio<F> {
     cfg: RadioConfig,
     lock: Lock<F>,
@@ -346,6 +346,99 @@ impl<F: Clone> Radio<F> {
             } else {
                 RadioEvent::CarrierIdle
             });
+        }
+    }
+}
+
+mod snap {
+    //! Checkpoint capture of the radio state machine: the lock, every
+    //! in-flight arrival, the interference sum, and the carrier edge
+    //! detector travel bit-exactly.
+
+    use super::{Arrival, CapturePolicy, Lock, Radio, RadioConfig};
+    use pcmac_snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+    impl Snap for CapturePolicy {
+        fn save(&self, w: &mut SnapWriter) {
+            w.u8(match self {
+                CapturePolicy::StartOnly => 0,
+                CapturePolicy::Continuous => 1,
+            });
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(CapturePolicy::StartOnly),
+                1 => Ok(CapturePolicy::Continuous),
+                _ => Err(SnapError::Corrupt("capture policy tag")),
+            }
+        }
+    }
+
+    pcmac_snap::snap_struct!(RadioConfig {
+        rx_thresh,
+        cs_thresh,
+        capture_ratio,
+        noise_floor,
+        capture_policy,
+    });
+
+    pcmac_snap::snap_struct!(Arrival { key, power, end });
+
+    impl<F: Snap> Snap for Lock<F> {
+        fn save(&self, w: &mut SnapWriter) {
+            match self {
+                Lock::Idle => w.u8(0),
+                Lock::Rx {
+                    key,
+                    power,
+                    frame,
+                    corrupted,
+                } => {
+                    w.u8(1);
+                    key.save(w);
+                    power.save(w);
+                    frame.save(w);
+                    corrupted.save(w);
+                }
+                Lock::Tx { until } => {
+                    w.u8(2);
+                    until.save(w);
+                }
+            }
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            match r.u8()? {
+                0 => Ok(Lock::Idle),
+                1 => Ok(Lock::Rx {
+                    key: Snap::load(r)?,
+                    power: Snap::load(r)?,
+                    frame: Snap::load(r)?,
+                    corrupted: Snap::load(r)?,
+                }),
+                2 => Ok(Lock::Tx {
+                    until: Snap::load(r)?,
+                }),
+                _ => Err(SnapError::Corrupt("radio lock tag")),
+            }
+        }
+    }
+
+    impl<F: Snap> Snap for Radio<F> {
+        fn save(&self, w: &mut SnapWriter) {
+            self.cfg.save(w);
+            self.lock.save(w);
+            self.arrivals.save(w);
+            self.total_in_air.save(w);
+            self.reported_busy.save(w);
+        }
+        fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+            Ok(Radio {
+                cfg: Snap::load(r)?,
+                lock: Snap::load(r)?,
+                arrivals: Snap::load(r)?,
+                total_in_air: Snap::load(r)?,
+                reported_busy: Snap::load(r)?,
+            })
         }
     }
 }

@@ -162,6 +162,18 @@ impl StreamingQuantile {
     }
 }
 
+mod snap {
+    use super::StreamingQuantile;
+
+    pcmac_snap::snap_struct!(StreamingQuantile {
+        exact,
+        count,
+        sum_ns,
+        max_s,
+        buckets,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,7 +41,7 @@ impl FlowStats {
 }
 
 /// Collects deliveries at a destination node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sink {
     flows: HashMap<FlowId, FlowStats>,
     delay_hist: Histogram,
@@ -112,6 +112,19 @@ impl Sink {
         let sum_ns: u64 = self.flows.values().map(|f| f.delay_sum.as_nanos()).sum();
         Some(Duration::from_nanos(sum_ns / n))
     }
+}
+
+mod snap {
+    use super::{FlowStats, Sink};
+
+    pcmac_snap::snap_struct!(FlowStats {
+        received,
+        bytes,
+        delay_sum,
+        max_delay,
+    });
+
+    pcmac_snap::snap_struct!(Sink { flows, delay_hist });
 }
 
 #[cfg(test)]

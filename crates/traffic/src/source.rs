@@ -280,6 +280,47 @@ impl Source for OnOffSource {
     }
 }
 
+mod snap {
+    //! Checkpoint capture of traffic sources: emission counters, next-emit
+    //! instants and (for the stochastic sources) the RNG position, so the
+    //! post-restore emission schedule continues the original sequence.
+
+    use super::{CbrSource, OnOffSource, PoissonSource};
+
+    pcmac_snap::snap_struct!(CbrSource {
+        flow,
+        src,
+        dst,
+        bytes,
+        interval,
+        stop,
+        next,
+        count,
+    });
+
+    pcmac_snap::snap_struct!(PoissonSource {
+        flow,
+        src,
+        dst,
+        bytes,
+        mean_interval,
+        stop,
+        next,
+        count,
+        rng,
+    });
+
+    pcmac_snap::snap_struct!(OnOffSource {
+        inner,
+        mean_on,
+        mean_off,
+        phase_end,
+        on,
+        stop,
+        rng,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -143,6 +143,20 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl SmallRng {
+        /// The raw 256-bit xoshiro state, for checkpointing. Restoring
+        /// via [`SmallRng::from_state`] continues the stream exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state captured by
+        /// [`SmallRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut st = seed;
